@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+Every file under ``benchmarks/`` regenerates one table or figure of the
+paper (see DESIGN.md §4 for the experiment index).  Datasets are built
+once per session; each benchmark writes the regenerated series to
+``benchmarks/results/<experiment>.txt`` so the numbers survive the
+pytest-benchmark timing table.
+
+Scale knob: set ``REPRO_BENCH_SCALE=paper`` to run the TUS-like lake at
+published scale (slow — intended for a full reproduction run, not CI).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench.injection import remove_homographs
+from repro.bench.synthetic import generate_sb
+from repro.bench.tus import TUSConfig, generate_tus
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+@pytest.fixture(scope="session")
+def sb():
+    return generate_sb()
+
+
+@pytest.fixture(scope="session")
+def tus():
+    if bench_scale() == "paper":
+        return generate_tus(TUSConfig.paper())
+    return generate_tus()
+
+
+@pytest.fixture(scope="session")
+def tus_clean(tus):
+    """TUS-I base: the TUS-like lake with all homographs removed."""
+    lake, groups = remove_homographs(tus)
+    return lake, groups
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist one experiment's regenerated series."""
+    (results_dir / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")

@@ -1,0 +1,61 @@
+"""E-F10: regenerate Figure 10 — impact of injected homographs on D4.
+
+Paper: on TUS-I, D4 finds 134 domains with no injected homographs; the
+count and the max/average domains assigned per column all grow as
+homographs are injected (134 -> ~160 at 200 injections; max 2 -> 4;
+avg 1.031 -> 1.04; at 5,000 injections max 22, avg 1.7).
+
+Expectation here: per-column domain assignment degrades as injections
+increase — the average domains-per-column at the heaviest injection
+level exceeds the clean baseline.  (Total domain count is noisier in
+this reimplementation; the per-column pollution is the asserted trend,
+see EXPERIMENTS.md.)
+"""
+
+from conftest import write_result
+
+from repro.bench.tus import TUSConfig, generate_tus
+from repro.eval.experiments import experiment_d4_impact
+
+INJECTIONS = (50, 100, 150, 200)
+MEANINGS = (2, 4, 6)
+
+# Mid-size lake: enough domains and string values that the heaviest
+# injection level (200 x 6 distinct-domain values) stays satisfiable.
+FIG10_CONFIG = TUSConfig(
+    num_domains=24,
+    num_seed_tables=8,
+    seed_columns_range=(3, 7),
+    seed_rows_range=(300, 1500),
+    slices_per_seed_range=(6, 12),
+    slice_rows_range=(10, 500),
+    vocab_size_range=(60, 1500),
+    seed=3,
+)
+
+
+def test_fig10_d4_domain_inflation(benchmark, results_dir):
+    tus = generate_tus(FIG10_CONFIG)
+    result = benchmark.pedantic(
+        experiment_d4_impact,
+        kwargs={
+            "tus": tus,
+            "injection_counts": INJECTIONS,
+            "meanings": MEANINGS,
+        },
+        rounds=1, iterations=1,
+    )
+    write_result(results_dir, "fig10_d4_domain_inflation", result.format())
+
+    # The heaviest injection level must pollute per-column assignment.
+    heaviest = [
+        avg for n, m, _d, _mx, avg in result.rows
+        if n == max(INJECTIONS) and m == max(MEANINGS)
+    ]
+    assert heaviest[0] > result.baseline_avg_per_column
+
+    # And pollution grows with the number of meanings at fixed n.
+    by_meanings = {
+        m: avg for n, m, _d, _mx, avg in result.rows if n == max(INJECTIONS)
+    }
+    assert by_meanings[max(MEANINGS)] >= by_meanings[min(MEANINGS)]

@@ -1,0 +1,23 @@
+"""E-F5: regenerate Figure 5 — SB top-55 values by (ascending) LCC.
+
+Paper: fewer than 25% of the top-55 LCC values are homographs — the
+local measure does not separate them.  Expectation here: LCC finds
+strictly fewer homographs in its top-55 than betweenness does (the
+BC side is asserted in the Figure 6 benchmark).
+"""
+
+from conftest import write_result
+
+from repro.eval.experiments import experiment_sb_top55
+
+
+def test_fig5_lcc_top55(benchmark, sb, results_dir):
+    result = benchmark.pedantic(
+        experiment_sb_top55, args=("lcc",), kwargs={"sb": sb},
+        rounds=1, iterations=1,
+    )
+    write_result(results_dir, "fig5_sb_lcc_top55", result.format())
+
+    assert result.total_homographs == 55
+    # LCC is the weak measure: it must not dominate its own top-55.
+    assert result.homographs_in_top < 45

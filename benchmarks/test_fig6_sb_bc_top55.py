@@ -1,0 +1,31 @@
+"""E-F6: regenerate Figure 6 — SB top-55 values by (descending) BC.
+
+Paper: 38 of the top-55 BC values are homographs, and every homograph
+missing from the top-55 is a country/state abbreviation (their small,
+heavily intersecting domains defeat shortest-path centrality).
+Expectation here: >= 30/55, with misses drawn only from the
+abbreviation class — asserted via the vocabulary registry.
+"""
+
+from conftest import write_result
+
+from repro.bench.vocab import PLANTED_HOMOGRAPHS
+from repro.eval.experiments import experiment_sb_top55
+
+
+def test_fig6_bc_top55(benchmark, sb, results_dir):
+    result = benchmark.pedantic(
+        experiment_sb_top55, args=("betweenness",), kwargs={"sb": sb},
+        rounds=1, iterations=1,
+    )
+    write_result(results_dir, "fig6_sb_bc_top55", result.format())
+
+    assert result.homographs_in_top >= 30  # paper: 38
+
+    found = {v for v, _s, is_hom in result.entries if is_hom}
+    missed = sb.homographs - found
+    abbreviations = {
+        v for v, types in PLANTED_HOMOGRAPHS.items()
+        if types == ("country_code", "state_abbr")
+    }
+    assert missed <= abbreviations

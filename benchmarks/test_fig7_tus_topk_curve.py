@@ -1,0 +1,52 @@
+"""E-F7 + E-S5.3: regenerate Figure 7 and the §5.3 top-10 listing.
+
+Paper: P@200 = 0.89; precision = recall = 0.622 at k = 26,035 (the
+true homograph count); best F1 = 0.655 slightly past that k; the ten
+highest-BC values are all homographs.  Expectation here: high precision
+at small k, P=R in the paper's band at k = #homographs, best-F1 cut
+within 2x of the homograph count, and a strongly homograph-dominated
+top-10.
+"""
+
+from conftest import write_result
+
+from repro.eval.experiments import experiment_tus_topk
+from repro.eval.reporting import ascii_chart, export_series_csv
+
+
+def test_fig7_topk_curve(benchmark, tus, results_dir):
+    result = benchmark.pedantic(
+        experiment_tus_topk, kwargs={"tus": tus, "sample_size": 1000},
+        rounds=1, iterations=1,
+    )
+    chart = ascii_chart(
+        result.curve_ks,
+        {
+            "precision": result.curve_precision,
+            "recall": result.curve_recall,
+            "f1": result.curve_f1,
+        },
+        title="Figure 7: precision / recall / F1 vs k",
+    )
+    export_series_csv(
+        results_dir / "fig7_tus_topk_curve.csv",
+        result.curve_ks,
+        {
+            "precision": result.curve_precision,
+            "recall": result.curve_recall,
+            "f1": result.curve_f1,
+        },
+        x_name="k",
+    )
+    write_result(
+        results_dir, "fig7_tus_topk_curve",
+        result.format() + "\n\n" + chart,
+    )
+
+    assert result.p_at_200 >= 0.75           # paper: 0.89
+    assert 0.4 <= result.pr_at_truth <= 0.9  # paper: 0.622
+    assert result.best_f1 >= result.pr_at_truth
+    assert result.best_f1_k <= 2 * result.num_homographs
+
+    top10_homographs = sum(1 for _v, _s, h in result.top10 if h)
+    assert top10_homographs >= 8             # paper: 10/10

@@ -1,0 +1,58 @@
+"""E-F8: regenerate Figure 8 — precision and runtime vs BC sample size.
+
+Paper: precision@|H| stabilizes near its exact-BC level (0.631) from
+roughly 1,000 samples (~0.5% of nodes) while runtime grows linearly
+with the sample count; exact BC took 150 minutes.  Expectation here:
+the largest sample's precision is within a few points of the plateau,
+small samples are cheap, and runtime increases with sample size.
+
+The exact-BC reference runs on the small TUS configuration (exact
+Brandes over every node of the default lake would dominate the whole
+suite, which is the paper's point).
+"""
+
+from conftest import write_result
+
+from repro.bench.tus import TUSConfig, generate_tus
+from repro.eval.experiments import experiment_sample_size_sweep
+
+SAMPLE_SIZES = (100, 250, 500, 1000, 2000)
+
+
+def test_fig8_sample_size_sweep(benchmark, tus, results_dir):
+    result = benchmark.pedantic(
+        experiment_sample_size_sweep,
+        kwargs={
+            "tus": tus,
+            "sample_sizes": SAMPLE_SIZES,
+            "include_exact": False,
+        },
+        rounds=1, iterations=1,
+    )
+    write_result(results_dir, "fig8_sample_size_sweep", result.format())
+
+    precisions = {s: p for s, p, _t in result.rows}
+    times = {s: t for s, _p, t in result.rows}
+    plateau = precisions[SAMPLE_SIZES[-1]]
+    # Paper: precision stabilizes from small sample sizes.
+    assert precisions[1000] >= plateau - 0.05
+    # Runtime grows with sample count.
+    assert times[2000] > times[100]
+
+
+def test_fig8_exact_reference_small_tus(benchmark, results_dir):
+    small = generate_tus(TUSConfig.small(seed=4))
+    result = benchmark.pedantic(
+        experiment_sample_size_sweep,
+        kwargs={
+            "tus": small,
+            "sample_sizes": (100, 400, 1000),
+            "include_exact": True,
+        },
+        rounds=1, iterations=1,
+    )
+    write_result(results_dir, "fig8_exact_reference", result.format())
+
+    # Sampled precision approaches the exact-BC reference.
+    last_precision = result.rows[-1][1]
+    assert abs(last_precision - result.exact_precision) <= 0.10

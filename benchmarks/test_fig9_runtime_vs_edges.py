@@ -1,0 +1,31 @@
+"""E-F9: regenerate Figure 9 — approx-BC runtime vs subgraph size.
+
+Paper: over random subgraphs of the NYC-education graph (footnote-9
+extraction), the runtime of approximate BC with 1% sampled nodes grows
+linearly with the number of edges (the O(s*m) bound).  Expectation
+here: runtime increases with edge count and runtime-per-edge stays
+within a band (no super-linear blow-up).
+"""
+
+from conftest import write_result
+
+from repro.eval.experiments import experiment_runtime_scaling
+
+EDGE_TARGETS = (25_000, 50_000, 75_000, 100_000)
+
+
+def test_fig9_runtime_vs_edges(benchmark, results_dir):
+    result = benchmark.pedantic(
+        experiment_runtime_scaling,
+        kwargs={"edge_targets": EDGE_TARGETS},
+        rounds=1, iterations=1,
+    )
+    write_result(results_dir, "fig9_runtime_vs_edges", result.format())
+
+    times = [seconds for _e, _n, seconds in result.rows]
+    edges = [e for e, _n, _s in result.rows]
+    assert edges == sorted(edges)
+    assert times[-1] > times[0]
+    # Linear shape: per-edge cost does not drift by more than 60%
+    # between the smallest and largest subgraph.
+    assert result.is_roughly_linear(tolerance=0.6)

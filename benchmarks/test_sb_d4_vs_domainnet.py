@@ -1,0 +1,25 @@
+"""E-S5.1: the §5.1 headline — D4 baseline vs DomainNet on SB.
+
+Paper: at k = 55 (the number of true homographs, where precision =
+recall = F1), the D4-based detector scores 0.38 while DomainNet with
+betweenness centrality scores 0.69.  Expectation here: DomainNet beats
+D4 by a wide margin; both land in the paper's bands.
+"""
+
+from conftest import write_result
+
+from repro.eval.experiments import experiment_sb_baseline
+
+
+def test_sb_d4_vs_domainnet(benchmark, sb, results_dir):
+    result = benchmark.pedantic(
+        experiment_sb_baseline, kwargs={"sb": sb},
+        rounds=1, iterations=1,
+    )
+    write_result(results_dir, "sb_d4_vs_domainnet", result.format())
+
+    assert result.k == 55
+    # D4 finds some homographs but far from all (paper: 0.38).
+    assert 0.10 <= result.d4_precision <= 0.60
+    # DomainNet's margin is the headline (paper: 0.69 vs 0.38).
+    assert result.domainnet_precision >= result.d4_precision + 0.15

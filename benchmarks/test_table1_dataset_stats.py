@@ -1,0 +1,28 @@
+"""E-T1: regenerate Table 1 — dataset statistics.
+
+Paper row (SB):        13 tables,   39 attrs,  17,633 values,    55 hom
+Paper row (TUS):    1,327 tables, 9,859 attrs, 190,399 values, 26,035 hom
+Expectation here: same structure; SB matches exactly on tables/attrs/
+homographs, the TUS-like scale is configuration-dependent.
+"""
+
+from conftest import write_result
+
+from repro.eval.experiments import experiment_table1
+
+
+def test_table1_dataset_statistics(benchmark, sb, tus, results_dir):
+    result = benchmark.pedantic(
+        experiment_table1, kwargs={"sb": sb, "tus": tus},
+        rounds=1, iterations=1,
+    )
+    text = result.format()
+    write_result(results_dir, "table1_dataset_stats", text)
+
+    lines = text.splitlines()
+    sb_row = next(line for line in lines if line.startswith("SB"))
+    cells = sb_row.split()
+    assert cells[1] == "13"    # tables
+    assert cells[2] == "39"    # attributes
+    assert cells[4] == "55"    # homographs
+    assert cells[6] == "2"     # meanings

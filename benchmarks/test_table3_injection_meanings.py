@@ -1,0 +1,26 @@
+"""E-T3: regenerate Table 3 — recovery vs number of meanings.
+
+Paper (cardinality >= 500): 2: 97.5%, 3: 97.5%, 4: 98.5%, 5: 98.5%,
+6-8: 100%.  Expectation here: recovery stays high throughout and the
+many-meanings end is at least as good as the two-meanings end.
+"""
+
+from conftest import write_result
+
+from repro.eval.experiments import experiment_injection_meanings
+
+MEANINGS = (2, 3, 4, 5, 6, 7, 8)
+
+
+def test_table3_injection_meanings(benchmark, tus, results_dir):
+    result = benchmark.pedantic(
+        experiment_injection_meanings,
+        kwargs={"tus": tus, "meanings": MEANINGS, "repeats": 2},
+        rounds=1, iterations=1,
+    )
+    write_result(results_dir, "table3_injection_meanings", result.format())
+
+    recovery = dict(result.rows)
+    assert all(r >= 0.85 for r in recovery.values())
+    # More meanings -> more hub-like -> at least as discoverable.
+    assert recovery[8] >= recovery[2] - 0.05

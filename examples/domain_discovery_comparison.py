@@ -1,0 +1,68 @@
+"""DomainNet vs D4 domain discovery — the §5.1 / §5.5 story.
+
+Runs both systems on the synthetic benchmark:
+
+* D4 discovers domains (sets of same-type values) and flags values
+  assigned to more than one domain;
+* DomainNet ranks values by betweenness centrality directly.
+
+Prints the domains D4 found, both methods' precision at k = 55 (the
+number of true homographs, where precision = recall), and the classes
+of homographs each method catches.
+
+Run with:  python examples/domain_discovery_comparison.py
+"""
+
+from collections import Counter
+
+from repro import DomainNet
+from repro.bench.synthetic import generate_sb
+from repro.bench.vocab import PLANTED_HOMOGRAPHS
+from repro.domains import run_d4
+
+
+def homograph_classes(values, truth):
+    return Counter(
+        "+".join(PLANTED_HOMOGRAPHS[v]) for v in values if v in truth
+    )
+
+
+def main() -> None:
+    sb = generate_sb()
+    truth = sb.homographs
+    k = len(truth)
+
+    print("running D4 domain discovery (string columns only)...")
+    d4 = run_d4(sb.lake)
+    print(f"  {d4.num_domains} domains over "
+          f"{d4.columns_with_domains()}/{d4.index.num_columns} columns")
+    for i in range(min(d4.num_domains, 8)):
+        sample = sorted(d4.domain_terms(i))[:4]
+        print(f"  domain {i}: {len(d4.domain_terms(i))} values, "
+              f"e.g. {sample}")
+
+    d4_predicted = d4.ranked_homographs()[:k]
+    d4_hits = sum(1 for v in d4_predicted if v in truth)
+
+    print("\nrunning DomainNet (betweenness centrality)...")
+    detector = DomainNet.from_lake(sb.lake)
+    bc = detector.detect(measure="betweenness")
+    bc_top = bc.top_values(k)
+    bc_hits = sum(1 for v in bc_top if v in truth)
+
+    print(f"\nP = R at k = {k}:")
+    print(f"  D4 baseline : {d4_hits}/{k} = {d4_hits / k:.2f}  "
+          f"(paper: 0.38)")
+    print(f"  DomainNet BC: {bc_hits}/{k} = {bc_hits / k:.2f}  "
+          f"(paper: 0.69)")
+
+    print("\nhomograph classes found by D4:")
+    for cls, count in homograph_classes(d4_predicted, truth).items():
+        print(f"  {cls}: {count}")
+    print("homograph classes found by DomainNet:")
+    for cls, count in homograph_classes(bc_top, truth).items():
+        print(f"  {cls}: {count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Controlled homograph injection — the §4.3 / Table 2 methodology.
+
+Shows how to use the TUS-I machinery directly: generate a TUS-like
+lake, strip its natural homographs, inject 25 artificial ones with
+known properties, and measure how many the detector recovers in its
+top-25.  Sweep the cardinality threshold to see the paper's Table 2
+effect: homographs replacing well-connected values are easier to find.
+
+Run with:  python examples/injection_study.py
+"""
+
+from repro import DomainNet
+from repro.bench.injection import (
+    InjectionConfig,
+    inject_homographs,
+    injection_recovery,
+    remove_homographs,
+)
+from repro.bench.tus import TUSConfig, generate_tus
+
+
+def main() -> None:
+    print("generating TUS-like lake...")
+    tus = generate_tus(TUSConfig.small(seed=2))
+    truth = tus.ground_truth
+    print(f"  {len(tus.lake)} tables, "
+          f"{len(truth.meanings)} values, "
+          f"{len(truth.homographs)} natural homographs")
+
+    clean, groups = remove_homographs(tus)
+    print("removed all natural homographs (verified)")
+
+    # Thresholds sized to the small demo lake (its largest attributes
+    # hold a few hundred distinct values; the paper's TUS reaches 500+).
+    for min_cardinality in (0, 30, 80):
+        config = InjectionConfig(
+            num_homographs=25,
+            meanings=2,
+            min_cardinality=min_cardinality,
+            seed=1,
+        )
+        injected = inject_homographs(clean, groups, config)
+
+        detector = DomainNet.from_lake(injected.lake)
+        result = detector.detect(
+            measure="betweenness", sample_size=400, seed=3
+        )
+        recovery = injection_recovery(injected, result.ranking.values)
+        print(f"\nmin_cardinality={min_cardinality}: recovered "
+              f"{recovery:.0%} of 25 injected homographs in the top-25")
+
+        shown = 0
+        for entry in result.ranking.top(25):
+            if entry.value in injected.injected_set and shown < 3:
+                originals = injected.replaced[entry.value]
+                merged = " + ".join(
+                    f"{v!r} ({d})" for v, d in originals
+                )
+                print(f"  rank {entry.rank:>3}: {entry.value} <- {merged}")
+                shown += 1
+
+
+if __name__ == "__main__":
+    main()

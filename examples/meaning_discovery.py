@@ -1,0 +1,70 @@
+"""Meaning discovery and error triage — the paper's §6 directions.
+
+After detection tells you *which* values are homographs, two follow-up
+questions arise (both posed as future work in the paper):
+
+1. **How many meanings does each homograph have?**
+   :func:`repro.core.communities.estimate_meanings` clusters a value's
+   attributes by their value-overlap; each cluster is one meaning.
+2. **Is the homograph a data error?**
+   :func:`repro.core.errors.classify_homographs` compares how much cell
+   support each meaning has: a meaning backed by a single stray cell
+   looks like a mis-filed value, not genuine ambiguity.
+
+The script runs both on the synthetic benchmark, plus the
+community-detection view: label propagation discovers the lake's
+latent domains and re-derives homographs as community-spanning values.
+
+Run with:  python examples/meaning_discovery.py
+"""
+
+from repro import DomainNet
+from repro.bench.synthetic import generate_sb
+from repro.core.builder import build_graph
+from repro.core.communities import estimate_meanings
+from repro.core.errors import classify_homographs
+from repro.core.label_propagation import (
+    cross_community_values,
+    value_communities,
+)
+
+
+def main() -> None:
+    sb = generate_sb()
+    detector = DomainNet.from_lake(sb.lake)
+    result = detector.detect(measure="betweenness", sample_size=800, seed=7)
+    top = result.top_values(15)
+
+    print("=== meanings per top-ranked candidate ===")
+    graph = detector.graph
+    for value in top:
+        estimate = estimate_meanings(graph, value)
+        groups = "; ".join(
+            ",".join(sorted(g)[:2]) + ("..." if len(g) > 2 else "")
+            for g in estimate.groups
+        )
+        truth = "homograph" if value in sb.homographs else "unambiguous"
+        print(f"  {value:<12} {estimate.num_meanings} meaning(s) "
+              f"[{truth}]  ({groups})")
+
+    print("\n=== error-vs-genuine triage ===")
+    unpruned = build_graph(sb.lake)
+    verdicts = classify_homographs(sb.lake, top, graph=unpruned)
+    for value in top:
+        verdict = verdicts.get(value)
+        if verdict:
+            print(f"  {value:<12} {verdict.kind:<14} "
+                  f"support={verdict.meaning_support}")
+
+    print("\n=== community-detection view (label propagation) ===")
+    domains = value_communities(graph, seed=5)
+    print(f"  {len(domains)} value communities; largest sizes: "
+          f"{[len(d) for d in domains[:6]]}")
+    spanning = cross_community_values(graph, seed=5)
+    found = [v for v in spanning if v in sb.homographs]
+    print(f"  {len(spanning)} community-spanning values, "
+          f"{len(found)} of them ground-truth homographs")
+
+
+if __name__ == "__main__":
+    main()

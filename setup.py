@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Metadata lives in pyproject.toml.  This file exists so that
+``pip install -e .`` works on offline machines that lack the ``wheel``
+package (pip falls back to the legacy ``setup.py develop`` code path,
+which does not need to build a wheel).
+"""
+
+from setuptools import setup
+
+setup()

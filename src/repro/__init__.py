@@ -1,0 +1,75 @@
+"""DomainNet: homograph detection for data lake disambiguation.
+
+Reproduction of Leventidis et al., EDBT 2021 (arXiv:2103.09940).
+
+Public surface::
+
+    from repro import DataLake, DomainNet, Table
+
+    lake = DataLake([Table.from_columns("zoo", {"name": [...], ...})])
+    detector = DomainNet.from_lake(lake)
+    result = detector.detect(measure="betweenness")
+    print(result.ranking.top_values(10))
+
+Sub-packages
+------------
+``repro.core``
+    Bipartite graph, LCC / betweenness measures, detection pipeline.
+``repro.datalake``
+    Tables, lakes, CSV I/O, profiling, catalog statistics.
+``repro.domains``
+    The D4 domain-discovery baseline (Ota et al., PVLDB 2020).
+``repro.bench``
+    Benchmark generators: SB, TUS-like, TUS-I injection, scale lakes.
+``repro.eval``
+    Precision/recall metrics and the per-figure experiment runners.
+"""
+
+from .core import (
+    BipartiteGraph,
+    DetectionResult,
+    DomainNet,
+    HomographRanking,
+    RankedValue,
+    betweenness_score_map,
+    betweenness_scores,
+    build_graph,
+    build_graph_from_columns,
+    lcc_score_map,
+    lcc_scores,
+    normalize_value,
+)
+from .datalake import (
+    Column,
+    DataLake,
+    Table,
+    dump_lake,
+    load_lake,
+    read_table,
+    write_table,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BipartiteGraph",
+    "Column",
+    "DataLake",
+    "DetectionResult",
+    "DomainNet",
+    "HomographRanking",
+    "RankedValue",
+    "Table",
+    "betweenness_score_map",
+    "betweenness_scores",
+    "build_graph",
+    "build_graph_from_columns",
+    "dump_lake",
+    "lcc_score_map",
+    "lcc_scores",
+    "load_lake",
+    "normalize_value",
+    "read_table",
+    "write_table",
+    "__version__",
+]

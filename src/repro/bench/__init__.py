@@ -1,0 +1,57 @@
+"""Benchmark data generators and ground truth.
+
+* :mod:`repro.bench.synthetic` — the SB benchmark (13 tables, 55
+  planted homographs; paper §4.1).
+* :mod:`repro.bench.tus` — the TUS-like sliced benchmark with
+  unionability ground truth (paper §4.2).
+* :mod:`repro.bench.injection` — TUS-I homograph removal and
+  controlled injection (paper §4.3).
+* :mod:`repro.bench.scale` — the NYC-scale lake and footnote-9
+  subgraph extraction (paper §5.4).
+"""
+
+from .ground_truth import LakeGroundTruth, label_lake, meanings_range
+from .injection import (
+    InjectedLake,
+    InjectionConfig,
+    InjectionError,
+    inject_homographs,
+    injection_recovery,
+    remove_homographs,
+)
+from .scale import ScaleConfig, extract_subgraphs, generate_scale_lake
+from .synthetic import SB_ATTRIBUTE_TYPES, SBConfig, SBDataset, generate_sb
+from .tus import Domain, TUSConfig, TUSDataset, generate_tus
+from .vocab import (
+    PLANTED_HOMOGRAPHS,
+    Vocabulary,
+    build_vocabularies,
+    planted_homographs_normalized,
+)
+
+__all__ = [
+    "Domain",
+    "InjectedLake",
+    "InjectionConfig",
+    "InjectionError",
+    "LakeGroundTruth",
+    "PLANTED_HOMOGRAPHS",
+    "SBConfig",
+    "SBDataset",
+    "SB_ATTRIBUTE_TYPES",
+    "ScaleConfig",
+    "TUSConfig",
+    "TUSDataset",
+    "Vocabulary",
+    "build_vocabularies",
+    "extract_subgraphs",
+    "generate_scale_lake",
+    "generate_sb",
+    "generate_tus",
+    "inject_homographs",
+    "injection_recovery",
+    "label_lake",
+    "meanings_range",
+    "planted_homographs_normalized",
+    "remove_homographs",
+]

@@ -1,0 +1,80 @@
+"""Ground-truth homograph labeling.
+
+Both benchmarks derive labels the same way the paper does (Definition 2,
+§4.2): every attribute belongs to a *unionability group* (for SB this is
+its semantic type; for the TUS-like benchmark it is the seed column it
+was sliced from), and a value is a homograph iff it appears in
+attributes from at least two different groups.  The number of distinct
+groups a value touches is its number of meanings (the ``#M`` column of
+Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Set, Tuple
+
+from ..datalake.lake import DataLake
+from ..datalake.profiling import value_attribute_index
+
+
+@dataclass
+class LakeGroundTruth:
+    """Labels for one benchmark lake.
+
+    Attributes
+    ----------
+    attribute_groups:
+        Qualified attribute name -> unionability-group label.  Two
+        attributes are unionable iff they map to the same label.
+    homographs:
+        Normalized values with >= 2 meanings.
+    meanings:
+        Normalized value -> number of distinct groups it appears in
+        (only values appearing in the lake are present).
+    """
+
+    attribute_groups: Dict[str, str]
+    homographs: Set[str] = field(default_factory=set)
+    meanings: Dict[str, int] = field(default_factory=dict)
+
+    def is_homograph(self, value: str) -> bool:
+        return value in self.homographs
+
+    def labels(self) -> Dict[str, bool]:
+        """Value -> is-homograph for every value in the lake."""
+        return {
+            value: value in self.homographs for value in self.meanings
+        }
+
+
+def label_lake(
+    lake: DataLake, attribute_groups: Mapping[str, str]
+) -> LakeGroundTruth:
+    """Compute homograph labels from attribute group assignments.
+
+    Attributes missing from ``attribute_groups`` raise ``KeyError`` —
+    a benchmark must label every attribute, or the ground truth would be
+    silently wrong.
+    """
+    index = value_attribute_index(lake)
+    meanings: Dict[str, int] = {}
+    homographs: Set[str] = set()
+    for value, attributes in index.items():
+        groups = {attribute_groups[attr] for attr in attributes}
+        meanings[value] = len(groups)
+        if len(groups) >= 2:
+            homographs.add(value)
+    return LakeGroundTruth(
+        attribute_groups=dict(attribute_groups),
+        homographs=homographs,
+        meanings=meanings,
+    )
+
+
+def meanings_range(truth: LakeGroundTruth) -> Tuple[int, int]:
+    """(min, max) number of meanings among the homographs."""
+    counts = [truth.meanings[v] for v in truth.homographs]
+    if not counts:
+        return (0, 0)
+    return (min(counts), max(counts))

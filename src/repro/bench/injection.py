@@ -1,0 +1,262 @@
+"""TUS-I: homograph removal and controlled injection — §4.3 of the paper.
+
+The paper builds TUS-I in two steps:
+
+1. **Remove** all natural homographs from the TUS lake, so the lake
+   contains only unambiguous values.  We disambiguate rather than
+   delete: every occurrence of a homograph is rewritten to
+   ``"<value>@<domain>"`` in each unionability group, which preserves
+   table shapes and attribute cardinalities while making each rewritten
+   value single-meaning.  (The paper does not specify its mechanism;
+   this choice keeps the graph structurally comparable, see DESIGN.md.)
+
+2. **Inject** artificial homographs with controlled properties: pick
+   ``meanings`` unambiguous string values (>= 3 characters) from that
+   many *different* domains, optionally requiring a minimum cardinality
+   for the replaced values, and replace every occurrence of all of them
+   with a fresh token ``InjectedHomographK``.  The injected token then
+   has exactly ``meanings`` meanings.
+
+Cardinality of a replaced value follows the paper's definition |N(v)|
+via a sound lower bound: a value qualifies for threshold ``c`` when
+some attribute containing it has more than ``c`` distinct values (its
+co-occurrence set is at least that attribute's size minus one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.normalize import normalize_value
+from ..datalake.lake import DataLake
+from ..datalake.table import Table
+from .ground_truth import LakeGroundTruth, label_lake
+from .tus import TUSDataset
+
+
+class InjectionError(ValueError):
+    """Raised when the requested injection cannot be satisfied."""
+
+
+@dataclass(frozen=True)
+class InjectionConfig:
+    """Parameters of one injection run (Table 2 / Table 3 sweeps)."""
+
+    num_homographs: int = 50
+    meanings: int = 2
+    min_cardinality: int = 0
+    min_value_length: int = 3
+    seed: int = 0
+
+
+@dataclass
+class InjectedLake:
+    """A TUS-I lake with injected homographs and their ground truth."""
+
+    lake: DataLake
+    attribute_groups: Dict[str, str]
+    injected_values: List[str]  # normalized injected tokens
+    replaced: Dict[str, List[Tuple[str, str]]] = field(default_factory=dict)
+
+    @property
+    def injected_set(self) -> Set[str]:
+        return set(self.injected_values)
+
+
+def remove_homographs(dataset: TUSDataset) -> Tuple[DataLake, Dict[str, str]]:
+    """Disambiguate every natural homograph out of a TUS-like lake.
+
+    Returns the clean lake and its attribute->group mapping.  The clean
+    lake is verified to contain no homographs under Definition 2.
+    """
+    homographs = dataset.homographs
+    groups = dataset.ground_truth.attribute_groups
+    clean = DataLake()
+    for table in dataset.lake:
+        new_columns: Dict[str, List[str]] = {}
+        for column in table.iter_columns():
+            domain = groups[column.qualified_name]
+            cells = [
+                _disambiguate(cell, domain)
+                if normalize_value(cell) in homographs else cell
+                for cell in column.values
+            ]
+            new_columns[column.name] = cells
+        clean.add_table(Table.from_columns(table.name, new_columns))
+
+    check = label_lake(clean, groups)
+    if check.homographs:
+        leftover = sorted(check.homographs)[:5]
+        raise InjectionError(f"homographs survived removal: {leftover}")
+    return clean, dict(groups)
+
+
+def _disambiguate(cell: str, domain: str) -> str:
+    return f"{cell}@{domain}"
+
+
+def inject_homographs(
+    lake: DataLake,
+    attribute_groups: Dict[str, str],
+    config: InjectionConfig = InjectionConfig(),
+) -> InjectedLake:
+    """Inject artificial homographs into a homograph-free lake.
+
+    The input lake is not modified; a rewritten copy is returned.
+    """
+    if config.meanings < 2:
+        raise InjectionError("an injected homograph needs >= 2 meanings")
+    if config.num_homographs < 1:
+        raise InjectionError("num_homographs must be positive")
+
+    rng = np.random.default_rng(config.seed)
+    candidates = _candidates_by_domain(lake, attribute_groups, config)
+    domains = sorted(d for d, values in candidates.items() if values)
+    if len(domains) < config.meanings:
+        raise InjectionError(
+            f"only {len(domains)} domains have eligible values; "
+            f"{config.meanings} meanings requested"
+        )
+
+    used: Set[str] = set()
+    replaced: Dict[str, List[Tuple[str, str]]] = {}
+    replacement_map: Dict[str, str] = {}  # normalized original -> token
+    for k in range(1, config.num_homographs + 1):
+        token = f"InjectedHomograph{k}"
+        chosen = _choose_one_group(rng, candidates, domains, config, used)
+        replaced[normalize_value(token)] = chosen
+        for value, _domain in chosen:
+            used.add(value)
+            replacement_map[value] = token
+
+    new_lake = _apply_replacements(lake, replacement_map)
+    return InjectedLake(
+        lake=new_lake,
+        attribute_groups=dict(attribute_groups),
+        injected_values=[
+            normalize_value(f"InjectedHomograph{k}")
+            for k in range(1, config.num_homographs + 1)
+        ],
+        replaced=replaced,
+    )
+
+
+def _candidates_by_domain(
+    lake: DataLake,
+    attribute_groups: Dict[str, str],
+    config: InjectionConfig,
+) -> Dict[str, List[List[str]]]:
+    """Eligible replacement values per domain, grouped by attribute.
+
+    The paper varies "the minimum allowed cardinality of the attributes
+    containing values replaced", so selection is *column-first*: only
+    attributes with more than ``min_cardinality`` distinct values
+    qualify, and each qualifying attribute contributes its own pool.
+    Drawing a column uniformly and then a value inside it covers the
+    whole attribute-size spectrum — at threshold 0 the median column is
+    small, which is what makes the Table 2 trend visible.
+
+    A value is eligible when it is a string of at least
+    ``min_value_length`` characters and not purely numeric.
+    """
+    eligible: Dict[str, List[List[str]]] = {}
+    for column in lake.iter_attributes():
+        domain = attribute_groups[column.qualified_name]
+        distinct = column.distinct_values()
+        if len(distinct) - 1 < config.min_cardinality:
+            continue
+        pool = []
+        for raw in distinct:
+            value = normalize_value(raw)
+            if len(value) < config.min_value_length:
+                continue
+            if _is_numeric(value):
+                continue
+            pool.append(value)
+        if pool:
+            eligible.setdefault(domain, []).append(sorted(set(pool)))
+    return eligible
+
+
+def _is_numeric(value: str) -> bool:
+    try:
+        float(value)
+    except ValueError:
+        return False
+    return True
+
+
+def _choose_one_group(
+    rng: np.random.Generator,
+    candidates: Dict[str, List[List[str]]],
+    domains: List[str],
+    config: InjectionConfig,
+    used: Set[str],
+) -> List[Tuple[str, str]]:
+    """Pick ``meanings`` fresh values from that many distinct domains.
+
+    Within each domain a qualifying attribute is drawn uniformly, then a
+    value inside it (column-first sampling, see above).
+    """
+    order = rng.permutation(len(domains))
+    chosen: List[Tuple[str, str]] = []
+    for d in order:
+        domain = domains[int(d)]
+        pools = candidates[domain]
+        pool = pools[int(rng.integers(0, len(pools)))]
+        available = [v for v in pool if v not in used]
+        if not available:
+            # Fall back to any unused value of the domain.
+            available = sorted(
+                {v for p in pools for v in p if v not in used}
+            )
+        if not available:
+            continue
+        value = available[int(rng.integers(0, len(available)))]
+        chosen.append((value, domain))
+        if len(chosen) == config.meanings:
+            return chosen
+    raise InjectionError(
+        f"could not find {config.meanings} unused values in distinct "
+        f"domains (cardinality >= {config.min_cardinality})"
+    )
+
+
+def _apply_replacements(
+    lake: DataLake, replacement_map: Dict[str, str]
+) -> DataLake:
+    """Rewrite every cell whose normalized form is a replaced value."""
+    new_lake = DataLake()
+    for table in lake:
+        rows = [
+            [
+                replacement_map.get(normalize_value(cell), cell)
+                for cell in row
+            ]
+            for row in table.rows
+        ]
+        new_lake.add_table(
+            Table(name=table.name, columns=list(table.columns), rows=rows)
+        )
+    return new_lake
+
+
+def injection_recovery(
+    injected: InjectedLake,
+    ranked_values: Sequence[str],
+    k: int = None,
+) -> float:
+    """Fraction of injected homographs in the top-k of a ranking.
+
+    This is the measurement of Tables 2 and 3: with 50 injected
+    homographs, "% of injected homographs in top 50".  ``k`` defaults
+    to the number of injected values.
+    """
+    targets = injected.injected_set
+    if k is None:
+        k = len(targets)
+    top = set(ranked_values[:k])
+    return len(top & targets) / len(targets)

@@ -1,0 +1,320 @@
+"""The Synthetic Benchmark (SB) generator — §4.1 of the paper.
+
+Thirteen real-world-inspired tables, 1000 rows each except ``countries``
+(193 rows, the UN members) and ``us_states`` (50 rows), with exactly 55
+planted homographs, each having two meanings.  The paper generated SB
+with Mockaroo; this generator reproduces its *structure* offline from
+the vocabularies in :mod:`repro.bench.vocab`:
+
+* homograph classes match the paper's examples — Sydney (city / first
+  name), Jamaica (city / country), Lincoln (car / city), CA (country
+  code / state abbreviation), Pumpkin (grocery / movie title), …;
+* the two small tables (countries, states) create the small-domain
+  abbreviation homographs whose near-zero betweenness the paper's
+  Figure 6 analyses;
+* every other value appears under a single semantic type.
+
+Numeric columns use mutually disjoint formats/ranges so they cannot
+collide across types; generation *verifies* afterwards that the set of
+homographs computed from the lake equals the planted set exactly and
+raises :class:`GenerationError` otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..datalake.lake import DataLake
+from ..datalake.table import Table
+from . import wordlists as words
+from .ground_truth import LakeGroundTruth, label_lake
+from .vocab import (
+    PLANTED_HOMOGRAPHS,
+    Vocabulary,
+    build_vocabularies,
+)
+
+
+class GenerationError(RuntimeError):
+    """Raised when a generated benchmark violates its own ground truth."""
+
+
+@dataclass(frozen=True)
+class SBConfig:
+    """Knobs for the SB generator.
+
+    ``rows`` scales the large tables (the paper uses 1000); countries
+    and states always keep their real-world sizes of 193 and 50.
+
+    ``coverage`` controls what fraction of a type's vocabulary each
+    individual column samples from.  Mockaroo columns of the same
+    category only partially overlap across tables; that partial overlap
+    is what creates the low-LCC *unambiguous* values dominating the
+    paper's Figure 5.  ``1.0`` would make same-type columns saturate
+    their vocabulary and LCC artificially clean.
+    """
+
+    rows: int = 1000
+    seed: int = 0
+    coverage: float = 0.55
+
+
+@dataclass
+class SBDataset:
+    """The generated lake plus its ground truth."""
+
+    lake: DataLake
+    ground_truth: LakeGroundTruth
+
+    @property
+    def homographs(self):
+        return self.ground_truth.homographs
+
+
+# Semantic type of every attribute, keyed by "table.column".  These
+# types double as the unionability groups for ground-truth labeling.
+SB_ATTRIBUTE_TYPES: Dict[str, str] = {
+    "countries.country": "country_name",
+    "countries.code": "country_code",
+    "countries.capital": "city",
+    "us_states.state": "state_name",
+    "us_states.abbreviation": "state_abbr",
+    "world_cities.city": "city",
+    "world_cities.country": "country_name",
+    "world_cities.population": "num_population",
+    "people.first_name": "first_name",
+    "people.last_name": "last_name",
+    "people.email": "email",
+    "people.city": "city",
+    "zoo_inventory.animal": "animal",
+    "zoo_inventory.zoo_city": "city",
+    "zoo_inventory.count": "num_count",
+    "endangered_sponsors.donor_company": "company",
+    "endangered_sponsors.species": "animal",
+    "endangered_sponsors.donation": "num_donation",
+    "car_models.model": "car_model",
+    "car_models.manufacturer": "company",
+    "car_models.origin_country": "country_name",
+    "companies.company": "company",
+    "companies.revenue": "num_revenue",
+    "companies.employees": "num_employees",
+    "movies.title": "movie_title",
+    "movies.genre": "genre",
+    "movies.year": "num_year",
+    "groceries.product": "grocery",
+    "groceries.category": "grocery_category",
+    "groceries.price": "num_grocery_price",
+    "plants.common_name": "plant",
+    "plants.scientific_name": "sci_name",
+    "plants.family": "plant_family",
+    "employees.first_name": "first_name",
+    "employees.department": "department",
+    "employees.salary": "num_salary",
+    "stocks.ticker": "ticker",
+    "stocks.company_name": "company",
+    "stocks.price": "num_stock_price",
+}
+
+# Where each planted homograph is force-inserted (one column per type).
+# The enumerated tables (countries, us_states) contain their planted
+# values by construction and need no forcing.
+_FORCED_COLUMNS: Dict[str, str] = {
+    "city": "world_cities.city",
+    "first_name": "people.first_name",
+    "last_name": "people.last_name",
+    "animal": "zoo_inventory.animal",
+    "company": "companies.company",
+    "car_model": "car_models.model",
+    "grocery": "groceries.product",
+    "movie_title": "movies.title",
+}
+
+
+def generate_sb(config: SBConfig = SBConfig()) -> SBDataset:
+    """Generate the SB lake and its verified ground truth."""
+    rng = np.random.default_rng(config.seed)
+    vocabs = build_vocabularies()
+    rows = config.rows
+
+    def pick(type_name: str, n: int) -> List[str]:
+        """Sample one column: a fresh vocabulary subset, then n draws.
+
+        Each column sees only ``coverage`` of its type's vocabulary, so
+        same-type columns across tables overlap partially — the
+        structure responsible for the paper's LCC noise (Figure 5).
+        """
+        values = vocabs[type_name].values
+        subset_size = max(1, int(len(values) * config.coverage))
+        subset = rng.choice(values, size=subset_size, replace=False)
+        return list(rng.choice(subset, size=n, replace=True))
+
+    lake = DataLake()
+
+    lake.add_table(Table.from_columns("countries", {
+        "country": [c for c, _ in words.COUNTRIES_WITH_CODES],
+        "code": [code for _, code in words.COUNTRIES_WITH_CODES],
+        "capital": pick("city", len(words.COUNTRIES_WITH_CODES)),
+    }))
+
+    lake.add_table(Table.from_columns("us_states", {
+        "state": [s for s, _ in words.US_STATES_WITH_ABBR],
+        "abbreviation": [a for _, a in words.US_STATES_WITH_ABBR],
+    }))
+
+    lake.add_table(Table.from_columns("world_cities", {
+        "city": pick("city", rows),
+        "country": pick("country_name", rows),
+        "population": _populations(rng, rows),
+    }))
+
+    first_names = pick("first_name", rows)
+    last_names = pick("last_name", rows)
+    lake.add_table(Table.from_columns("people", {
+        "first_name": first_names,
+        "last_name": last_names,
+        "email": _emails(first_names, last_names),
+        "city": pick("city", rows),
+    }))
+
+    lake.add_table(Table.from_columns("zoo_inventory", {
+        "animal": pick("animal", rows),
+        "zoo_city": pick("city", rows),
+        "count": [str(int(v)) for v in rng.integers(1, 100, size=rows)],
+    }))
+
+    lake.add_table(Table.from_columns("endangered_sponsors", {
+        "donor_company": pick("company", rows),
+        "species": pick("animal", rows),
+        "donation": [
+            f"{v:.2f}M" for v in rng.uniform(0.1, 99.99, size=rows)
+        ],
+    }))
+
+    lake.add_table(Table.from_columns("car_models", {
+        "model": pick("car_model", rows),
+        "manufacturer": pick("company", rows),
+        "origin_country": pick("country_name", rows),
+    }))
+
+    lake.add_table(Table.from_columns("companies", {
+        "company": pick("company", rows),
+        "revenue": [
+            f"{v:.2f}" for v in rng.uniform(100.0, 999999.0, size=rows)
+        ],
+        "employees": [
+            str(int(v)) for v in rng.integers(10000, 1000000, size=rows)
+        ],
+    }))
+
+    lake.add_table(Table.from_columns("movies", {
+        "title": pick("movie_title", rows),
+        "genre": pick("genre", rows),
+        "year": [str(int(v)) for v in rng.integers(1900, 2024, size=rows)],
+    }))
+
+    lake.add_table(Table.from_columns("groceries", {
+        "product": pick("grocery", rows),
+        "category": pick("grocery_category", rows),
+        "price": [f"${v:.2f}" for v in rng.uniform(0.5, 99.99, size=rows)],
+    }))
+
+    lake.add_table(Table.from_columns("plants", {
+        "common_name": pick("plant", rows),
+        "scientific_name": pick("sci_name", rows),
+        "family": pick("plant_family", rows),
+    }))
+
+    lake.add_table(Table.from_columns("employees", {
+        "first_name": pick("first_name", rows),
+        "department": pick("department", rows),
+        "salary": [
+            f"${int(v):,}" for v in rng.integers(30000, 250000, size=rows)
+        ],
+    }))
+
+    lake.add_table(Table.from_columns("stocks", {
+        "ticker": pick("ticker", rows),
+        "company_name": pick("company", rows),
+        "price": [f"{v:.2f}" for v in rng.uniform(1.0, 99.99, size=rows)],
+    }))
+
+    _force_planted_values(lake, vocabs)
+
+    truth = label_lake(lake, SB_ATTRIBUTE_TYPES)
+    _verify_ground_truth(truth)
+    return SBDataset(lake=lake, ground_truth=truth)
+
+
+def _force_planted_values(
+    lake: DataLake, vocabs: Dict[str, Vocabulary]
+) -> None:
+    """Guarantee every planted homograph occurs on both of its sides.
+
+    Sampling with replacement makes presence likely but not certain;
+    each planted value is written into a dedicated row of its type's
+    designated column (sequential rows, so placements never collide).
+    """
+    slot_per_column: Dict[str, int] = {}
+    for norm_value in sorted(PLANTED_HOMOGRAPHS):
+        type_a, type_b = PLANTED_HOMOGRAPHS[norm_value]
+        for type_name in (type_a, type_b):
+            column = _FORCED_COLUMNS.get(type_name)
+            if column is None:
+                continue  # enumerated tables already contain the value
+            raw_value = _raw_form(vocabs[type_name], norm_value)
+            table_name, column_name = column.split(".", 1)
+            table = lake.table(table_name)
+            col_idx = table.columns.index(column_name)
+            row = slot_per_column.get(column, 0)
+            slot_per_column[column] = row + 1
+            table.rows[row][col_idx] = raw_value
+
+
+def _raw_form(vocab: Vocabulary, normalized: str) -> str:
+    """Find the raw (cased) vocabulary entry for a normalized value."""
+    from ..core.normalize import normalize_value
+
+    for value in vocab.values:
+        if normalize_value(value) == normalized:
+            return value
+    raise GenerationError(
+        f"{normalized!r} not in vocabulary {vocab.type_name!r}"
+    )
+
+
+def _verify_ground_truth(truth: LakeGroundTruth) -> None:
+    """The generated lake must contain exactly the 55 planted homographs."""
+    planted = set(PLANTED_HOMOGRAPHS)
+    if truth.homographs != planted:
+        extra = sorted(truth.homographs - planted)[:10]
+        missing = sorted(planted - truth.homographs)[:10]
+        raise GenerationError(
+            "SB ground truth mismatch: "
+            f"unexpected homographs {extra}, missing {missing}"
+        )
+    wrong = {
+        v: truth.meanings[v]
+        for v in planted
+        if truth.meanings.get(v) != 2
+    }
+    if wrong:
+        raise GenerationError(f"planted homographs with #M != 2: {wrong}")
+
+
+def _populations(rng: np.random.Generator, n: int) -> List[str]:
+    """Comma-formatted populations (disjoint from all other numerics)."""
+    return [f"{int(v):,}" for v in rng.integers(1_000_000, 20_000_000, size=n)]
+
+
+def _emails(first_names: Sequence[str], last_names: Sequence[str]) -> List[str]:
+    """Unique row-correlated emails."""
+    emails = []
+    for i, (first, last) in enumerate(zip(first_names, last_names)):
+        domain = words.EMAIL_DOMAINS[i % len(words.EMAIL_DOMAINS)]
+        local_first = first.split()[0].lower().replace("'", "")
+        local_last = last.split()[0].lower().replace("'", "")
+        emails.append(f"{local_first}.{local_last}{i}@{domain}")
+    return emails

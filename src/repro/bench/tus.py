@@ -1,0 +1,366 @@
+"""TUS-like benchmark generator — §4.2 of the paper.
+
+The paper adapts the Table Union Search benchmark (Nargesian et al.,
+PVLDB 2018): real open-data tables were sliced vertically and
+horizontally into ~1,327 benchmark tables, and the slicing provenance
+gives unionability ground truth — two columns are unionable iff they
+descend from the same seed column group.  Definition 2 then labels a
+value a homograph iff it appears in two non-unionable columns.
+
+The real tables are not redistributable offline, so this generator
+reproduces the *mechanism*:
+
+1. a universe of semantic **domains** (string and numeric), with
+   heavily skewed vocabulary sizes;
+2. deliberate **overlaps** between domain vocabularies — shared tokens
+   (2–4 meanings), null-like tokens spread across many domains (the
+   ".", "NA" style high-meaning homographs the paper surfaces in its
+   TUS top-10), and overlapping numeric ranges (the "50", "125", "2"
+   style numeric homographs);
+3. **seed tables** whose columns draw from those domains, Zipf-skewed so
+   values repeat;
+4. **slicing** of every seed table into many derived tables (column
+   subsets x row blocks) — the benchmark lake contains only the slices;
+5. ground truth labeled from actual value placement via
+   :func:`repro.bench.ground_truth.label_lake`.
+
+``TUSConfig.paper()`` approaches the published scale (~1.3k tables,
+~190k values, ~14% homographs); the default is laptop/CI sized with the
+same shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..datalake.lake import DataLake
+from ..datalake.table import Table
+from .ground_truth import LakeGroundTruth, label_lake
+
+# Null-equivalent tokens, spread across many domains: the source of the
+# paper's high-meaning homographs ("." was their 5th-ranked TUS value).
+NULL_TOKENS = (
+    ".", "NA", "N/A", "-", "--", "NONE", "NULL", "UNKNOWN",
+    "NOT AVAILABLE", "TBD", "PENDING", "MISSING", "?", "X", "VOID",
+)
+
+
+@dataclass(frozen=True)
+class TUSConfig:
+    """Scale and shape knobs for the TUS-like generator."""
+
+    num_domains: int = 40
+    numeric_domain_fraction: float = 0.3
+    vocab_size_range: Tuple[int, int] = (100, 6000)
+    num_seed_tables: int = 12
+    seed_columns_range: Tuple[int, int] = (4, 10)
+    seed_rows_range: Tuple[int, int] = (600, 4000)
+    slices_per_seed_range: Tuple[int, int] = (8, 24)
+    slice_columns_range: Tuple[int, int] = (2, 6)
+    slice_rows_range: Tuple[int, int] = (8, 2500)
+    shared_token_fraction: float = 0.16
+    null_token_column_probability: float = 0.25
+    zipf_exponent: float = 1.0
+    column_coverage: float = 0.5
+    seed: int = 0
+
+    @classmethod
+    def paper(cls) -> "TUSConfig":
+        """Approximate the published TUS scale (Table 1 row 3)."""
+        return cls(
+            num_domains=120,
+            num_seed_tables=44,
+            seed_columns_range=(4, 12),
+            seed_rows_range=(500, 4000),
+            slices_per_seed_range=(20, 40),
+            vocab_size_range=(100, 18000),
+        )
+
+    @classmethod
+    def small(cls, seed: int = 0) -> "TUSConfig":
+        """Test-sized lake with the same structure."""
+        return cls(
+            num_domains=16,
+            num_seed_tables=6,
+            seed_columns_range=(3, 6),
+            seed_rows_range=(150, 600),
+            slices_per_seed_range=(4, 8),
+            slice_rows_range=(8, 400),
+            vocab_size_range=(40, 600),
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class Domain:
+    """One semantic domain: a named vocabulary of string values."""
+
+    domain_id: str
+    kind: str  # "string" or "numeric"
+    vocabulary: Tuple[str, ...]
+
+
+@dataclass
+class TUSDataset:
+    """The sliced benchmark lake, its domains, and verified ground truth."""
+
+    lake: DataLake
+    domains: List[Domain]
+    ground_truth: LakeGroundTruth
+    config: TUSConfig = field(default=TUSConfig())
+
+    @property
+    def homographs(self) -> Set[str]:
+        return self.ground_truth.homographs
+
+    def domain_of_attribute(self, qualified_name: str) -> str:
+        return self.ground_truth.attribute_groups[qualified_name]
+
+
+def generate_tus(config: TUSConfig = TUSConfig()) -> TUSDataset:
+    """Generate a TUS-like lake with unionability ground truth."""
+    rng = np.random.default_rng(config.seed)
+    domains = _build_domains(rng, config)
+
+    attribute_groups: Dict[str, str] = {}
+    lake = DataLake()
+    for seed_index in range(config.num_seed_tables):
+        seed_columns = _seed_table_columns(rng, config, domains, seed_index)
+        _slice_into_lake(
+            rng, config, lake, attribute_groups, seed_index, seed_columns
+        )
+
+    truth = label_lake(lake, attribute_groups)
+    return TUSDataset(
+        lake=lake, domains=domains, ground_truth=truth, config=config
+    )
+
+
+# ---------------------------------------------------------------------
+# Domain construction
+# ---------------------------------------------------------------------
+def _build_domains(
+    rng: np.random.Generator, config: TUSConfig
+) -> List[Domain]:
+    """Create string and numeric domains with deliberate overlaps."""
+    num_numeric = int(round(config.num_domains * config.numeric_domain_fraction))
+    num_string = config.num_domains - num_numeric
+
+    lo, hi = config.vocab_size_range
+    # Log-uniform sizes: heavy skew, like open-data attribute sizes.
+    sizes = np.exp(
+        rng.uniform(np.log(lo), np.log(hi), size=config.num_domains)
+    ).astype(int)
+
+    domains: List[Domain] = []
+    word_gen = _WordGenerator(rng)
+
+    string_vocabs: List[List[str]] = [
+        word_gen.take(int(sizes[i])) for i in range(num_string)
+    ]
+    _share_tokens(rng, config, string_vocabs, word_gen)
+
+    for i, vocab in enumerate(string_vocabs):
+        domains.append(
+            Domain(domain_id=f"dom_s{i:03d}", kind="string",
+                   vocabulary=tuple(vocab))
+        )
+
+    for j in range(num_numeric):
+        size = int(sizes[num_string + j])
+        vocab = _numeric_vocabulary(rng, size)
+        domains.append(
+            Domain(domain_id=f"dom_n{j:03d}", kind="numeric",
+                   vocabulary=tuple(vocab))
+        )
+    return domains
+
+
+def _share_tokens(
+    rng: np.random.Generator,
+    config: TUSConfig,
+    vocabs: List[List[str]],
+    word_gen: "_WordGenerator",
+) -> None:
+    """Insert shared tokens into 2-4 string domains each.
+
+    The number of shared tokens is a fraction of the total vocabulary,
+    tuned so the homograph rate lands near the paper's ~14%.
+    """
+    if len(vocabs) < 2:
+        return
+    total = sum(len(v) for v in vocabs)
+    num_shared = int(total * config.shared_token_fraction)
+    weights = np.array([len(v) for v in vocabs], dtype=float)
+    weights /= weights.sum()
+    for _ in range(num_shared):
+        token = word_gen.take(1)[0]
+        n_meanings = int(rng.choice([2, 2, 2, 3, 3, 4]))
+        n_meanings = min(n_meanings, len(vocabs))
+        chosen = rng.choice(
+            len(vocabs), size=n_meanings, replace=False, p=weights
+        )
+        for d in chosen:
+            vocabs[int(d)].append(token)
+
+
+def _numeric_vocabulary(rng: np.random.Generator, size: int) -> List[str]:
+    """Integer vocabulary from a random range anchored at small values.
+
+    Ranges of different numeric domains overlap near zero, so small
+    integers ("2", "50", "125") acquire many meanings — exactly the
+    numeric homographs the paper reports in its TUS top-10.
+    """
+    start = int(rng.choice([0, 0, 1, 1, 10, 100]))
+    step = int(rng.choice([1, 1, 1, 5, 25]))
+    return [str(start + step * k) for k in range(size)]
+
+
+class _WordGenerator:
+    """Deterministic pronounceable-token generator (unique outputs)."""
+
+    _ONSETS = ["b", "c", "d", "f", "g", "h", "j", "k", "l", "m",
+               "n", "p", "r", "s", "t", "v", "w", "z", "br", "cr",
+               "dr", "gr", "pr", "tr", "st", "sl", "ch", "sh"]
+    _VOWELS = ["a", "e", "i", "o", "u", "ai", "ea", "ou"]
+    _CODAS = ["", "n", "r", "s", "t", "l", "x", "nd", "rt", "ck"]
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._seen: Set[str] = set()
+
+    def take(self, count: int) -> List[str]:
+        out: List[str] = []
+        while len(out) < count:
+            word = self._word()
+            if word not in self._seen:
+                self._seen.add(word)
+                out.append(word)
+        return out
+
+    def _word(self) -> str:
+        rng = self._rng
+        syllables = int(rng.integers(2, 4))
+        parts = []
+        for _ in range(syllables):
+            parts.append(str(rng.choice(self._ONSETS)))
+            parts.append(str(rng.choice(self._VOWELS)))
+        parts.append(str(rng.choice(self._CODAS)))
+        word = "".join(parts)
+        if rng.random() < 0.15:  # occasional two-word phrases
+            word = f"{word} {rng.choice(self._VOWELS)}{rng.choice(self._CODAS)}"
+        return word.capitalize()
+
+
+# ---------------------------------------------------------------------
+# Seed tables and slicing
+# ---------------------------------------------------------------------
+def _seed_table_columns(
+    rng: np.random.Generator,
+    config: TUSConfig,
+    domains: Sequence[Domain],
+    seed_index: int,
+) -> List[Tuple[Domain, List[str]]]:
+    """Materialize one seed table: (domain, cells) per column."""
+    lo, hi = config.seed_columns_range
+    num_columns = int(rng.integers(lo, hi + 1))
+    num_columns = min(num_columns, len(domains))
+    rows_lo, rows_hi = config.seed_rows_range
+    num_rows = int(rng.integers(rows_lo, rows_hi + 1))
+
+    chosen = rng.choice(len(domains), size=num_columns, replace=False)
+    columns: List[Tuple[Domain, List[str]]] = []
+    for d in chosen:
+        domain = domains[int(d)]
+        cells = _sample_column(rng, config, domain, num_rows)
+        columns.append((domain, cells))
+    return columns
+
+
+def _sample_column(
+    rng: np.random.Generator,
+    config: TUSConfig,
+    domain: Domain,
+    num_rows: int,
+) -> List[str]:
+    """Zipf-skewed draws from a vocabulary subset, plus optional nulls.
+
+    Each seed column sees only ``column_coverage`` of its domain's
+    vocabulary: same-domain columns from different seed tables overlap
+    partially, like real open-data tables about the same subject.  The
+    values in the overlap become intra-domain bridges with non-trivial
+    betweenness — the background noise the injection experiments of
+    Tables 2 and 3 compete against.
+    """
+    full = domain.vocabulary
+    subset_size = max(2, int(len(full) * config.column_coverage))
+    subset = rng.choice(len(full), size=subset_size, replace=False)
+    vocab = [full[int(i)] for i in subset]
+    ranks = np.arange(1, len(vocab) + 1, dtype=float)
+    weights = ranks ** (-config.zipf_exponent)
+    weights /= weights.sum()
+    order = rng.permutation(len(vocab))  # random rank assignment
+    draws = rng.choice(len(vocab), size=num_rows, p=weights)
+    cells = [vocab[int(order[d])] for d in draws]
+
+    if rng.random() < config.null_token_column_probability:
+        # Zipf-weighted token choice: "." and "NA" recur across many
+        # domains (the high-meaning homographs of the paper's top-10),
+        # the tail of the token list stays rare.
+        token_ranks = np.arange(1, len(NULL_TOKENS) + 1, dtype=float)
+        token_weights = token_ranks ** -1.5
+        token_weights /= token_weights.sum()
+        choice = int(rng.choice(len(NULL_TOKENS), p=token_weights))
+        token = NULL_TOKENS[choice]
+        null_rate = rng.uniform(0.01, 0.05)
+        mask = rng.random(num_rows) < null_rate
+        for i in np.flatnonzero(mask):
+            cells[int(i)] = token
+    return cells
+
+
+def _slice_into_lake(
+    rng: np.random.Generator,
+    config: TUSConfig,
+    lake: DataLake,
+    attribute_groups: Dict[str, str],
+    seed_index: int,
+    seed_columns: List[Tuple[Domain, List[str]]],
+) -> None:
+    """Cut one seed table into derived tables and add them to the lake."""
+    lo, hi = config.slices_per_seed_range
+    num_slices = int(rng.integers(lo, hi + 1))
+    num_rows = len(seed_columns[0][1])
+
+    for slice_index in range(num_slices):
+        cols_lo, cols_hi = config.slice_columns_range
+        width = int(rng.integers(cols_lo, min(cols_hi, len(seed_columns)) + 1))
+        col_ids = sorted(
+            rng.choice(len(seed_columns), size=width, replace=False)
+        )
+
+        rows_lo, rows_hi = config.slice_rows_range
+        # Log-uniform heights: plenty of small slices (the paper's TUS
+        # has attribute cardinalities down to 3) next to large ones.
+        height = int(np.exp(rng.uniform(np.log(rows_lo), np.log(rows_hi + 1))))
+        height = min(max(height, 1), num_rows)
+        start = int(rng.integers(0, num_rows - height + 1))
+
+        table_name = f"t{seed_index:03d}_{slice_index:03d}"
+        headers = []
+        column_cells = []
+        for c in col_ids:
+            domain, cells = seed_columns[int(c)]
+            header = f"c{int(c)}_{domain.domain_id}"
+            headers.append(header)
+            column_cells.append(cells[start:start + height])
+            attribute_groups[f"{table_name}.{header}"] = domain.domain_id
+
+        rows = [
+            [column_cells[j][i] for j in range(width)]
+            for i in range(height)
+        ]
+        lake.add_table(Table(name=table_name, columns=headers, rows=rows))

@@ -1,0 +1,268 @@
+"""Typed vocabularies with planted homographs.
+
+Each benchmark column draws its values from a *typed vocabulary*
+(``city``, ``animal``, ``company``, …).  Ground truth then follows the
+paper's semantics: a value is a homograph iff it appears under two or
+more different types.
+
+Two invariants are enforced here:
+
+1. **Planted intersections only.**  The 55 planted homographs of the SB
+   benchmark are the only values shared between two vocabularies; every
+   accidental cross-list collision in the raw word lists is scrubbed
+   deterministically (the highest-priority type keeps the value).
+2. **Exactly two meanings each.**  A planted value lives in exactly the
+   two types of its registry entry, matching SB's ``#M = 2`` column in
+   Table 1 of the paper.
+
+Comparisons are made on *normalized* values (upper-cased), the same
+notion of equality the DomainNet graph uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Set, Tuple
+
+from ..core.normalize import normalize_value
+from . import wordlists as words
+
+
+class VocabularyError(ValueError):
+    """Raised when vocabulary invariants cannot be established."""
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """A named, typed list of raw values (pre-normalization)."""
+
+    type_name: str
+    values: Tuple[str, ...]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def normalized(self) -> Set[str]:
+        return {normalize_value(v) for v in self.values}
+
+
+# ---------------------------------------------------------------------
+# The 55 planted homographs: normalized value -> (type_a, type_b).
+# Group sizes: 21 + 9 + 1 + 6 + 6 + 4 + 3 + 4 + 1 = 55.
+# ---------------------------------------------------------------------
+PLANTED_HOMOGRAPHS: Dict[str, Tuple[str, str]] = {}
+
+for _code in ("AL", "AR", "AZ", "CA", "CO", "DE", "GA", "ID", "IL", "IN",
+              "LA", "MA", "MD", "ME", "MN", "MT", "NE", "PA", "SC", "SD",
+              "TN"):
+    PLANTED_HOMOGRAPHS[_code] = ("country_code", "state_abbr")
+
+for _name in ("JAMAICA", "CUBA", "SINGAPORE", "MONACO", "LUXEMBOURG",
+              "DJIBOUTI", "GUATEMALA", "PANAMA", "MEXICO"):
+    PLANTED_HOMOGRAPHS[_name] = ("country_name", "city")
+
+PLANTED_HOMOGRAPHS["GEORGIA"] = ("country_name", "state_name")
+
+for _name in ("SYDNEY", "ODESSA", "SAVANNAH", "AURORA", "FLORENCE",
+              "CHARLOTTE"):
+    PLANTED_HOMOGRAPHS[_name] = ("first_name", "city")
+
+for _name in ("LINCOLN", "ASPEN", "DAKOTA", "MALIBU", "TUCSON", "SEDONA"):
+    PLANTED_HOMOGRAPHS[_name] = ("car_model", "city")
+
+for _name in ("JAGUAR", "PUMA", "FOX", "LYNX"):
+    PLANTED_HOMOGRAPHS[_name] = ("animal", "company")
+
+for _name in ("RAM", "MUSTANG", "IMPALA"):
+    PLANTED_HOMOGRAPHS[_name] = ("animal", "car_model")
+
+for _name in ("PUMPKIN", "CHOCOLATE", "BUTTER", "TOAST"):
+    PLANTED_HOMOGRAPHS[_name] = ("grocery", "movie_title")
+
+PLANTED_HOMOGRAPHS["BERKELEY"] = ("last_name", "city")
+
+# Scrub priority: when an *unplanned* collision occurs, the value stays
+# in the type listed earliest here and is removed from the others.
+TYPE_PRIORITY = [
+    "country_name", "country_code", "state_name", "state_abbr", "city",
+    "first_name", "last_name", "animal", "company", "car_model",
+    "grocery", "grocery_category", "movie_title", "genre", "plant",
+    "plant_family", "sci_name", "department", "ticker",
+]
+
+
+def _movie_titles() -> List[str]:
+    """Combinatorial movie titles plus the planted standalone ones.
+
+    Patterns are chosen so combinatorial titles are always multi-word
+    and cannot collide with plant names or groceries ("The Silent
+    Garden", "Harbor of Shadows").
+    """
+    titles = list(words.MOVIE_STANDALONE_TITLES)
+    for adj in words.MOVIE_ADJECTIVES:
+        for noun in words.MOVIE_NOUNS:
+            titles.append(f"The {adj} {noun}")
+    for noun in words.MOVIE_NOUNS:
+        for other in words.MOVIE_NOUNS:
+            if noun != other:
+                titles.append(f"{noun} of {other}s")
+    return titles
+
+
+def _plant_names() -> List[str]:
+    """Two-word common plant names, Figure 6 style ("Hairy Grama")."""
+    return [
+        f"{adj} {noun}"
+        for adj in words.PLANT_ADJECTIVES
+        for noun in words.PLANT_NOUNS
+    ]
+
+
+def _scientific_names() -> List[str]:
+    return [
+        f"{genus} {epithet}"
+        for genus in words.LATIN_GENERA
+        for epithet in words.LATIN_EPITHETS
+    ]
+
+
+def _groceries() -> List[str]:
+    """Bare grocery bases plus modifier combinations."""
+    products = list(words.GROCERY_BASES)
+    for modifier in words.GROCERY_MODIFIERS:
+        for base in words.GROCERY_BASES:
+            products.append(f"{modifier} {base}")
+    return products
+
+
+def _tickers(count: int, blocked: Set[str]) -> List[str]:
+    """Deterministic 4-letter tickers avoiding every other vocabulary."""
+    alphabet = "BCDFGHJKLMNPQRSTVWXZ"  # consonant-heavy, email-safe
+    tickers: List[str] = []
+    i = 0
+    while len(tickers) < count:
+        a = alphabet[i % len(alphabet)]
+        b = alphabet[(i // len(alphabet)) % len(alphabet)]
+        c = alphabet[(i // len(alphabet) ** 2) % len(alphabet)]
+        d = alphabet[(i // len(alphabet) ** 3) % len(alphabet)]
+        candidate = f"{a}{b}{c}{d}"
+        i += 1
+        if candidate not in blocked:
+            tickers.append(candidate)
+    return tickers
+
+
+def build_vocabularies() -> Dict[str, Vocabulary]:
+    """Build every typed vocabulary with invariants enforced.
+
+    Returns a mapping from type name to :class:`Vocabulary`.  Raises
+    :class:`VocabularyError` if a planted homograph is missing from
+    either of its two types after scrubbing.
+    """
+    raw: Dict[str, List[str]] = {
+        "country_name": [c for c, _ in words.COUNTRIES_WITH_CODES],
+        "country_code": [code for _, code in words.COUNTRIES_WITH_CODES],
+        "state_name": [s for s, _ in words.US_STATES_WITH_ABBR],
+        "state_abbr": [a for _, a in words.US_STATES_WITH_ABBR],
+        "city": list(words.CITIES),
+        "first_name": list(words.FIRST_NAMES),
+        "last_name": list(words.LAST_NAMES),
+        "animal": list(words.ANIMALS),
+        "company": list(words.COMPANIES),
+        "car_model": list(words.CAR_MODELS),
+        "grocery": _groceries(),
+        "grocery_category": list(words.GROCERY_CATEGORIES),
+        "movie_title": _movie_titles(),
+        "genre": list(words.MOVIE_GENRES),
+        "plant": _plant_names(),
+        "plant_family": list(words.PLANT_FAMILIES),
+        "sci_name": _scientific_names(),
+        "department": list(words.DEPARTMENTS),
+    }
+
+    scrubbed = _scrub_collisions(raw)
+
+    blocked = set()
+    for values in scrubbed.values():
+        blocked.update(normalize_value(v) for v in values)
+    scrubbed["ticker"] = _tickers(1200, blocked)
+
+    vocabularies = {
+        type_name: Vocabulary(type_name, tuple(values))
+        for type_name, values in scrubbed.items()
+    }
+    validate_vocabularies(vocabularies)
+    return vocabularies
+
+
+def _scrub_collisions(raw: Mapping[str, List[str]]) -> Dict[str, List[str]]:
+    """Remove unplanned cross-type collisions; keep planted pairs.
+
+    Within-type duplicates are also dropped (first occurrence wins).
+    """
+    membership: Dict[str, Set[str]] = {}
+    for type_name, values in raw.items():
+        for value in values:
+            membership.setdefault(normalize_value(value), set()).add(type_name)
+
+    keep: Dict[str, Set[str]] = {}
+    for norm, types in membership.items():
+        if norm in PLANTED_HOMOGRAPHS:
+            keep[norm] = set(PLANTED_HOMOGRAPHS[norm])
+        elif len(types) > 1:
+            winner = min(types, key=TYPE_PRIORITY.index)
+            keep[norm] = {winner}
+        else:
+            keep[norm] = types
+
+    out: Dict[str, List[str]] = {}
+    for type_name, values in raw.items():
+        seen: Set[str] = set()
+        kept = []
+        for value in values:
+            norm = normalize_value(value)
+            if type_name in keep[norm] and norm not in seen:
+                seen.add(norm)
+                kept.append(value)
+        out[type_name] = kept
+    return out
+
+
+def validate_vocabularies(vocabularies: Mapping[str, Vocabulary]) -> None:
+    """Assert the two vocabulary invariants; raise on violation."""
+    normalized = {
+        name: vocab.normalized() for name, vocab in vocabularies.items()
+    }
+
+    for value, (type_a, type_b) in PLANTED_HOMOGRAPHS.items():
+        for type_name in (type_a, type_b):
+            if type_name not in normalized:
+                raise VocabularyError(
+                    f"planted type {type_name!r} has no vocabulary"
+                )
+            if value not in normalized[type_name]:
+                raise VocabularyError(
+                    f"planted homograph {value!r} missing from {type_name!r}"
+                )
+
+    names = sorted(normalized)
+    for i, name_a in enumerate(names):
+        for name_b in names[i + 1:]:
+            overlap = normalized[name_a] & normalized[name_b]
+            for value in overlap:
+                planted = PLANTED_HOMOGRAPHS.get(value)
+                if planted is None or set(planted) != {name_a, name_b}:
+                    raise VocabularyError(
+                        f"unplanned collision {value!r} between "
+                        f"{name_a!r} and {name_b!r}"
+                    )
+
+
+def planted_homographs_normalized() -> Set[str]:
+    """The 55 planted homograph values (normalized)."""
+    return set(PLANTED_HOMOGRAPHS)
+
+
+def planted_meanings() -> Dict[str, int]:
+    """Number of meanings per planted homograph (always 2 in SB)."""
+    return {value: 2 for value in PLANTED_HOMOGRAPHS}

@@ -1,0 +1,532 @@
+"""Curated word lists — the offline substitute for Mockaroo.
+
+The paper's synthetic benchmark (SB, §4.1) was generated with Mockaroo,
+a web service that samples realistic values per category.  This module
+ships the raw vocabularies those categories need: countries with ISO
+codes, US states, cities, person names, animals, companies, car models,
+grocery and movie building blocks, and so on.
+
+The *planted homographs* of the benchmark (values that legitimately
+belong to two different categories, like ``Jaguar`` the animal and the
+company, or ``CA`` the Canada code and the California abbreviation) are
+deliberate intersections between these lists; every other cross-list
+collision is scrubbed by :mod:`repro.bench.vocab` at build time.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------
+# Countries: the 193 UN member states with ISO 3166-1 alpha-2 codes.
+# 21 of these codes coincide with US state abbreviations (AL, AR, AZ,
+# CA, CO, DE, GA, ID, IL, IN, LA, MA, MD, ME, MN, MT, NE, PA, SC, SD,
+# TN) — those are the "abbreviation homographs" the paper's Figure 6
+# discusses (the ones betweenness centrality misses).
+# ---------------------------------------------------------------------
+COUNTRIES_WITH_CODES = [
+    ("Afghanistan", "AF"), ("Albania", "AL"), ("Algeria", "DZ"),
+    ("Andorra", "AD"), ("Angola", "AO"), ("Antigua and Barbuda", "AG"),
+    ("Argentina", "AR"), ("Armenia", "AM"), ("Australia", "AU"),
+    ("Austria", "AT"), ("Azerbaijan", "AZ"), ("Bahamas", "BS"),
+    ("Bahrain", "BH"), ("Bangladesh", "BD"), ("Barbados", "BB"),
+    ("Belarus", "BY"), ("Belgium", "BE"), ("Belize", "BZ"),
+    ("Benin", "BJ"), ("Bhutan", "BT"), ("Bolivia", "BO"),
+    ("Bosnia and Herzegovina", "BA"), ("Botswana", "BW"),
+    ("Brazil", "BR"), ("Brunei", "BN"), ("Bulgaria", "BG"),
+    ("Burkina Faso", "BF"), ("Burundi", "BI"), ("Cabo Verde", "CV"),
+    ("Cambodia", "KH"), ("Cameroon", "CM"), ("Canada", "CA"),
+    ("Central African Republic", "CF"), ("Chad", "TD"), ("Chile", "CL"),
+    ("China", "CN"), ("Colombia", "CO"), ("Comoros", "KM"),
+    ("Congo", "CG"), ("Costa Rica", "CR"), ("Croatia", "HR"),
+    ("Cuba", "CU"), ("Cyprus", "CY"), ("Czechia", "CZ"),
+    ("North Korea", "KP"), ("DR Congo", "CD"), ("Denmark", "DK"),
+    ("Djibouti", "DJ"), ("Dominica", "DM"), ("Dominican Republic", "DO"),
+    ("Ecuador", "EC"), ("Egypt", "EG"), ("El Salvador", "SV"),
+    ("Equatorial Guinea", "GQ"), ("Eritrea", "ER"), ("Estonia", "EE"),
+    ("Eswatini", "SZ"), ("Ethiopia", "ET"), ("Fiji", "FJ"),
+    ("Finland", "FI"), ("France", "FR"), ("Gabon", "GA"),
+    ("Gambia", "GM"), ("Georgia", "GE"), ("Germany", "DE"),
+    ("Ghana", "GH"), ("Greece", "GR"), ("Grenada", "GD"),
+    ("Guatemala", "GT"), ("Guinea", "GN"), ("Guinea-Bissau", "GW"),
+    ("Guyana", "GY"), ("Haiti", "HT"), ("Honduras", "HN"),
+    ("Hungary", "HU"), ("Iceland", "IS"), ("India", "IN"),
+    ("Indonesia", "ID"), ("Iran", "IR"), ("Iraq", "IQ"),
+    ("Ireland", "IE"), ("Israel", "IL"), ("Italy", "IT"),
+    ("Ivory Coast", "CI"), ("Jamaica", "JM"), ("Japan", "JP"),
+    ("Jordan", "JO"), ("Kazakhstan", "KZ"), ("Kenya", "KE"),
+    ("Kiribati", "KI"), ("Kuwait", "KW"), ("Kyrgyzstan", "KG"),
+    ("Laos", "LA"), ("Latvia", "LV"), ("Lebanon", "LB"),
+    ("Lesotho", "LS"), ("Liberia", "LR"), ("Libya", "LY"),
+    ("Liechtenstein", "LI"), ("Lithuania", "LT"), ("Luxembourg", "LU"),
+    ("Madagascar", "MG"), ("Malawi", "MW"), ("Malaysia", "MY"),
+    ("Maldives", "MV"), ("Mali", "ML"), ("Malta", "MT"),
+    ("Marshall Islands", "MH"), ("Mauritania", "MR"), ("Mauritius", "MU"),
+    ("Mexico", "MX"), ("Micronesia", "FM"), ("Moldova", "MD"),
+    ("Monaco", "MC"), ("Mongolia", "MN"), ("Montenegro", "ME"),
+    ("Morocco", "MA"), ("Mozambique", "MZ"), ("Myanmar", "MM"),
+    ("Namibia", "NA"), ("Nauru", "NR"), ("Nepal", "NP"),
+    ("Netherlands", "NL"), ("New Zealand", "NZ"), ("Nicaragua", "NI"),
+    ("Niger", "NE"), ("Nigeria", "NG"), ("North Macedonia", "MK"),
+    ("Norway", "NO"), ("Oman", "OM"), ("Pakistan", "PK"),
+    ("Palau", "PW"), ("Panama", "PA"), ("Papua New Guinea", "PG"),
+    ("Paraguay", "PY"), ("Peru", "PE"), ("Philippines", "PH"),
+    ("Poland", "PL"), ("Portugal", "PT"), ("Qatar", "QA"),
+    ("South Korea", "KR"), ("Romania", "RO"), ("Russia", "RU"),
+    ("Rwanda", "RW"), ("Saint Kitts and Nevis", "KN"),
+    ("Saint Lucia", "LC"), ("Saint Vincent and the Grenadines", "VC"),
+    ("Samoa", "WS"), ("San Marino", "SM"),
+    ("Sao Tome and Principe", "ST"), ("Saudi Arabia", "SA"),
+    ("Senegal", "SN"), ("Serbia", "RS"), ("Seychelles", "SC"),
+    ("Sierra Leone", "SL"), ("Singapore", "SG"), ("Slovakia", "SK"),
+    ("Slovenia", "SI"), ("Solomon Islands", "SB"), ("Somalia", "SO"),
+    ("South Africa", "ZA"), ("South Sudan", "SS"), ("Spain", "ES"),
+    ("Sri Lanka", "LK"), ("Sudan", "SD"), ("Suriname", "SR"),
+    ("Sweden", "SE"), ("Switzerland", "CH"), ("Syria", "SY"),
+    ("Tajikistan", "TJ"), ("Tanzania", "TZ"), ("Thailand", "TH"),
+    ("Timor-Leste", "TL"), ("Togo", "TG"), ("Tonga", "TO"),
+    ("Trinidad and Tobago", "TT"), ("Tunisia", "TN"), ("Turkey", "TR"),
+    ("Turkmenistan", "TM"), ("Tuvalu", "TV"), ("Uganda", "UG"),
+    ("Ukraine", "UA"), ("United Arab Emirates", "AE"),
+    ("United Kingdom", "GB"), ("United States", "US"),
+    ("Uruguay", "UY"), ("Uzbekistan", "UZ"), ("Vanuatu", "VU"),
+    ("Venezuela", "VE"), ("Vietnam", "VN"), ("Yemen", "YE"),
+    ("Zambia", "ZM"), ("Zimbabwe", "ZW"),
+]
+
+# ---------------------------------------------------------------------
+# US states with USPS abbreviations.
+# ---------------------------------------------------------------------
+US_STATES_WITH_ABBR = [
+    ("Alabama", "AL"), ("Alaska", "AK"), ("Arizona", "AZ"),
+    ("Arkansas", "AR"), ("California", "CA"), ("Colorado", "CO"),
+    ("Connecticut", "CT"), ("Delaware", "DE"), ("Florida", "FL"),
+    ("Georgia", "GA"), ("Hawaii", "HI"), ("Idaho", "ID"),
+    ("Illinois", "IL"), ("Indiana", "IN"), ("Iowa", "IA"),
+    ("Kansas", "KS"), ("Kentucky", "KY"), ("Louisiana", "LA"),
+    ("Maine", "ME"), ("Maryland", "MD"), ("Massachusetts", "MA"),
+    ("Michigan", "MI"), ("Minnesota", "MN"), ("Mississippi", "MS"),
+    ("Missouri", "MO"), ("Montana", "MT"), ("Nebraska", "NE"),
+    ("Nevada", "NV"), ("New Hampshire", "NH"), ("New Jersey", "NJ"),
+    ("New Mexico", "NM"), ("New York", "NY"), ("North Carolina", "NC"),
+    ("North Dakota", "ND"), ("Ohio", "OH"), ("Oklahoma", "OK"),
+    ("Oregon", "OR"), ("Pennsylvania", "PA"), ("Rhode Island", "RI"),
+    ("South Carolina", "SC"), ("South Dakota", "SD"), ("Tennessee", "TN"),
+    ("Texas", "TX"), ("Utah", "UT"), ("Vermont", "VT"),
+    ("Virginia", "VA"), ("Washington", "WA"), ("West Virginia", "WV"),
+    ("Wisconsin", "WI"), ("Wyoming", "WY"),
+]
+
+# ---------------------------------------------------------------------
+# Cities.  Includes the planted city-side homographs: country∩city
+# (Jamaica, Cuba, Singapore, Monaco, Luxembourg, Djibouti, Guatemala,
+# Panama, Mexico), first-name∩city (Sydney, Odessa, Savannah, Aurora,
+# Florence, Charlotte), car-model∩city (Lincoln, Aspen, Dakota, Malibu,
+# Tucson, Sedona), last-name∩city (Berkeley).
+# ---------------------------------------------------------------------
+CITIES = [
+    "Jamaica", "Cuba", "Singapore", "Monaco", "Luxembourg", "Djibouti",
+    "Guatemala", "Panama", "Mexico",
+    "Sydney", "Odessa", "Savannah", "Aurora", "Florence", "Charlotte",
+    "Lincoln", "Aspen", "Dakota", "Malibu", "Tucson", "Sedona",
+    "Berkeley",
+    "Memphis", "Atlanta", "San Diego", "Boston", "Chicago", "Seattle",
+    "Denver", "Houston", "Dallas", "Austin", "Portland", "Nashville",
+    "Baltimore", "Detroit", "Milwaukee", "Minneapolis", "Sacramento",
+    "Oakland", "Fresno", "Mesa", "Omaha", "Tulsa", "Wichita",
+    "Cleveland", "Tampa", "Honolulu", "Anchorage", "Pittsburgh",
+    "Cincinnati", "Toledo", "Buffalo", "Rochester", "Albany",
+    "Richmond", "Norfolk", "Raleigh", "Durham", "Greensboro",
+    "Columbia", "Charleston", "Jacksonville", "Orlando", "Miami",
+    "Birmingham", "Montgomery", "Mobile", "Knoxville", "Chattanooga",
+    "Louisville", "Lexington", "Indianapolis", "Fort Wayne",
+    "Des Moines", "Topeka", "Boise", "Spokane", "Tacoma", "Eugene",
+    "Salem", "Reno", "Provo", "Boulder", "Fargo", "Sioux Falls",
+    "Billings", "Cheyenne", "Santa Fe", "Albuquerque", "El Paso",
+    "San Antonio", "Fort Worth", "Oklahoma City", "Little Rock",
+    "Shreveport", "Baton Rouge", "New Orleans", "Jackson", "Gulfport",
+    "London", "Paris", "Berlin", "Madrid", "Rome", "Lisbon", "Dublin",
+    "Amsterdam", "Brussels", "Vienna", "Prague", "Budapest", "Warsaw",
+    "Stockholm", "Oslo", "Copenhagen", "Helsinki", "Athens", "Zurich",
+    "Geneva", "Munich", "Hamburg", "Cologne", "Frankfurt", "Barcelona",
+    "Seville", "Valencia", "Porto", "Marseille", "Lyon", "Toulouse",
+    "Edinburgh", "Glasgow", "Manchester", "Liverpool", "Leeds",
+    "Tokyo", "Osaka", "Kyoto", "Nagoya", "Seoul", "Busan", "Beijing",
+    "Shanghai", "Shenzhen", "Guangzhou", "Hong Kong", "Taipei",
+    "Bangkok", "Hanoi", "Manila", "Kuala Lumpur", "Mumbai", "Delhi",
+    "Bangalore", "Chennai", "Kolkata", "Karachi", "Lahore", "Dhaka",
+    "Cairo", "Lagos", "Nairobi", "Accra", "Casablanca", "Tunis",
+    "Johannesburg", "Cape Town", "Durban", "Addis Ababa", "Kampala",
+    "Toronto", "Montreal", "Vancouver", "Calgary", "Ottawa",
+    "Winnipeg", "Edmonton", "Quebec City", "Halifax",
+    "Melbourne", "Brisbane", "Perth", "Adelaide", "Auckland",
+    "Wellington", "Christchurch", "Sao Paulo", "Rio de Janeiro",
+    "Buenos Aires", "Santiago", "Lima", "Bogota", "Caracas",
+    "Montevideo", "Quito", "La Paz", "Asuncion", "Brasilia",
+    "Moscow", "Saint Petersburg", "Kyiv", "Minsk", "Riga", "Vilnius",
+    "Tallinn", "Bucharest", "Sofia", "Belgrade", "Zagreb", "Sarajevo",
+    "Skopje", "Tirana", "Ankara", "Istanbul", "Tehran", "Baghdad",
+    "Riyadh", "Doha", "Dubai", "Abu Dhabi", "Muscat", "Amman",
+    "Beirut", "Jerusalem", "Nicosia", "Valletta", "Reykjavik",
+]
+
+# ---------------------------------------------------------------------
+# Person names.  FIRST_NAMES includes the planted first-name∩city
+# values (Sydney, Odessa, Savannah, Aurora, Florence, Charlotte).
+# ---------------------------------------------------------------------
+FIRST_NAMES = [
+    "Sydney", "Odessa", "Savannah", "Aurora", "Florence", "Charlotte",
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer",
+    "Michael", "Linda", "David", "Elizabeth", "William", "Barbara",
+    "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Sarah",
+    "Charles", "Karen", "Christopher", "Lisa", "Daniel", "Nancy",
+    "Matthew", "Betty", "Anthony", "Margaret", "Mark", "Sandra",
+    "Donald", "Ashley", "Steven", "Kimberly", "Paul", "Emily",
+    "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Carol",
+    "Kevin", "Amanda", "Brian", "Dorothy", "George", "Melissa",
+    "Timothy", "Deborah", "Ronald", "Stephanie", "Edward", "Rebecca",
+    "Jason", "Sharon", "Jeffrey", "Laura", "Ryan", "Cynthia",
+    "Jacob", "Kathleen", "Gary", "Amy", "Nicholas", "Angela",
+    "Eric", "Shirley", "Jonathan", "Anna", "Stephen", "Brenda",
+    "Larry", "Pamela", "Justin", "Emma", "Scott", "Nicole",
+    "Brandon", "Helen", "Benjamin", "Samantha", "Samuel", "Katherine",
+    "Gregory", "Christine", "Alexander", "Debra", "Patrick", "Rachel",
+    "Frank", "Carolyn", "Raymond", "Janet", "Jack", "Catherine",
+    "Dennis", "Maria", "Jerry", "Heather", "Tyler", "Diane",
+    "Aaron", "Ruth", "Jose", "Julie", "Adam", "Olivia", "Nathan",
+    "Joyce", "Henry", "Virginia", "Douglas", "Victoria", "Zachary",
+    "Kelly", "Peter", "Lauren", "Kyle", "Christina", "Ethan", "Joan",
+    "Walter", "Evelyn", "Noah", "Judith", "Jeremy", "Megan",
+    "Christian", "Andrea", "Keith", "Cheryl", "Roger", "Hannah",
+    "Terry", "Jacqueline", "Gerald", "Martha", "Harold", "Gloria",
+    "Sean", "Teresa", "Austin", "Ann", "Carl", "Madison",
+    "Arthur", "Frances", "Lawrence", "Kathryn", "Dylan", "Janice",
+    "Jesse", "Jean", "Jordan", "Abigail", "Bryan", "Alice",
+    "Billy", "Julia", "Joe", "Judy", "Bruce", "Sophia", "Gabriel",
+    "Grace", "Logan", "Denise", "Albert", "Amber", "Willie",
+    "Doris", "Alan", "Marilyn", "Juan", "Danielle", "Wayne",
+    "Beverly", "Elijah", "Isabella", "Randy", "Theresa", "Roy",
+    "Diana", "Vincent", "Natalie", "Ralph", "Brittany", "Eugene",
+    "Leandra", "Russell", "Nadine", "Bobby", "Elmira", "Mason",
+    "Quinta", "Louis", "Else", "Philip", "Christophe", "Johnny",
+]
+
+LAST_NAMES = [
+    "Berkeley",
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia",
+    "Miller", "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez",
+    "Gonzalez", "Wilson", "Anderson", "Taylor", "Moore",
+    "Martin", "Lee", "Perez", "Thompson", "White", "Harris",
+    "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker",
+    "Young", "Allen", "King", "Wright", "Torres", "Nguyen",
+    "Hill", "Flores", "Green", "Adams", "Nelson", "Baker",
+    "Hall", "Rivera", "Campbell", "Mitchell", "Carter", "Roberts",
+    "Gomez", "Phillips", "Evans", "Turner", "Diaz", "Parker",
+    "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz",
+    "Morgan", "Cooper", "Peterson", "Bailey", "Reed", "Kelly",
+    "Howard", "Ramos", "Kim", "Cox", "Ward", "Richardson",
+    "Watson", "Brooks", "Chavez", "Wood", "James", "Bennett",
+    "Gray", "Mendoza", "Ruiz", "Hughes", "Price", "Alvarez",
+    "Castillo", "Sanders", "Patel", "Myers", "Long", "Ross",
+    "Foster", "Jimenez", "Powell", "Jenkins", "Perry", "Russell",
+    "Sullivan", "Bell", "Coleman", "Butler", "Henderson", "Barnes",
+    "Gonzales", "Fisher", "Vasquez", "Simmons", "Romero", "Jordan",
+    "Patterson", "Alexander", "Hamilton", "Graham", "Reynolds",
+    "Griffin", "Wallace", "Moreno", "West", "Cole", "Hayes",
+    "Bryant", "Herrera", "Gibson", "Ellis", "Tran", "Medina",
+    "Aguilar", "Stevens", "Murray", "Ford", "Castro", "Marshall",
+    "Owens", "Harrison", "Fernandez", "McDonald", "Woods",
+    "Washington", "Kennedy", "Wells", "Vargas", "Henry", "Chen",
+    "Freeman", "Webb", "Tucker", "Guzman", "Burns", "Crawford",
+    "Olson", "Simpson", "Porter", "Hunter", "Gordon", "Mendez",
+    "Silva", "Shaw", "Snyder", "Mason", "Dixon", "Munoz", "Hunt",
+    "Hicks", "Holmes", "Palmer", "Wagner", "Black", "Robertson",
+    "Boyd", "Rose", "Stone", "Salazar", "Fox", "Warren", "Mills",
+    "Meyer", "Rice", "Schmidt", "Garza", "Daniels", "Ferguson",
+    "Nichols", "Stephens", "Soto", "Weaver", "Ryan", "Gardner",
+    "Payne", "Grant", "Dunn", "Kelley", "Spencer", "Hawkins",
+    "Arnold", "Pierce", "Vazquez", "Hansen", "Peters", "Santos",
+    "Hart", "Bradley", "Knight", "Elliott", "Cunningham", "Duncan",
+    "Armstrong", "Hudson", "Carroll", "Lane", "Riley", "Andrews",
+    "Alvarado", "Ray", "Delgado", "Berry", "Perkins", "Hoffman",
+    "Johnston", "Matthews", "Pena", "Richards", "Contreras",
+    "Willis", "Carpenter", "Lawrence", "Sandoval", "Guerrero",
+    "George", "Chapman", "Rios", "Estrada", "Ortega", "Watkins",
+    "Greene", "Nunez", "Wheeler", "Valdez", "Harper", "Burke",
+    "Larson", "Santiago", "Maldonado", "Morrison", "Franklin",
+    "Carlson", "Austin", "Dominguez", "Lambert", "Garvey", "Duff",
+    "Conroy", "Costanza", "Vinson", "Reid", "Smitty",
+]
+# Entries suffixed with "#" are scrubbed by vocab.py (they collide with
+# another category and are not planted homographs).
+
+# ---------------------------------------------------------------------
+# Animals.  Planted: Jaguar, Puma, Fox, Lynx (also companies) and Ram,
+# Mustang, Impala (also car models).
+# ---------------------------------------------------------------------
+ANIMALS = [
+    "Jaguar", "Puma", "Fox", "Lynx", "Ram", "Mustang", "Impala",
+    "Panda", "Lemur", "Pelican", "Tiger", "Lion", "Leopard",
+    "Cheetah", "Elephant", "Rhinoceros", "Hippopotamus", "Giraffe",
+    "Zebra", "Gorilla", "Chimpanzee", "Orangutan", "Gibbon", "Baboon",
+    "Wolf", "Coyote", "Jackal", "Hyena", "Bear", "Grizzly",
+    "Polar Bear", "Sloth", "Armadillo", "Anteater", "Aardvark",
+    "Platypus", "Echidna", "Kangaroo", "Wallaby", "Koala", "Wombat",
+    "Opossum", "Raccoon", "Skunk", "Badger", "Wolverine", "Otter",
+    "Beaver", "Porcupine", "Hedgehog", "Squirrel", "Chipmunk",
+    "Marmot", "Capybara", "Chinchilla", "Hamster", "Gerbil",
+    "Meerkat", "Mongoose", "Ferret", "Weasel", "Stoat", "Mink",
+    "Moose", "Elk", "Caribou", "Reindeer", "Antelope", "Gazelle",
+    "Springbok", "Wildebeest", "Bison", "Buffalo", "Yak", "Ibex",
+    "Chamois", "Markhor", "Oryx", "Kudu", "Eland", "Gnu",
+    "Alpaca", "Llama", "Vicuna", "Guanaco", "Camel", "Dromedary",
+    "Tapir", "Okapi", "Warthog", "Peccary", "Manatee", "Dugong",
+    "Walrus", "Seal", "Sea Lion", "Dolphin", "Porpoise", "Orca",
+    "Narwhal", "Beluga", "Humpback Whale", "Blue Whale",
+    "Eagle", "Hawk", "Falcon", "Osprey", "Kestrel", "Harrier",
+    "Owl", "Raven", "Crow", "Magpie", "Jay", "Cardinal",
+    "Sparrow", "Finch", "Warbler", "Thrush", "Robin", "Wren",
+    "Heron", "Egret", "Stork", "Crane", "Ibis", "Spoonbill",
+    "Flamingo", "Swan", "Goose", "Duck", "Teal", "Mallard",
+    "Penguin", "Albatross", "Petrel", "Puffin", "Gull", "Tern",
+    "Cormorant", "Gannet", "Booby", "Frigatebird", "Toucan",
+    "Macaw", "Cockatoo", "Parakeet", "Lorikeet", "Kingfisher",
+    "Woodpecker", "Hummingbird", "Ostrich", "Emu", "Cassowary",
+    "Kiwi", "Condor", "Vulture", "Secretary Bird", "Hornbill",
+    "Iguana", "Gecko", "Chameleon", "Komodo Dragon", "Monitor Lizard",
+    "Python", "Boa", "Cobra", "Viper", "Mamba", "Anaconda",
+    "Crocodile", "Alligator", "Caiman", "Gharial", "Tortoise",
+    "Turtle", "Terrapin", "Salamander", "Newt", "Axolotl",
+]
+
+# ---------------------------------------------------------------------
+# Companies.  Planted: Jaguar, Puma, Fox, Lynx (also animals).
+# ---------------------------------------------------------------------
+COMPANIES = [
+    "Jaguar", "Puma", "Fox", "Lynx",
+    "Google", "Amazon", "Apple", "Microsoft", "Meta", "Netflix",
+    "Toyota", "Volkswagen", "BMW", "Mercedes-Benz", "Honda", "Nissan",
+    "Ford Motor", "General Motors", "Tesla", "Ferrari", "Porsche",
+    "Hyundai", "Kia", "Subaru", "Mazda", "Volvo", "Renault",
+    "Peugeot", "Fiat", "Stellantis", "Suzuki", "Mitsubishi",
+    "Intel", "AMD", "Nvidia", "Qualcomm", "Broadcom", "Cisco",
+    "Oracle", "SAP", "Salesforce", "Adobe", "IBM", "Accenture",
+    "Infosys", "Wipro", "Dell", "HP", "Lenovo", "Asus", "Acer",
+    "Samsung Electronics", "LG Electronics", "Sony", "Panasonic",
+    "Sharp", "Toshiba", "Hitachi", "Fujitsu", "NEC", "Canon",
+    "Nikon", "Olympus", "Xerox", "Kodak", "Philips", "Siemens",
+    "Bosch", "ABB", "Schneider Electric", "Honeywell", "3M",
+    "General Electric", "Boeing", "Airbus", "Lockheed Martin",
+    "Northrop Grumman", "Raytheon", "Rolls-Royce Holdings",
+    "Caterpillar", "John Deere", "Komatsu", "Walmart", "Costco",
+    "Target", "Kroger", "Walgreens", "CVS Health", "Home Depot",
+    "Lowes", "Best Buy", "IKEA", "Aldi", "Lidl", "Carrefour",
+    "Tesco", "Sainsburys", "Coca-Cola", "PepsiCo", "Nestle",
+    "Unilever", "Procter & Gamble", "Johnson & Johnson", "Pfizer",
+    "Moderna", "AstraZeneca", "Novartis", "Roche", "Sanofi",
+    "GlaxoSmithKline", "Merck", "AbbVie", "Amgen", "Gilead",
+    "McDonalds", "Burger King", "Wendys", "Subway", "Starbucks",
+    "Dunkin", "Chipotle", "Dominos", "Pizza Hut", "KFC",
+    "Nike", "Adidas", "Reebok", "Under Armour", "New Balance",
+    "Asics", "Converse", "Vans", "Timberland", "Columbia Sportswear",
+    "Patagonia", "North Face", "Levi Strauss", "Gap", "Zara",
+    "H&M", "Uniqlo", "Ralph Lauren", "Tommy Hilfiger", "Gucci",
+    "Prada", "Hermes", "Chanel", "Dior", "Burberry", "Rolex",
+    "Omega", "Cartier", "Tiffany", "Visa", "Mastercard",
+    "American Express", "PayPal", "Stripe", "Square", "JPMorgan",
+    "Goldman Sachs", "Morgan Stanley", "Bank of America", "Citigroup",
+    "Wells Fargo", "HSBC", "Barclays", "UBS", "Credit Suisse",
+    "Deutsche Bank", "BNP Paribas", "Santander", "ING", "AXA",
+    "Allianz", "Prudential", "MetLife", "Aflac", "Chubb",
+    "ExxonMobil", "Chevron", "Shell", "BP", "TotalEnergies",
+    "ConocoPhillips", "Schlumberger", "Halliburton", "Baker Hughes",
+    "Duke Energy", "NextEra", "Enel", "Iberdrola", "Orsted",
+    "FedEx", "UPS", "DHL", "Maersk", "Delta Air Lines",
+    "United Airlines", "American Airlines", "Southwest Airlines",
+    "Lufthansa", "Emirates", "Qantas", "Ryanair", "EasyJet",
+    "Marriott", "Hilton", "Hyatt", "Accor", "Airbnb", "Expedia",
+    "Uber", "Lyft", "DoorDash", "Instacart", "Spotify", "Zoom",
+    "Slack", "Dropbox", "Atlassian", "Shopify", "Etsy", "eBay",
+    "Alibaba", "Tencent", "Baidu", "JD.com", "Xiaomi", "Huawei",
+    "ZTE", "Foxconn", "TSMC", "SK Hynix", "Micron", "Kioxia",
+]
+
+# ---------------------------------------------------------------------
+# Car models.  Planted: Lincoln, Aspen, Dakota, Malibu, Tucson, Sedona
+# (also cities) and Ram, Mustang, Impala (also animals).
+# ---------------------------------------------------------------------
+CAR_MODELS = [
+    "Lincoln", "Aspen", "Dakota", "Malibu", "Tucson", "Sedona",
+    "Ram", "Mustang", "Impala",
+    "XE", "XF", "XJ", "F-Type", "E-Pace", "F-Pace", "I-Pace",
+    "Prius", "Corolla", "Camry", "Avalon", "Yaris", "Supra",
+    "RAV4", "Highlander", "4Runner", "Tacoma", "Tundra", "Sienna",
+    "Civic", "Accord", "Insight", "Pilot", "Passport", "Ridgeline",
+    "CR-V", "HR-V", "Odyssey", "Fit", "Element", "Prelude",
+    "Altima", "Maxima", "Sentra", "Versa", "Leaf", "Juke",
+    "Rogue", "Murano", "Pathfinder", "Armada", "Frontier", "Titan",
+    "Golf", "Jetta", "Passat", "Arteon", "Tiguan", "Atlas",
+    "Beetle", "Touareg", "ID.4", "Polo", "Scirocco", "Corrado",
+    "3 Series", "5 Series", "7 Series", "X1", "X3", "X5",
+    "Z4", "i3", "i8", "M3", "M5", "A3", "A4", "A6", "A8",
+    "Q3", "Q5", "Q7", "TT", "R8", "e-tron", "C-Class", "E-Class",
+    "S-Class", "GLA", "GLC", "GLE", "SL", "AMG GT", "EQS",
+    "500", "Panda", "Punto", "Tipo", "Doblo", "Ducato",
+    "Model S", "Model 3", "Model X", "Model Y", "Cybertruck",
+    "Roadster", "F-150", "F-250", "Ranger", "Explorer", "Escape",
+    "Expedition", "Bronco", "Edge", "Fusion", "Taurus", "Fiesta",
+    "Focus", "GT", "Escort", "Thunderbird", "Silverado", "Colorado",
+    "Tahoe", "Suburban", "Equinox", "Traverse", "Blazer", "Camaro",
+    "Corvette", "Bolt", "Volt", "Cruze", "Sonic", "Spark",
+    "Challenger", "Charger", "Durango", "Journey", "Caravan",
+    "Viper", "Neon", "Wrangler", "Cherokee", "Compass", "Renegade",
+    "Gladiator", "Patriot", "Liberty", "Commander", "Elantra",
+    "Sonata", "Accent", "Veloster", "Kona", "Santa Fe", "Palisade",
+    "Venue", "Ioniq", "Genesis", "Optima", "Sorento", "Sportage",
+    "Telluride", "Soul", "Forte", "Rio", "Stinger", "Niro",
+    "Outback", "Forester", "Impreza", "Legacy", "Crosstrek",
+    "Ascent", "WRX", "BRZ", "CX-3", "CX-5", "CX-9", "MX-5",
+    "Mazda3", "Mazda6", "RX-7", "RX-8", "XC40", "XC60", "XC90",
+    "S60", "S90", "V60", "V90", "Clio", "Megane", "Twingo",
+    "Kangoo", "Captur", "Swift", "Vitara", "Jimny", "Baleno", "Celerio",
+    "Outlander", "Eclipse", "Lancer", "Pajero", "Mirage",
+    "Elan", "Esprit", "Evora", "Exige", "Elise", "Crossfire",
+]
+# "#"-prefixed or suffixed entries collide with other categories and
+# are scrubbed at vocabulary-build time (see vocab.py).
+
+# ---------------------------------------------------------------------
+# Groceries.  Planted: Pumpkin, Chocolate, Butter, Toast (also movie
+# titles).  Combined with modifiers for volume.
+# ---------------------------------------------------------------------
+GROCERY_BASES = [
+    "Pumpkin", "Chocolate", "Butter", "Toast",
+    "Milk", "Eggs", "Flour", "Sugar", "Salt", "Pepper", "Rice",
+    "Pasta", "Bread", "Cheese", "Yogurt", "Cream", "Honey", "Jam",
+    "Cereal", "Oatmeal", "Granola", "Almonds", "Walnuts", "Cashews",
+    "Peanuts", "Raisins", "Dates", "Figs", "Apples", "Bananas",
+    "Oranges", "Lemons", "Limes", "Grapes", "Berries", "Cherries",
+    "Peaches", "Pears", "Plums", "Melons", "Pineapple", "Mango",
+    "Papaya", "Avocado", "Tomatoes", "Potatoes", "Onions", "Garlic",
+    "Carrots", "Celery", "Lettuce", "Spinach", "Kale", "Broccoli",
+    "Cauliflower", "Cabbage", "Peppers", "Cucumbers", "Zucchini",
+    "Eggplant", "Mushrooms", "Corn", "Peas", "Beans", "Lentils",
+    "Chickpeas", "Tofu", "Chicken Breast", "Ground Beef", "Salmon",
+    "Tuna", "Shrimp", "Bacon", "Sausage", "Ham", "Turkey Breast",
+    "Olive Oil", "Canola Oil", "Vinegar", "Soy Sauce", "Ketchup",
+    "Mustard", "Mayonnaise", "Salsa", "Hummus", "Crackers",
+    "Pretzels", "Chips", "Popcorn", "Cookies", "Brownies",
+    "Ice Cream", "Frozen Pizza", "Orange Juice", "Apple Juice",
+    "Coffee", "Tea", "Cocoa", "Soda", "Sparkling Water",
+]
+
+GROCERY_MODIFIERS = [
+    "Organic", "Fresh", "Frozen", "Canned", "Dried", "Smoked",
+    "Low-Fat", "Whole Grain", "Gluten-Free", "Sugar-Free",
+    "Artisan", "Local", "Imported", "Premium", "Value",
+]
+
+GROCERY_CATEGORIES = [
+    "Produce", "Dairy", "Bakery", "Meat", "Seafood", "Frozen Foods",
+    "Pantry", "Snacks", "Beverages", "Condiments", "Breakfast",
+    "Canned Goods", "Baking", "Deli", "Health Foods",
+]
+
+# ---------------------------------------------------------------------
+# Movie title building blocks.  Planted single-word titles: Pumpkin,
+# Chocolate, Butter, Toast (also groceries).
+# ---------------------------------------------------------------------
+MOVIE_STANDALONE_TITLES = ["Pumpkin", "Chocolate", "Butter", "Toast"]
+
+MOVIE_ADJECTIVES = [
+    "Silent", "Broken", "Hidden", "Eternal", "Crimson", "Golden",
+    "Midnight", "Savage", "Gentle", "Lost", "Final", "First",
+    "Burning", "Frozen", "Electric", "Velvet", "Hollow", "Sacred",
+    "Wicked", "Quiet", "Distant", "Forgotten", "Restless", "Shattered",
+    "Luminous", "Obsidian", "Scarlet", "Emerald", "Ivory", "Amber",
+]
+
+MOVIE_NOUNS = [
+    "Garden", "Mirror", "River", "Mountain", "Harbor", "Empire",
+    "Kingdom", "Shadow", "Horizon", "Voyage", "Promise", "Secret",
+    "Whisper", "Echo", "Storm", "Winter", "Summer", "Autumn",
+    "Letter", "Journey", "Symphony", "Serenade", "Requiem", "Ballad",
+    "Fortress", "Labyrinth", "Cathedral", "Lighthouse", "Carnival",
+    "Masquerade", "Reckoning", "Awakening", "Crossing", "Descent",
+]
+
+MOVIE_GENRES = [
+    "Drama", "Comedy", "Thriller", "Horror", "Action", "Adventure",
+    "Romance", "Science Fiction", "Fantasy", "Documentary", "Mystery",
+    "Crime", "Animation", "Western", "Musical", "War", "Biography",
+    "Family", "Sport", "Film Noir",
+]
+
+# ---------------------------------------------------------------------
+# Plants (Figure 6 of the paper surfaces exactly this style of name:
+# "Hairy Grama", "Cracked Lichen", "Pale Evening Primrose", ...).
+# ---------------------------------------------------------------------
+PLANT_ADJECTIVES = [
+    "Hairy", "Cracked", "Orange", "Kidney", "Coastal", "Pale",
+    "Showy", "Dispersed", "Woodland", "Canyon", "Hybrid", "Dwarf",
+    "Giant", "Creeping", "Climbing", "Trailing", "Upright", "Spotted",
+    "Striped", "Fragrant", "Prickly", "Smooth", "Velvet", "Woolly",
+    "Silver", "Copper", "Desert", "Alpine", "Meadow", "Marsh",
+    "Swamp", "Prairie", "Mountain", "Valley", "Northern", "Southern",
+    "Western", "Eastern", "Common", "Rare",
+]
+
+PLANT_NOUNS = [
+    "Grama", "Lichen", "Primrose", "Blackberry", "Liveforever",
+    "Dawnflower", "Eggyolk Lichen", "Rattlebox", "Wild Coffee",
+    "Angelica", "Oak", "Maple", "Willow", "Birch", "Aster",
+    "Sage", "Thistle", "Clover", "Fern", "Moss", "Sedge",
+    "Rush", "Reed", "Orchid", "Lily", "Iris", "Violet",
+    "Poppy", "Lupine", "Larkspur", "Columbine", "Penstemon",
+    "Milkweed", "Goldenrod", "Sunflower", "Daisy", "Yarrow",
+    "Buttercup", "Anemone", "Paintbrush",
+]
+
+PLANT_FAMILIES = [
+    "Asteraceae", "Poaceae", "Fabaceae", "Rosaceae", "Lamiaceae",
+    "Brassicaceae", "Apiaceae", "Ranunculaceae", "Liliaceae",
+    "Orchidaceae", "Ericaceae", "Solanaceae", "Malvaceae",
+    "Euphorbiaceae", "Cyperaceae", "Juncaceae", "Polygonaceae",
+    "Caryophyllaceae", "Onagraceae", "Boraginaceae",
+]
+
+LATIN_GENERA = [
+    "Panthera", "Quercus", "Acer", "Salix", "Betula", "Pinus",
+    "Abies", "Picea", "Juniperus", "Rosa", "Rubus", "Prunus",
+    "Malus", "Pyrus", "Fragaria", "Trifolium", "Lupinus", "Astragalus",
+    "Carex", "Juncus", "Poa", "Festuca", "Bromus", "Elymus",
+    "Bouteloua", "Andropogon", "Panicum", "Setaria", "Solidago",
+    "Aster", "Erigeron", "Helianthus", "Rudbeckia", "Echinacea",
+    "Penstemon", "Castilleja", "Mimulus", "Viola", "Ranunculus",
+    "Delphinium", "Aquilegia", "Anemone", "Clematis", "Thalictrum",
+]
+
+LATIN_EPITHETS = [
+    "alba", "nigra", "rubra", "lutea", "viridis", "glauca",
+    "vulgaris", "officinalis", "sylvatica", "montana", "alpina",
+    "pratensis", "palustris", "maritima", "arvensis", "campestris",
+    "occidentalis", "orientalis", "borealis", "australis",
+    "grandiflora", "parviflora", "macrophylla", "microphylla",
+    "angustifolia", "latifolia", "rotundifolia", "lanceolata",
+    "hirsuta", "glabra", "pubescens", "tomentosa", "spinosa",
+    "repens", "erecta", "procumbens", "scandens", "radicans",
+]
+
+DEPARTMENTS = [
+    "Engineering", "Marketing", "Sales", "Finance", "Human Resources",
+    "Legal", "Operations", "Research and Development", "Procurement",
+    "Customer Support", "Information Technology", "Quality Assurance",
+    "Logistics", "Public Relations", "Business Development",
+    "Product Management", "Design", "Data Science", "Security",
+    "Facilities", "Accounting", "Compliance", "Training",
+    "Biomedical Engineering", "Music Faculty",
+]
+
+EMAIL_DOMAINS = [
+    "example.com", "mail.test", "corp.example", "inbox.example",
+    "post.test", "mailbox.example",
+]

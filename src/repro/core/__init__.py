@@ -1,0 +1,59 @@
+"""Core DomainNet: bipartite graph, centrality measures, detection."""
+
+from .approx import riondato_kornaropoulos_bc, sample_size_bound
+from .betweenness import betweenness_score_map, betweenness_scores
+from .builder import build_graph, build_graph_from_columns
+from .communities import (
+    MeaningEstimate,
+    estimate_all_meanings,
+    estimate_meanings,
+)
+from .detector import DetectionResult, DomainNet
+from .errors import HomographClassification, classify_homographs
+from .graph import BipartiteGraph, GraphError
+from .label_propagation import (
+    attribute_community_map,
+    communities,
+    cross_community_values,
+    value_communities,
+)
+from .lcc import lcc_score_map, lcc_scores
+from .normalize import normalize_column, normalize_value
+from .ranking import (
+    HomographRanking,
+    RankedValue,
+    format_ranking,
+    rank_by_betweenness,
+    rank_by_lcc,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "DetectionResult",
+    "DomainNet",
+    "GraphError",
+    "HomographClassification",
+    "HomographRanking",
+    "MeaningEstimate",
+    "RankedValue",
+    "attribute_community_map",
+    "betweenness_score_map",
+    "betweenness_scores",
+    "build_graph",
+    "build_graph_from_columns",
+    "classify_homographs",
+    "communities",
+    "cross_community_values",
+    "estimate_all_meanings",
+    "estimate_meanings",
+    "format_ranking",
+    "lcc_score_map",
+    "lcc_scores",
+    "normalize_column",
+    "normalize_value",
+    "rank_by_betweenness",
+    "rank_by_lcc",
+    "riondato_kornaropoulos_bc",
+    "sample_size_bound",
+    "value_communities",
+]

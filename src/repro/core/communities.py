@@ -1,0 +1,121 @@
+"""Meaning counting — the paper's §6 future-work direction.
+
+Once a value is suspected to be a homograph, *how many* meanings does
+it have?  The paper frames meanings as communities: each attribute
+containing the value belongs to one of the value's meanings, and
+attributes of the same meaning share many other values.
+
+The estimator here clusters the attributes ``A(v)`` of a value by the
+Jaccard similarity of their remaining value sets (excluding ``v``
+itself — the homograph must not glue its own meanings together).
+Connected components at a similarity threshold are the estimated
+meanings.  On the Figure 1 running example this yields exactly 2 for
+Jaguar and Puma and 1 for Toyota and Panda.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .graph import BipartiteGraph
+
+
+@dataclass(frozen=True)
+class MeaningEstimate:
+    """Estimated meanings of one value."""
+
+    value: str
+    num_meanings: int
+    groups: List[List[str]]  # attribute qualified names per meaning
+
+    @property
+    def is_homograph(self) -> bool:
+        return self.num_meanings >= 2
+
+
+def estimate_meanings(
+    graph: BipartiteGraph,
+    value: str,
+    threshold: float = 0.25,
+) -> MeaningEstimate:
+    """Cluster a value's attributes into meaning groups.
+
+    Parameters
+    ----------
+    graph:
+        The bipartite lake graph (pruned or not).
+    value:
+        Normalized value name.
+    threshold:
+        Minimum Jaccard similarity (over attribute value sets with the
+        target value removed) for two attributes to share a meaning.
+        0.25 reproduces the running-example ground truth; lower values
+        merge more aggressively.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    v = graph.value_id(value)
+    attrs = [int(a) for a in graph.value_attributes(v)]
+    if not attrs:
+        return MeaningEstimate(value=value, num_meanings=0, groups=[])
+
+    value_sets = []
+    for a in attrs:
+        members = graph.attribute_values(a)
+        value_sets.append(members[members != v])
+
+    n = len(attrs)
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = value_sets[i], value_sets[j]
+            if a.size == 0 and b.size == 0:
+                similarity = 1.0  # two singleton attributes: no evidence
+            else:
+                inter = np.intersect1d(a, b, assume_unique=True).size
+                union = a.size + b.size - inter
+                similarity = inter / union if union else 0.0
+            if similarity >= threshold:
+                ra, rb = find(i), find(j)
+                if ra != rb:
+                    parent[ra] = rb
+
+    clusters: Dict[int, List[str]] = {}
+    for i, a in enumerate(attrs):
+        clusters.setdefault(find(i), []).append(graph.attribute_name(a))
+    groups = sorted(clusters.values(), key=lambda g: (len(g), g), reverse=True)
+    return MeaningEstimate(
+        value=value, num_meanings=len(groups), groups=groups
+    )
+
+
+def estimate_all_meanings(
+    graph: BipartiteGraph,
+    values: Optional[List[str]] = None,
+    threshold: float = 0.25,
+) -> Dict[str, MeaningEstimate]:
+    """Meaning estimates for many values (default: all candidates).
+
+    Candidates are value nodes appearing in at least two attributes —
+    a single-attribute value trivially has one meaning.
+    """
+    if values is None:
+        values = [
+            graph.value_name(v)
+            for v in range(graph.num_values)
+            if graph.degree(v) >= 2
+        ]
+    return {
+        value: estimate_meanings(graph, value, threshold=threshold)
+        for value in values
+    }

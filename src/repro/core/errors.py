@@ -1,0 +1,113 @@
+"""Error-vs-genuine homograph classification (§6 future work).
+
+The paper distinguishes homographs that are *genuinely ambiguous*
+(Jaguar) from homographs born of *data errors* — e.g. the animal color
+"yellow" accidentally entered in a habitat column, or "Manitoba Hydro"
+landing in a Street Name column.  The observable difference is support:
+an error-meaning is typically backed by one or two stray cells, while a
+genuine meaning recurs.
+
+:func:`classify_homographs` groups each homograph's attributes into
+meanings (via :mod:`repro.core.communities`), counts the cell
+occurrences supporting each meaning, and calls the homograph an
+``"error"`` when its weakest meaning has at most ``error_support``
+occurrences while another meaning is well supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..core.normalize import normalize_value
+from ..datalake.lake import DataLake
+from .builder import build_graph
+from .communities import estimate_meanings
+from .graph import BipartiteGraph
+
+
+@dataclass(frozen=True)
+class HomographClassification:
+    """Verdict for one homograph value."""
+
+    value: str
+    kind: str  # "genuine", "error", or "single-meaning"
+    meaning_support: List[int]  # occurrences per meaning, descending
+
+    @property
+    def num_meanings(self) -> int:
+        return len(self.meaning_support)
+
+
+def classify_homographs(
+    lake: DataLake,
+    values: Iterable[str],
+    threshold: float = 0.25,
+    error_support: int = 1,
+    dominant_support: int = 3,
+    graph: BipartiteGraph = None,
+) -> Dict[str, HomographClassification]:
+    """Classify each candidate homograph as genuine or error-born.
+
+    Parameters
+    ----------
+    lake:
+        The data lake (needed for occurrence counts).
+    values:
+        Normalized homograph candidates (e.g. a detector's top-k).
+    threshold:
+        Meaning-clustering similarity threshold.
+    error_support:
+        A meaning with at most this many supporting cells is "stray".
+    dominant_support:
+        The strongest meaning must have at least this many cells for
+        the stray meaning to look like an error rather than sparsity.
+    graph:
+        Optionally a pre-built graph of the lake (unpruned), to avoid
+        rebuilding it per call.
+    """
+    if graph is None:
+        graph = build_graph(lake)
+    occurrences = _occurrences_per_attribute(lake)
+
+    out: Dict[str, HomographClassification] = {}
+    for value in values:
+        if not graph.has_value(value):
+            continue
+        estimate = estimate_meanings(graph, value, threshold=threshold)
+        support = sorted(
+            (
+                sum(
+                    occurrences.get((attr, value), 0)
+                    for attr in group
+                )
+                for group in estimate.groups
+            ),
+            reverse=True,
+        )
+        if len(support) < 2:
+            kind = "single-meaning"
+        elif (
+            support[-1] <= error_support
+            and support[0] >= dominant_support
+        ):
+            kind = "error"
+        else:
+            kind = "genuine"
+        out[value] = HomographClassification(
+            value=value, kind=kind, meaning_support=support
+        )
+    return out
+
+
+def _occurrences_per_attribute(lake: DataLake) -> Dict[tuple, int]:
+    """(attribute qualified name, normalized value) -> cell count."""
+    counts: Dict[tuple, int] = {}
+    for column in lake.iter_attributes():
+        qname = column.qualified_name
+        for raw in column.values:
+            value = normalize_value(raw)
+            if value:
+                key = (qname, value)
+                counts[key] = counts.get(key, 0) + 1
+    return counts

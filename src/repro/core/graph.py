@@ -1,0 +1,319 @@
+"""Compact bipartite value–attribute graph.
+
+The DomainNet representation (§3.2): one node per distinct normalized
+data value, one node per attribute, and an undirected edge whenever the
+value occurs in the attribute.  At data-lake scale (the NYC lake has
+~1.5M value nodes and ~2.3M edges) a dict-of-sets graph is too heavy, so
+adjacency is stored in CSR form on numpy arrays:
+
+* node ids ``0 … num_values-1`` are value nodes,
+* node ids ``num_values … num_nodes-1`` are attribute nodes,
+* ``indptr``/``indices`` hold the symmetric adjacency.
+
+Because the graph is bipartite, every neighbor of a value node is an
+attribute node and vice versa; the 2-hop neighborhood of a value node is
+its *value neighbors* ``N(v)`` from the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+
+class GraphError(ValueError):
+    """Raised on invalid graph construction or queries."""
+
+
+class BipartiteGraph:
+    """Immutable CSR bipartite graph over value and attribute nodes."""
+
+    def __init__(
+        self,
+        value_names: Sequence[str],
+        attribute_names: Sequence[str],
+        edges: Iterable[Tuple[int, int]],
+    ) -> None:
+        """Build the graph from (value_id, attribute_id) pairs.
+
+        ``value_id`` indexes ``value_names``; ``attribute_id`` indexes
+        ``attribute_names``.  Duplicate edges collapse; self-loops cannot
+        exist by construction (the two endpoints live in different id
+        spaces).
+        """
+        self._value_names: List[str] = list(value_names)
+        self._attribute_names: List[str] = list(attribute_names)
+        if len(set(self._value_names)) != len(self._value_names):
+            raise GraphError("duplicate value names")
+        if len(set(self._attribute_names)) != len(self._attribute_names):
+            raise GraphError("duplicate attribute names")
+
+        n_val = len(self._value_names)
+        n_attr = len(self._attribute_names)
+        n = n_val + n_attr
+
+        edge_array = np.asarray(list(edges), dtype=np.int64)
+        if edge_array.size == 0:
+            edge_array = edge_array.reshape(0, 2)
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise GraphError("edges must be (value_id, attribute_id) pairs")
+        if edge_array.size:
+            if edge_array[:, 0].min() < 0 or edge_array[:, 0].max() >= n_val:
+                raise GraphError("value id out of range")
+            if edge_array[:, 1].min() < 0 or edge_array[:, 1].max() >= n_attr:
+                raise GraphError("attribute id out of range")
+
+        # Deduplicate, then symmetrize into global node-id space.
+        if edge_array.size:
+            keys = edge_array[:, 0] * n_attr + edge_array[:, 1]
+            unique_keys = np.unique(keys)
+            values = (unique_keys // n_attr).astype(np.int64)
+            attrs = (unique_keys % n_attr).astype(np.int64) + n_val
+        else:
+            values = np.empty(0, dtype=np.int64)
+            attrs = np.empty(0, dtype=np.int64)
+
+        src = np.concatenate([values, attrs])
+        dst = np.concatenate([attrs, values])
+        order = np.argsort(src, kind="stable")
+        src, dst = src[order], dst[order]
+
+        self._indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(self._indptr, src + 1, 1)
+        np.cumsum(self._indptr, out=self._indptr)
+        self._indices = dst.copy()
+        # Sort each adjacency list for fast set ops (intersect1d etc.).
+        for node in range(n):
+            lo, hi = self._indptr[node], self._indptr[node + 1]
+            self._indices[lo:hi].sort()
+
+        self._value_ids: Dict[str, int] = {
+            name: i for i, name in enumerate(self._value_names)
+        }
+        self._attribute_ids: Dict[str, int] = {
+            name: n_val + i for i, name in enumerate(self._attribute_names)
+        }
+
+    # ------------------------------------------------------------------
+    # Size and id-space queries
+    # ------------------------------------------------------------------
+    @property
+    def num_values(self) -> int:
+        return len(self._value_names)
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self._attribute_names)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_values + self.num_attributes
+
+    @property
+    def num_edges(self) -> int:
+        return int(self._indices.size // 2)
+
+    @property
+    def indptr(self) -> np.ndarray:
+        """CSR row pointers (read-only view)."""
+        return self._indptr
+
+    @property
+    def indices(self) -> np.ndarray:
+        """CSR column indices (read-only view)."""
+        return self._indices
+
+    def is_value_node(self, node: int) -> bool:
+        return 0 <= node < self.num_values
+
+    def is_attribute_node(self, node: int) -> bool:
+        return self.num_values <= node < self.num_nodes
+
+    # ------------------------------------------------------------------
+    # Name <-> id
+    # ------------------------------------------------------------------
+    def value_name(self, node: int) -> str:
+        if not self.is_value_node(node):
+            raise GraphError(f"node {node} is not a value node")
+        return self._value_names[node]
+
+    def attribute_name(self, node: int) -> str:
+        if not self.is_attribute_node(node):
+            raise GraphError(f"node {node} is not an attribute node")
+        return self._attribute_names[node - self.num_values]
+
+    def value_id(self, name: str) -> int:
+        try:
+            return self._value_ids[name]
+        except KeyError:
+            raise GraphError(f"no value node named {name!r}") from None
+
+    def attribute_id(self, name: str) -> int:
+        try:
+            return self._attribute_ids[name]
+        except KeyError:
+            raise GraphError(f"no attribute node named {name!r}") from None
+
+    def has_value(self, name: str) -> bool:
+        return name in self._value_ids
+
+    @property
+    def value_names(self) -> List[str]:
+        return list(self._value_names)
+
+    @property
+    def attribute_names(self) -> List[str]:
+        return list(self._attribute_names)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def degree(self, node: int) -> int:
+        return int(self._indptr[node + 1] - self._indptr[node])
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every node, as an array indexed by node id."""
+        return np.diff(self._indptr)
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Sorted neighbor ids of a node (read-only view)."""
+        return self._indices[self._indptr[node]:self._indptr[node + 1]]
+
+    def value_attributes(self, value_node: int) -> np.ndarray:
+        """Attribute node ids containing the value (its ``A(v)``)."""
+        if not self.is_value_node(value_node):
+            raise GraphError(f"node {value_node} is not a value node")
+        return self.neighbors(value_node)
+
+    def attribute_values(self, attribute_node: int) -> np.ndarray:
+        """Value node ids occurring in the attribute."""
+        if not self.is_attribute_node(attribute_node):
+            raise GraphError(f"node {attribute_node} is not an attribute node")
+        return self.neighbors(attribute_node)
+
+    def value_neighbors(self, value_node: int) -> np.ndarray:
+        """The paper's ``N(v)``: values co-occurring with ``value_node``.
+
+        Computed as the union of the value sets of the attributes that
+        contain the value, minus the value itself.  Sorted array.
+        """
+        attrs = self.value_attributes(value_node)
+        if attrs.size == 0:
+            return np.empty(0, dtype=np.int64)
+        pieces = [self.neighbors(a) for a in attrs]
+        union = np.unique(np.concatenate(pieces))
+        return union[union != value_node]
+
+    def value_cardinality(self, value_node: int) -> int:
+        """``|N(v)|`` — the paper's cardinality of a value node."""
+        return int(self.value_neighbors(value_node).size)
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def prune_values(self, min_degree: int = 2) -> "BipartiteGraph":
+        """Drop value nodes appearing in fewer than ``min_degree`` attrs.
+
+        The paper's preprocessing: "DomainNet pre-processes the input to
+        remove data values that appear only once in the data lake", i.e.
+        keep only homograph *candidates* (values in ≥ 2 attributes) as
+        value nodes.  Attribute nodes always survive, even if emptied.
+        """
+        keep = [
+            v for v in range(self.num_values) if self.degree(v) >= min_degree
+        ]
+        return self.subgraph_from_values(keep)
+
+    def subgraph_from_values(
+        self, value_nodes: Sequence[int]
+    ) -> "BipartiteGraph":
+        """Induced subgraph on the given value nodes (all attributes kept)."""
+        keep = sorted(set(value_nodes))
+        names = [self._value_names[v] for v in keep]
+        remap = {old: new for new, old in enumerate(keep)}
+        edges = []
+        for old in keep:
+            for attr in self.value_attributes(old):
+                edges.append((remap[old], int(attr) - self.num_values))
+        return BipartiteGraph(names, self._attribute_names, edges)
+
+    def subgraph_from_attributes(
+        self, attribute_nodes: Sequence[int]
+    ) -> "BipartiteGraph":
+        """Subgraph induced by attributes and every value inside them.
+
+        This is the footnote-9 extraction procedure used for the Figure 9
+        scalability sweep: pick attribute nodes, pull in all their value
+        nodes.  Value nodes that end up isolated are dropped.
+        """
+        attrs = sorted(set(attribute_nodes))
+        for a in attrs:
+            if not self.is_attribute_node(a):
+                raise GraphError(f"node {a} is not an attribute node")
+        value_set: Set[int] = set()
+        for a in attrs:
+            value_set.update(int(v) for v in self.attribute_values(a))
+        values = sorted(value_set)
+        value_remap = {old: new for new, old in enumerate(values)}
+        attr_remap = {old: new for new, old in enumerate(attrs)}
+        value_names = [self._value_names[v] for v in values]
+        attr_names = [self.attribute_name(a) for a in attrs]
+        edges = []
+        for old_attr in attrs:
+            for v in self.attribute_values(old_attr):
+                edges.append((value_remap[int(v)], attr_remap[old_attr]))
+        return BipartiteGraph(value_names, attr_names, edges)
+
+    # ------------------------------------------------------------------
+    # Interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export to a :mod:`networkx` graph for cross-checking in tests.
+
+        Value nodes become ``("val", name)``; attribute nodes become
+        ``("attr", name)``.
+        """
+        import networkx as nx
+
+        graph = nx.Graph()
+        for v, name in enumerate(self._value_names):
+            graph.add_node(("val", name))
+        for name in self._attribute_names:
+            graph.add_node(("attr", name))
+        for v in range(self.num_values):
+            for a in self.value_attributes(v):
+                graph.add_edge(
+                    ("val", self._value_names[v]),
+                    ("attr", self.attribute_name(int(a))),
+                )
+        return graph
+
+    def connected_components(self) -> List[np.ndarray]:
+        """Connected components as arrays of node ids (largest first)."""
+        n = self.num_nodes
+        labels = np.full(n, -1, dtype=np.int64)
+        current = 0
+        for start in range(n):
+            if labels[start] >= 0:
+                continue
+            frontier = np.array([start], dtype=np.int64)
+            labels[start] = current
+            while frontier.size:
+                neighbor_chunks = [self.neighbors(int(u)) for u in frontier]
+                candidates = np.unique(np.concatenate(neighbor_chunks))
+                fresh = candidates[labels[candidates] < 0]
+                labels[fresh] = current
+                frontier = fresh
+            current += 1
+        components = [
+            np.flatnonzero(labels == c) for c in range(current)
+        ]
+        components.sort(key=len, reverse=True)
+        return components
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BipartiteGraph(values={self.num_values}, "
+            f"attributes={self.num_attributes}, edges={self.num_edges})"
+        )

@@ -1,0 +1,138 @@
+"""Community detection on the lake graph (paper §6 future work).
+
+The paper motivates DomainNet through community structure — "a
+community represents a meaning for a value" — and proposes
+non-parameterized community detection as the route to discovering the
+meanings themselves.  This module implements asynchronous **label
+propagation** (Raghavan et al. 2007) on the bipartite graph: it needs
+no community count, runs in near-linear time, and returns the latent
+semantic types as groups of value and attribute nodes.
+
+Two consumers:
+
+* :func:`communities` — raw node partition;
+* :func:`value_communities` — per-value community sets restricted to
+  value nodes, which double as discovered domains and let callers flag
+  values whose *attributes* disagree about their community.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from .graph import BipartiteGraph
+
+
+def communities(
+    graph: BipartiteGraph,
+    max_iterations: int = 50,
+    seed: Optional[int] = None,
+) -> List[Set[int]]:
+    """Partition all nodes by asynchronous label propagation.
+
+    Every node starts in its own community; nodes repeatedly adopt the
+    most frequent label among their neighbors (ties broken by smallest
+    label for determinism given the seed-shuffled visit order).  Stops
+    at a fixed point or after ``max_iterations`` sweeps.
+
+    Returns communities as sets of node ids, largest first.  Isolated
+    nodes form singleton communities.
+    """
+    n = graph.num_nodes
+    if n == 0:
+        return []
+    labels = np.arange(n, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    order = np.arange(n)
+
+    for _ in range(max_iterations):
+        rng.shuffle(order)
+        changed = 0
+        for node in order:
+            neighbors = graph.neighbors(int(node))
+            if neighbors.size == 0:
+                continue
+            neighbor_labels = labels[neighbors]
+            values, counts = np.unique(neighbor_labels, return_counts=True)
+            best = values[counts == counts.max()].min()
+            if labels[node] != best:
+                labels[node] = best
+                changed += 1
+        if changed == 0:
+            break
+
+    groups: Dict[int, Set[int]] = {}
+    for node in range(n):
+        groups.setdefault(int(labels[node]), set()).add(node)
+    return sorted(groups.values(), key=len, reverse=True)
+
+
+def value_communities(
+    graph: BipartiteGraph,
+    max_iterations: int = 50,
+    seed: Optional[int] = None,
+) -> List[Set[str]]:
+    """Discovered domains: communities restricted to value names.
+
+    Communities that contain no value node are dropped.
+    """
+    out = []
+    for group in communities(graph, max_iterations=max_iterations,
+                             seed=seed):
+        names = {
+            graph.value_name(node)
+            for node in group
+            if graph.is_value_node(node)
+        }
+        if names:
+            out.append(names)
+    return out
+
+
+def attribute_community_map(
+    graph: BipartiteGraph,
+    max_iterations: int = 50,
+    seed: Optional[int] = None,
+) -> Dict[str, int]:
+    """Attribute qualified name -> community index.
+
+    Useful for spotting homographs a posteriori: a value whose
+    attributes land in different communities spans meanings.
+    """
+    result: Dict[str, int] = {}
+    for i, group in enumerate(
+        communities(graph, max_iterations=max_iterations, seed=seed)
+    ):
+        for node in group:
+            if graph.is_attribute_node(node):
+                result[graph.attribute_name(node)] = i
+    return result
+
+
+def cross_community_values(
+    graph: BipartiteGraph,
+    max_iterations: int = 50,
+    seed: Optional[int] = None,
+) -> Dict[str, int]:
+    """Values whose attributes span several communities, with the count.
+
+    This is the community-detection route to homograph detection the
+    paper sketches in §6: a value bridging k communities has (at least)
+    k candidate meanings.  Only values spanning >= 2 are returned.
+    """
+    attr_map = attribute_community_map(
+        graph, max_iterations=max_iterations, seed=seed
+    )
+    out: Dict[str, int] = {}
+    for v in range(graph.num_values):
+        attrs = graph.value_attributes(v)
+        if attrs.size < 2:
+            continue
+        spanned = {
+            attr_map[graph.attribute_name(int(a))] for a in attrs
+        }
+        if len(spanned) >= 2:
+            out[graph.value_name(v)] = len(spanned)
+    return out

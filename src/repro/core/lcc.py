@@ -1,0 +1,122 @@
+"""Local clustering coefficient (LCC) homograph scores.
+
+The paper defines (Eq. 1) the LCC of a value node ``u`` as the average
+pairwise clustering coefficient over its value neighbors ``N(u)``, where
+the pairwise coefficient of two values is the Jaccard similarity of their
+neighbor sets.  The paper then observes that "the measure as defined in
+Equation (1) is no more than the average Jaccard similarity between the
+set of attributes that a value co-occurs with" — and indeed only that
+attribute-set reading reproduces the scores reported in Example 3.6
+(Jaguar 0.36, Puma 0.43, Toyota/Panda 0.46).  See DESIGN.md §1.
+
+Both readings are implemented:
+
+* :func:`lcc_scores` with ``variant="attribute-jaccard"`` (default) —
+  the paper's implementation:
+  ``LCC(u) = mean over v in N(u) of J(A(u), A(v))``
+  with ``A(x)`` the attribute set of ``x``.
+* ``variant="value-neighbors"`` — the literal Eq. 1 over value-neighbor
+  sets, quadratic in ``|N(u)|`` and only practical on small graphs; kept
+  for the measure ablation (DESIGN.md E-X1).
+
+Hypothesis 3.4: homographs should score *lower* than unambiguous values,
+so rankings sort ascending.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from .graph import BipartiteGraph
+
+_VARIANTS = ("attribute-jaccard", "value-neighbors")
+
+
+def lcc_scores(
+    graph: BipartiteGraph,
+    variant: str = "attribute-jaccard",
+) -> np.ndarray:
+    """LCC score for every value node, indexed by value node id.
+
+    Isolated values (no value neighbors) score 0.0 — they have no
+    community to cohere with, and they cannot be homographs anyway.
+    """
+    if variant not in _VARIANTS:
+        raise ValueError(
+            f"unknown LCC variant {variant!r}; expected one of {_VARIANTS}"
+        )
+    if variant == "attribute-jaccard":
+        return _lcc_attribute_jaccard(graph)
+    return _lcc_value_neighbors(graph)
+
+
+def _lcc_attribute_jaccard(graph: BipartiteGraph) -> np.ndarray:
+    """Vectorized attribute-set Jaccard averaging.
+
+    For a value ``u``, concatenating the value lists of every attribute
+    in ``A(u)`` yields each co-occurring value ``v`` exactly
+    ``|A(u) ∩ A(v)|`` times, so one ``np.unique(..., return_counts=True)``
+    call gives all intersection sizes at once and the Jaccard follows
+    from the value degrees.  Cost is linear in the total size of ``u``'s
+    attributes rather than quadratic in ``|N(u)|``.
+    """
+    scores = np.zeros(graph.num_values, dtype=np.float64)
+    degrees = graph.degrees()
+    indptr, indices = graph.indptr, graph.indices
+
+    for u in range(graph.num_values):
+        attrs = indices[indptr[u]:indptr[u + 1]]
+        if attrs.size == 0:
+            continue
+        pieces = [indices[indptr[a]:indptr[a + 1]] for a in attrs]
+        cooccurring = np.concatenate(pieces)
+        neighbors, inter = np.unique(cooccurring, return_counts=True)
+        mask = neighbors != u
+        neighbors, inter = neighbors[mask], inter[mask]
+        if neighbors.size == 0:
+            continue
+        union = degrees[u] + degrees[neighbors] - inter
+        scores[u] = float(np.mean(inter / union))
+    return scores
+
+
+def _lcc_value_neighbors(graph: BipartiteGraph) -> np.ndarray:
+    """Literal Eq. 1: Jaccard over value-neighbor sets ``N(·)``.
+
+    ``N(v)`` arrays are cached across the loop since neighbors share
+    attributes heavily.  O(|N(u)|^2)-ish per node — ablation use only.
+    """
+    scores = np.zeros(graph.num_values, dtype=np.float64)
+    cache: Dict[int, np.ndarray] = {}
+
+    def neighbor_set(v: int) -> np.ndarray:
+        cached = cache.get(v)
+        if cached is None:
+            cached = graph.value_neighbors(v)
+            cache[v] = cached
+        return cached
+
+    for u in range(graph.num_values):
+        n_u = neighbor_set(u)
+        if n_u.size == 0:
+            continue
+        total = 0.0
+        size_u = n_u.size
+        for v in n_u:
+            n_v = neighbor_set(int(v))
+            inter = np.intersect1d(n_u, n_v, assume_unique=True).size
+            union = size_u + n_v.size - inter
+            total += inter / union if union else 0.0
+        scores[u] = total / size_u
+    return scores
+
+
+def lcc_score_map(
+    graph: BipartiteGraph,
+    variant: str = "attribute-jaccard",
+) -> Dict[str, float]:
+    """LCC scores keyed by value name."""
+    scores = lcc_scores(graph, variant=variant)
+    return {graph.value_name(v): float(scores[v]) for v in range(graph.num_values)}

@@ -1,0 +1,45 @@
+"""Value normalization.
+
+The paper (§3.2): "Every data value is treated as a single string, it is
+capitalized and has its leading and trailing white-space removed to
+ensure consistent comparison of data values across the lake."  A single
+normalization function is shared by the graph builder, the profilers,
+and every ground-truth labeler so the notion of "the same value" is
+identical everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+
+def normalize_value(raw: str) -> str:
+    """Normalize one cell for cross-lake comparison.
+
+    Strips leading/trailing whitespace (including internal runs collapsed
+    to single spaces, so ``"San  Diego"`` and ``"San Diego"`` agree) and
+    upper-cases the result.  Returns the empty string for blank cells —
+    callers treat that as "no value".
+    """
+    if not raw:
+        return ""
+    collapsed = " ".join(raw.split())
+    return collapsed.upper()
+
+
+def normalize_column(values: Iterable[str]) -> List[str]:
+    """Normalize a column, dropping blanks, preserving first-seen order.
+
+    The result is the column's *distinct normalized value set* in list
+    form: duplicates collapse because the bipartite graph has at most one
+    edge between a value and an attribute no matter how often the value
+    repeats in the column.
+    """
+    seen: Set[str] = set()
+    out: List[str] = []
+    for raw in values:
+        value = normalize_value(raw)
+        if value and value not in seen:
+            seen.add(value)
+            out.append(value)
+    return out

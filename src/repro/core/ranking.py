@@ -1,0 +1,110 @@
+"""Ranking of homograph candidates (step 3 of the Figure 4 pipeline).
+
+Scores flow in from either measure; the ranking layer knows only the
+direction in which "more homograph-like" points: descending for
+betweenness centrality (Hypothesis 3.5), ascending for the local
+clustering coefficient (Hypothesis 3.4).  Ties break lexicographically
+on the value name so rankings are deterministic across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class RankedValue:
+    """One entry of a homograph ranking."""
+
+    rank: int  # 1-based
+    value: str
+    score: float
+
+
+class HomographRanking:
+    """An ordered list of candidate values with scores.
+
+    Iterating yields :class:`RankedValue` entries, best candidate first.
+    """
+
+    def __init__(
+        self,
+        scores: Mapping[str, float],
+        descending: bool,
+        measure: str,
+    ) -> None:
+        self.measure = measure
+        self.descending = descending
+        key = (lambda item: (-item[1], item[0])) if descending else (
+            lambda item: (item[1], item[0])
+        )
+        ordered = sorted(scores.items(), key=key)
+        self._entries = [
+            RankedValue(rank=i + 1, value=value, score=float(score))
+            for i, (value, score) in enumerate(ordered)
+        ]
+        self._by_value: Dict[str, RankedValue] = {
+            entry.value: entry for entry in self._entries
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[RankedValue]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> RankedValue:
+        return self._entries[index]
+
+    def top(self, k: int) -> List[RankedValue]:
+        """The best ``k`` candidates (all of them if ``k`` exceeds size)."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return self._entries[:k]
+
+    def top_values(self, k: int) -> List[str]:
+        """Just the value strings of the top ``k`` candidates."""
+        return [entry.value for entry in self.top(k)]
+
+    def rank_of(self, value: str) -> Optional[int]:
+        """1-based rank of a value, or ``None`` if absent."""
+        entry = self._by_value.get(value)
+        return entry.rank if entry else None
+
+    def score_of(self, value: str) -> Optional[float]:
+        entry = self._by_value.get(value)
+        return entry.score if entry else None
+
+    @property
+    def values(self) -> List[str]:
+        """All values in rank order."""
+        return [entry.value for entry in self._entries]
+
+
+def rank_by_betweenness(scores: Mapping[str, float]) -> HomographRanking:
+    """Descending ranking: high BC ⇒ more homograph-like."""
+    return HomographRanking(scores, descending=True, measure="betweenness")
+
+
+def rank_by_lcc(scores: Mapping[str, float]) -> HomographRanking:
+    """Ascending ranking: low LCC ⇒ more homograph-like."""
+    return HomographRanking(scores, descending=False, measure="lcc")
+
+
+def format_ranking(
+    ranking: HomographRanking,
+    k: int = 10,
+    labels: Optional[Mapping[str, bool]] = None,
+) -> str:
+    """Pretty-print the top-k, optionally marking ground-truth homographs.
+
+    Mirrors the paper's §5.3 top-10 listing format.
+    """
+    lines = [f"top-{k} by {ranking.measure}"]
+    for entry in ranking.top(k):
+        mark = ""
+        if labels is not None:
+            mark = "  [homograph]" if labels.get(entry.value) else "  [unambiguous]"
+        lines.append(f"{entry.rank:>4}. {entry.value!r} -> {entry.score:.5f}{mark}")
+    return "\n".join(lines)

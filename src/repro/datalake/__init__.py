@@ -1,0 +1,39 @@
+"""Data-lake substrate: tables, lakes, CSV I/O, profiling, and catalog.
+
+This package is deliberately schema-free: a lake is a bag of tables whose
+cells are strings, and every relationship DomainNet uses is discovered
+from value co-occurrence rather than declared metadata.
+"""
+
+from .catalog import LakeStatistics, compute_statistics, format_statistics_table
+from .csv_io import dump_lake, load_lake, read_table, write_table
+from .lake import DataLake, LakeError
+from .profiling import (
+    AttributeProfile,
+    cardinality_range,
+    profile_attributes,
+    value_attribute_index,
+    value_cardinalities,
+)
+from .table import Column, Table, TableError, infer_column_kind
+
+__all__ = [
+    "AttributeProfile",
+    "Column",
+    "DataLake",
+    "LakeError",
+    "LakeStatistics",
+    "Table",
+    "TableError",
+    "cardinality_range",
+    "compute_statistics",
+    "dump_lake",
+    "format_statistics_table",
+    "infer_column_kind",
+    "load_lake",
+    "profile_attributes",
+    "read_table",
+    "value_attribute_index",
+    "value_cardinalities",
+    "write_table",
+]

@@ -1,0 +1,126 @@
+"""Lake-level catalog: the statistics behind Table 1 of the paper.
+
+For each dataset the paper reports: number of tables, total attributes,
+number of unique values, number of homographs, the cardinality range of
+the homographs, and the range of the number of distinct meanings.  The
+:class:`LakeStatistics` dataclass captures exactly those columns, with
+``None`` standing in for the paper's "N/A" entries (datasets without
+ground truth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Set
+
+from .lake import DataLake
+from .profiling import value_attribute_index, value_cardinalities
+
+
+@dataclass(frozen=True)
+class LakeStatistics:
+    """One row of Table 1."""
+
+    name: str
+    num_tables: int
+    num_attributes: int
+    num_values: int
+    num_homographs: Optional[int] = None
+    homograph_cardinality_min: Optional[int] = None
+    homograph_cardinality_max: Optional[int] = None
+    meanings_min: Optional[int] = None
+    meanings_max: Optional[int] = None
+
+    def as_row(self) -> Dict[str, str]:
+        """Render as the string cells used in the Table 1 bench output."""
+
+        def fmt_range(lo: Optional[int], hi: Optional[int]) -> str:
+            if lo is None or hi is None:
+                return "N/A"
+            return f"{lo}-{hi}" if lo != hi else str(lo)
+
+        return {
+            "dataset": self.name,
+            "#Tables": str(self.num_tables),
+            "#Attr": str(self.num_attributes),
+            "#Val": str(self.num_values),
+            "#Hom": "N/A" if self.num_homographs is None
+                    else str(self.num_homographs),
+            "Card(H)": fmt_range(
+                self.homograph_cardinality_min, self.homograph_cardinality_max
+            ),
+            "#M": fmt_range(self.meanings_min, self.meanings_max),
+        }
+
+
+def compute_statistics(
+    lake: DataLake,
+    name: str,
+    homographs: Optional[Set[str]] = None,
+    meanings: Optional[Mapping[str, int]] = None,
+) -> LakeStatistics:
+    """Compute the Table 1 row for a lake.
+
+    Parameters
+    ----------
+    lake:
+        The data lake.
+    name:
+        Dataset label for the row.
+    homographs:
+        Ground-truth homograph values (normalized), when known.
+    meanings:
+        Ground-truth number of meanings per homograph, when known.
+    """
+    index = value_attribute_index(lake)
+    num_values = len(index)
+
+    if homographs is None:
+        return LakeStatistics(
+            name=name,
+            num_tables=len(lake),
+            num_attributes=lake.num_attributes,
+            num_values=num_values,
+        )
+
+    cardinalities = value_cardinalities(lake)
+    known = [v for v in homographs if v in cardinalities]
+    card_min = min((cardinalities[v] for v in known), default=None)
+    card_max = max((cardinalities[v] for v in known), default=None)
+
+    meanings_min = meanings_max = None
+    if meanings:
+        counts = [meanings[v] for v in homographs if v in meanings]
+        if counts:
+            meanings_min, meanings_max = min(counts), max(counts)
+
+    return LakeStatistics(
+        name=name,
+        num_tables=len(lake),
+        num_attributes=lake.num_attributes,
+        num_values=num_values,
+        num_homographs=len(homographs),
+        homograph_cardinality_min=card_min,
+        homograph_cardinality_max=card_max,
+        meanings_min=meanings_min,
+        meanings_max=meanings_max,
+    )
+
+
+def format_statistics_table(rows: Sequence[LakeStatistics]) -> str:
+    """Render rows as an aligned text table (the Table 1 layout)."""
+    headers = ["dataset", "#Tables", "#Attr", "#Val", "#Hom", "Card(H)", "#M"]
+    grid = [headers] + [
+        [row.as_row()[h] for h in headers] for row in rows
+    ]
+    widths = [
+        max(len(grid[r][c]) for r in range(len(grid)))
+        for c in range(len(headers))
+    ]
+    lines = []
+    for r, cells in enumerate(grid):
+        line = "  ".join(cell.ljust(widths[c]) for c, cell in enumerate(cells))
+        lines.append(line.rstrip())
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""CSV ingestion and export for data lakes.
+
+Open-data lakes are overwhelmingly CSV files, so this is the primary I/O
+path: a directory of ``*.csv`` files becomes a :class:`~repro.datalake
+.lake.DataLake` with one table per file.  Everything stays text — no type
+coercion happens at ingestion, matching the paper's treatment of every
+cell as a string.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from .lake import DataLake
+from .table import Table, TableError
+
+PathLike = Union[str, os.PathLike]
+
+
+def read_table(
+    path: PathLike,
+    name: Optional[str] = None,
+    delimiter: str = ",",
+    encoding: str = "utf-8",
+) -> Table:
+    """Read one CSV file into a :class:`Table`.
+
+    The first row is the header.  Files with no data rows are legal (a
+    table may be empty); files with no header raise :class:`TableError`.
+    """
+    path = Path(path)
+    table_name = name if name is not None else path.stem
+    with open(path, newline="", encoding=encoding) as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise TableError(f"{path} is empty: no header row") from None
+        rows = [row for row in reader]
+    return Table(name=table_name, columns=header, rows=rows)
+
+
+def write_table(
+    table: Table,
+    path: PathLike,
+    delimiter: str = ",",
+    encoding: str = "utf-8",
+) -> None:
+    """Write a table as a CSV file with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", newline="", encoding=encoding) as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.columns)
+        writer.writerows(table.rows)
+
+
+def load_lake(
+    directory: PathLike,
+    pattern: str = "*.csv",
+    delimiter: str = ",",
+    encoding: str = "utf-8",
+) -> DataLake:
+    """Load every matching CSV file under ``directory`` into a lake.
+
+    Files are loaded in sorted order so lakes are reproducible across
+    filesystems.  Sub-directories are searched recursively; table names
+    use the path relative to ``directory`` (without extension) so that
+    same-named files in different folders do not collide.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"{directory} is not a directory")
+    lake = DataLake()
+    for path in sorted(directory.rglob(pattern)):
+        relative = path.relative_to(directory).with_suffix("")
+        table_name = "/".join(relative.parts)
+        lake.add_table(
+            read_table(
+                path, name=table_name, delimiter=delimiter, encoding=encoding
+            )
+        )
+    return lake
+
+
+def dump_lake(
+    lake: DataLake,
+    directory: PathLike,
+    delimiter: str = ",",
+    encoding: str = "utf-8",
+) -> List[Path]:
+    """Write every table of the lake as ``<directory>/<table>.csv``.
+
+    Returns the list of written paths.  Table names containing ``/`` are
+    expanded into sub-directories, the inverse of :func:`load_lake`.
+    """
+    directory = Path(directory)
+    written = []
+    for table in lake:
+        path = directory / f"{table.name}.csv"
+        write_table(table, path, delimiter=delimiter, encoding=encoding)
+        written.append(path)
+    return written

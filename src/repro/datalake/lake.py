@@ -1,0 +1,129 @@
+"""The :class:`DataLake` container.
+
+A data lake is nothing more than a named collection of tables — crucially
+*without* any schema linking them.  All relationships DomainNet exploits
+are discovered from value co-occurrence, so the container's job is to
+provide uniform iteration over attributes and cheap bookkeeping (adding
+and removing tables, looking up attributes by qualified name).
+
+The lake is mutable on purpose: the paper points out that updates can
+turn a homograph into an unambiguous value and vice versa, and the
+incremental example (`examples/data_lake_scan.py`) exercises exactly
+that by re-running detection after a table is dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from .table import Column, Table
+
+
+class LakeError(ValueError):
+    """Raised on invalid lake operations (duplicate or missing tables)."""
+
+
+class DataLake:
+    """An ordered collection of uniquely named tables."""
+
+    def __init__(self, tables: Optional[Iterable[Table]] = None) -> None:
+        self._tables: Dict[str, Table] = {}
+        for table in tables or []:
+            self.add_table(table)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_table(self, table: Table) -> None:
+        """Add a table; its name must not already be present."""
+        if table.name in self._tables:
+            raise LakeError(f"duplicate table name {table.name!r}")
+        self._tables[table.name] = table
+
+    def remove_table(self, name: str) -> Table:
+        """Remove and return the named table."""
+        try:
+            return self._tables.pop(name)
+        except KeyError:
+            raise LakeError(f"no table named {name!r}") from None
+
+    def replace_table(self, table: Table) -> None:
+        """Replace the same-named table (used by homograph injection)."""
+        if table.name not in self._tables:
+            raise LakeError(f"no table named {table.name!r}")
+        self._tables[table.name] = table
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    @property
+    def table_names(self) -> List[str]:
+        return list(self._tables)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise LakeError(f"no table named {name!r}") from None
+
+    def iter_attributes(self) -> Iterator[Column]:
+        """Yield every attribute (column) of every table, in lake order."""
+        for table in self._tables.values():
+            yield from table.iter_columns()
+
+    def attribute(self, qualified_name: str) -> Column:
+        """Look up an attribute by its ``table.column`` qualified name.
+
+        Table names may themselves contain dots, so the split point is
+        searched from the right until a known table name matches.
+        """
+        dot = len(qualified_name)
+        while True:
+            dot = qualified_name.rfind(".", 0, dot)
+            if dot < 0:
+                raise LakeError(f"no attribute {qualified_name!r}")
+            table_name = qualified_name[:dot]
+            if table_name in self._tables:
+                return self._tables[table_name].column(qualified_name[dot + 1:])
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_attributes(self) -> int:
+        return sum(table.num_columns for table in self._tables.values())
+
+    @property
+    def num_cells(self) -> int:
+        return sum(
+            table.num_rows * table.num_columns
+            for table in self._tables.values()
+        )
+
+    def copy(self) -> "DataLake":
+        """Deep-enough copy: tables are copied, cells are shared strings."""
+        clone = DataLake()
+        for table in self._tables.values():
+            clone.add_table(
+                Table(
+                    name=table.name,
+                    columns=list(table.columns),
+                    rows=[list(row) for row in table.rows],
+                )
+            )
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DataLake(tables={len(self._tables)}, "
+            f"attributes={self.num_attributes})"
+        )

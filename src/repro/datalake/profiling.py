@@ -1,0 +1,123 @@
+"""Attribute-level profiling.
+
+These profiles feed two consumers:
+
+* the catalog statistics behind Table 1 of the paper (attribute counts,
+  vocabulary size, cardinality ranges), and
+* the benchmark injection machinery of §4.3, which selects replacement
+  values by the cardinality of the attributes they live in.
+
+Cardinality follows the paper's definition throughout: the cardinality
+of a value node ``v`` is ``|N(v)|``, the number of *unique data values it
+co-occurs with* — not the number of occurrences.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Set
+
+from ..core.normalize import normalize_value
+from .lake import DataLake
+
+
+@dataclass(frozen=True)
+class AttributeProfile:
+    """Summary statistics for one attribute (column)."""
+
+    qualified_name: str
+    table_name: str
+    column_name: str
+    num_rows: int
+    num_distinct: int
+    num_empty: int
+    kind: str  # "text", "numeric", or "empty"
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of cells that are non-empty."""
+        if self.num_rows == 0:
+            return 0.0
+        return 1.0 - self.num_empty / self.num_rows
+
+
+def profile_attributes(lake: DataLake) -> List[AttributeProfile]:
+    """Profile every attribute in the lake."""
+    from .table import infer_column_kind
+
+    profiles = []
+    for column in lake.iter_attributes():
+        values = column.values
+        num_empty = sum(1 for v in values if not v)
+        profiles.append(
+            AttributeProfile(
+                qualified_name=column.qualified_name,
+                table_name=column.table_name,
+                column_name=column.name,
+                num_rows=len(values),
+                num_distinct=column.distinct_count(),
+                num_empty=num_empty,
+                kind=infer_column_kind(values),
+            )
+        )
+    return profiles
+
+
+def value_attribute_index(
+    lake: DataLake, normalize: bool = True
+) -> Dict[str, Set[str]]:
+    """Map each (normalized) value to the set of attributes containing it.
+
+    This is the incidence structure of Figure 2 in sparse form, and the
+    input from which both the bipartite graph and the ground-truth
+    labelers are derived.
+    """
+    index: Dict[str, Set[str]] = defaultdict(set)
+    for column in lake.iter_attributes():
+        qname = column.qualified_name
+        for raw in set(column.values):
+            value = normalize_value(raw) if normalize else raw
+            if value:
+                index[value].add(qname)
+    return dict(index)
+
+
+def value_cardinalities(lake: DataLake) -> Dict[str, int]:
+    """Cardinality ``|N(v)|`` for every normalized value in the lake.
+
+    ``N(v)`` is the union of the distinct-value sets of the attributes
+    containing ``v``, minus ``v`` itself (paper §3.2).
+    """
+    attr_values: Dict[str, Set[str]] = {}
+    for column in lake.iter_attributes():
+        normalized = {
+            normalize_value(v) for v in set(column.values)
+        }
+        normalized.discard("")
+        attr_values[column.qualified_name] = normalized
+
+    value_attrs: Dict[str, List[str]] = defaultdict(list)
+    for qname, values in attr_values.items():
+        for value in values:
+            value_attrs[value].append(qname)
+
+    cardinalities = {}
+    for value, qnames in value_attrs.items():
+        neighbors: Set[str] = set()
+        for qname in qnames:
+            neighbors |= attr_values[qname]
+        neighbors.discard(value)
+        cardinalities[value] = len(neighbors)
+    return cardinalities
+
+
+def cardinality_range(
+    cardinalities: Mapping[str, int], values: Set[str]
+) -> str:
+    """Format a ``lo-hi`` range over the subset of values, as in Table 1."""
+    selected = [cardinalities[v] for v in values if v in cardinalities]
+    if not selected:
+        return "N/A"
+    lo, hi = min(selected), max(selected)
+    return f"{lo}-{hi}" if lo != hi else str(lo)

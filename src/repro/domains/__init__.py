@@ -1,0 +1,33 @@
+"""D4 baseline: unsupervised domain discovery (Ota et al., PVLDB 2020)."""
+
+from .d4 import D4Config, D4Result, run_d4
+from .discovery import (
+    LocalDomain,
+    StrongDomain,
+    expand_columns,
+    local_domains,
+    strong_domains,
+)
+from .signatures import (
+    TermIndex,
+    all_robust_signatures,
+    build_term_index,
+    context_signature,
+    robust_signature,
+)
+
+__all__ = [
+    "D4Config",
+    "D4Result",
+    "LocalDomain",
+    "StrongDomain",
+    "TermIndex",
+    "all_robust_signatures",
+    "build_term_index",
+    "context_signature",
+    "expand_columns",
+    "local_domains",
+    "robust_signature",
+    "run_d4",
+    "strong_domains",
+]

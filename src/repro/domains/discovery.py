@@ -1,0 +1,183 @@
+"""D4 phases 3-5: column expansion, local domains, strong domains.
+
+* **Column expansion** adds a term to a column when most of the term's
+  robust signature already lives there — recovering domain members that
+  a particular table happens to be missing.
+* **Local domain discovery** clusters the (expanded) terms of each
+  column: terms are connected when each appears in the other's robust
+  signature, and connected components form the column's local domains.
+* **Strong domain consolidation** merges local domains that overlap
+  heavily across columns; consolidated domains supported by at least
+  ``min_support`` distinct columns survive.  These are the "domains"
+  the DomainNet paper counts in Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .signatures import TermIndex
+
+
+@dataclass
+class LocalDomain:
+    """A cluster of terms discovered within one column."""
+
+    column_id: int
+    term_ids: Set[int]
+
+
+@dataclass
+class StrongDomain:
+    """A consolidated domain with the columns supporting it."""
+
+    term_ids: Set[int]
+    column_ids: Set[int]
+    members: List[LocalDomain] = field(default_factory=list)
+
+
+def expand_columns(
+    index: TermIndex,
+    signatures: Sequence[Set[int]],
+    threshold: float = 0.5,
+) -> List[Set[int]]:
+    """Expanded term sets per column.
+
+    A term joins a foreign column when at least ``threshold`` of its
+    robust signature is already in that column.  Terms with empty
+    signatures never expand.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    expanded: List[Set[int]] = [
+        set(int(t) for t in index.column_terms[c])
+        for c in range(index.num_columns)
+    ]
+    for term_id in range(index.num_terms):
+        signature = signatures[term_id]
+        if not signature:
+            continue
+        counts: Dict[int, int] = {}
+        for other in signature:
+            for column_id in index.term_columns[other]:
+                counts[int(column_id)] = counts.get(int(column_id), 0) + 1
+        own = set(int(c) for c in index.term_columns[term_id])
+        needed = threshold * len(signature)
+        for column_id, count in counts.items():
+            if column_id not in own and count >= needed:
+                expanded[column_id].add(term_id)
+    return expanded
+
+
+def local_domains(
+    index: TermIndex,
+    signatures: Sequence[Set[int]],
+    expanded_columns: Sequence[Set[int]],
+) -> List[LocalDomain]:
+    """Cluster each column's terms into local domains.
+
+    Terms are linked by *mutual* robust-signature membership; the
+    connected components of that link graph within one column are the
+    column's local domains.  Singleton components are kept — a column
+    of unrelated identifiers legitimately has one domain per term only
+    if nothing links them; they rarely survive consolidation.
+    """
+    domains: List[LocalDomain] = []
+    for column_id, terms in enumerate(expanded_columns):
+        if not terms:
+            continue
+        parent = {t: t for t in terms}
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for t in terms:
+            for other in signatures[t]:
+                if other in parent and t in signatures[other]:
+                    ra, rb = find(t), find(other)
+                    if ra != rb:
+                        parent[ra] = rb
+
+        clusters: Dict[int, Set[int]] = {}
+        for t in terms:
+            clusters.setdefault(find(t), set()).add(t)
+        for cluster in clusters.values():
+            domains.append(LocalDomain(column_id=column_id,
+                                       term_ids=cluster))
+    return domains
+
+
+def strong_domains(
+    locals_: Sequence[LocalDomain],
+    overlap_threshold: float = 0.4,
+    min_support: int = 2,
+    min_size: int = 2,
+) -> List[StrongDomain]:
+    """Consolidate local domains into strong domains.
+
+    Two local domains group when their *bidirectional containment* is
+    at least ``overlap_threshold``: ``|A∩B| / max(|A|, |B|)``, i.e. the
+    overlap must be large relative to both sets.  (A min-based overlap
+    coefficient would absorb every small cluster into any superset —
+    including the mini-clusters formed by same-class homographs, which
+    must stay separate for the multi-domain homograph signal to exist.)
+    Groups survive when supported by at least ``min_support`` distinct
+    columns and at least ``min_size`` terms.
+    """
+    if not 0.0 < overlap_threshold <= 1.0:
+        raise ValueError("overlap_threshold must be in (0, 1]")
+    candidates = [d for d in locals_ if len(d.term_ids) >= min_size]
+    n = len(candidates)
+    parent = list(range(n))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    # Invert: term -> candidate local domains, to avoid O(n^2) pairs.
+    by_term: Dict[int, List[int]] = {}
+    for i, domain in enumerate(candidates):
+        for t in domain.term_ids:
+            by_term.setdefault(t, []).append(i)
+
+    checked: Set[Tuple[int, int]] = set()
+    for indices in by_term.values():
+        for a_pos, i in enumerate(indices):
+            for j in indices[a_pos + 1:]:
+                key = (min(i, j), max(i, j))
+                if key in checked:
+                    continue
+                checked.add(key)
+                a, b = candidates[i].term_ids, candidates[j].term_ids
+                overlap = len(a & b) / max(len(a), len(b))
+                if overlap >= overlap_threshold:
+                    ra, rb = find(i), find(j)
+                    if ra != rb:
+                        parent[ra] = rb
+
+    groups: Dict[int, List[LocalDomain]] = {}
+    for i, domain in enumerate(candidates):
+        groups.setdefault(find(i), []).append(domain)
+
+    result: List[StrongDomain] = []
+    for members in groups.values():
+        columns = {d.column_id for d in members}
+        if len(columns) < min_support:
+            continue
+        terms: Set[int] = set()
+        for d in members:
+            terms |= d.term_ids
+        if len(terms) < min_size:
+            continue
+        result.append(
+            StrongDomain(term_ids=terms, column_ids=columns,
+                         members=list(members))
+        )
+    result.sort(key=lambda d: (-len(d.term_ids), min(d.column_ids)))
+    return result

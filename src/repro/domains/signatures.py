@@ -1,0 +1,166 @@
+"""Term context signatures and robust-signature pruning (D4 phase 1-2).
+
+Reimplementation of the signature machinery of D4 (Ota, Mueller, Freire,
+Srivastava: "Data-Driven Domain Discovery for Structured Datasets",
+PVLDB 13(7), 2020), the unsupervised domain-discovery baseline the
+DomainNet paper compares against (§5.1, §5.5).
+
+* A **term** is a distinct normalized value of a text column.
+* The **context signature** of a term ``t`` lists every co-occurring
+  term with its similarity to ``t`` — the Jaccard of their column sets.
+* The **robust signature** truncates the context signature at its
+  *steepest drop*: co-occurring terms are sorted by similarity, and the
+  list is cut where consecutive similarities fall the most.  For an
+  unambiguous term the head of the list is its domain; for a homograph
+  the head captures the dominant meaning — which is exactly why D4
+  tends to place homographs in one domain only (the failure mode the
+  DomainNet paper demonstrates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.normalize import normalize_column
+from ..datalake.lake import DataLake
+from ..datalake.table import infer_column_kind
+
+_TRIM_VARIANTS = ("centrist", "conservative", "liberal")
+
+
+@dataclass
+class TermIndex:
+    """Terms of the text columns of a lake, in compact id space."""
+
+    terms: List[str]                      # term id -> name
+    term_ids: Dict[str, int]              # name -> term id
+    columns: List[str]                    # column id -> qualified name
+    column_terms: List[np.ndarray]        # column id -> sorted term ids
+    term_columns: List[np.ndarray]        # term id -> sorted column ids
+
+    @property
+    def num_terms(self) -> int:
+        return len(self.terms)
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+
+def build_term_index(lake: DataLake) -> TermIndex:
+    """Index the text columns of a lake (D4 operates on strings only)."""
+    terms: List[str] = []
+    term_ids: Dict[str, int] = {}
+    columns: List[str] = []
+    column_term_lists: List[List[int]] = []
+
+    for column in lake.iter_attributes():
+        if infer_column_kind(column.values) != "text":
+            continue
+        ids = []
+        for value in normalize_column(column.values):
+            tid = term_ids.get(value)
+            if tid is None:
+                tid = len(terms)
+                term_ids[value] = tid
+                terms.append(value)
+            ids.append(tid)
+        columns.append(column.qualified_name)
+        column_term_lists.append(ids)
+
+    term_column_lists: List[List[int]] = [[] for _ in terms]
+    for cid, ids in enumerate(column_term_lists):
+        for tid in ids:
+            term_column_lists[tid].append(cid)
+
+    return TermIndex(
+        terms=terms,
+        term_ids=term_ids,
+        columns=columns,
+        column_terms=[
+            np.array(sorted(ids), dtype=np.int64)
+            for ids in column_term_lists
+        ],
+        term_columns=[
+            np.array(sorted(cids), dtype=np.int64)
+            for cids in term_column_lists
+        ],
+    )
+
+
+def context_signature(
+    index: TermIndex, term_id: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Co-occurring terms of ``term_id`` with column-set Jaccard scores.
+
+    Returns ``(term_ids, similarities)`` sorted by descending
+    similarity (ties broken by term id for determinism).
+    """
+    own_columns = index.term_columns[term_id]
+    if own_columns.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=np.float64)
+
+    pieces = [index.column_terms[int(c)] for c in own_columns]
+    cooccurring = np.concatenate(pieces)
+    neighbor_ids, intersections = np.unique(cooccurring, return_counts=True)
+    mask = neighbor_ids != term_id
+    neighbor_ids, intersections = neighbor_ids[mask], intersections[mask]
+    if neighbor_ids.size == 0:
+        return neighbor_ids, np.empty(0, dtype=np.float64)
+
+    degrees = np.array(
+        [index.term_columns[int(t)].size for t in neighbor_ids],
+        dtype=np.float64,
+    )
+    unions = own_columns.size + degrees - intersections
+    sims = intersections / unions
+
+    order = np.lexsort((neighbor_ids, -sims))
+    return neighbor_ids[order], sims[order]
+
+
+def robust_signature(
+    index: TermIndex,
+    term_id: int,
+    variant: str = "centrist",
+) -> Set[int]:
+    """Prune a context signature at a drop in similarity.
+
+    ``centrist`` cuts at the globally steepest drop, ``conservative``
+    at the first drop (shortest signature), ``liberal`` at the last
+    drop (longest).  With fewer than two distinct similarity levels the
+    whole signature is kept.
+    """
+    if variant not in _TRIM_VARIANTS:
+        raise ValueError(
+            f"unknown trim variant {variant!r}; expected {_TRIM_VARIANTS}"
+        )
+    neighbor_ids, sims = context_signature(index, term_id)
+    if neighbor_ids.size <= 1:
+        return set(int(t) for t in neighbor_ids)
+
+    drops = sims[:-1] - sims[1:]
+    if not np.any(drops > 1e-12):
+        return set(int(t) for t in neighbor_ids)
+
+    if variant == "centrist":
+        cut = int(np.argmax(drops))
+    elif variant == "conservative":
+        cut = int(np.flatnonzero(drops > 1e-12)[0])
+    else:  # liberal
+        cut = int(np.flatnonzero(drops > 1e-12)[-1])
+    return set(int(t) for t in neighbor_ids[:cut + 1])
+
+
+def all_robust_signatures(
+    index: TermIndex, variant: str = "centrist"
+) -> List[Set[int]]:
+    """Robust signature for every term (dense list by term id)."""
+    return [
+        robust_signature(index, tid, variant=variant)
+        for tid in range(index.num_terms)
+    ]

@@ -1,0 +1,511 @@
+"""Experiment runners — one per table/figure of the paper's §5.
+
+Each function regenerates the data series behind one published artifact
+and returns a small result object whose ``format()`` renders the same
+rows/series the paper reports.  The benchmark harness in ``benchmarks/``
+wraps these with pytest-benchmark; they are equally usable from a
+notebook or script.
+
+Absolute numbers depend on the synthetic substrates (see DESIGN.md §3);
+the asserted expectations are shape-level and recorded side by side
+with the paper's numbers in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..bench.injection import (
+    InjectionConfig,
+    inject_homographs,
+    injection_recovery,
+    remove_homographs,
+)
+from ..bench.scale import ScaleConfig, extract_subgraphs, generate_scale_lake
+from ..bench.synthetic import SBConfig, SBDataset, generate_sb
+from ..bench.tus import TUSConfig, TUSDataset, generate_tus
+from ..core.betweenness import betweenness_scores
+from ..core.detector import DomainNet
+from ..core.ranking import rank_by_betweenness
+from ..datalake.catalog import compute_statistics, format_statistics_table
+from ..domains.d4 import D4Config, run_d4
+from .metrics import precision_recall_at_k, topk_curve
+
+
+# ---------------------------------------------------------------------
+# Table 1 — dataset statistics
+# ---------------------------------------------------------------------
+@dataclass
+class Table1Result:
+    text: str
+
+    def format(self) -> str:
+        return self.text
+
+
+def experiment_table1(
+    sb: Optional[SBDataset] = None,
+    tus: Optional[TUSDataset] = None,
+) -> Table1Result:
+    """Regenerate Table 1: per-dataset statistics."""
+    sb = sb or generate_sb()
+    tus = tus or generate_tus()
+    clean, groups = remove_homographs(tus)
+
+    rows = [
+        compute_statistics(
+            sb.lake, "SB",
+            homographs=sb.homographs,
+            meanings=sb.ground_truth.meanings,
+        ),
+        compute_statistics(clean, "TUS-I (clean)"),
+        compute_statistics(
+            tus.lake, "TUS-like",
+            homographs=tus.homographs,
+            meanings=tus.ground_truth.meanings,
+        ),
+        compute_statistics(generate_scale_lake(), "SCALE"),
+    ]
+    return Table1Result(text=format_statistics_table(rows))
+
+
+# ---------------------------------------------------------------------
+# Figures 5 and 6 — SB top-55 by LCC and by BC
+# ---------------------------------------------------------------------
+@dataclass
+class Top55Result:
+    measure: str
+    entries: List[Tuple[str, float, bool]]  # (value, score, is_homograph)
+    homographs_in_top: int
+    total_homographs: int
+
+    def format(self) -> str:
+        lines = [
+            f"SB top-{len(self.entries)} by {self.measure}: "
+            f"{self.homographs_in_top}/{self.total_homographs} homographs"
+        ]
+        for i, (value, score, is_hom) in enumerate(self.entries, start=1):
+            marker = "homograph  " if is_hom else "unambiguous"
+            lines.append(f"{i:4d}. {marker} {score:.4f}  {value}")
+        return "\n".join(lines)
+
+
+def experiment_sb_top55(
+    measure: str,
+    sb: Optional[SBDataset] = None,
+    k: int = 55,
+) -> Top55Result:
+    """Figure 5 (measure='lcc') / Figure 6 (measure='betweenness')."""
+    sb = sb or generate_sb()
+    detector = DomainNet.from_lake(sb.lake)
+    result = detector.detect(measure=measure)
+    entries = [
+        (e.value, e.score, e.value in sb.homographs)
+        for e in result.ranking.top(k)
+    ]
+    return Top55Result(
+        measure=measure,
+        entries=entries,
+        homographs_in_top=sum(1 for _v, _s, h in entries if h),
+        total_homographs=len(sb.homographs),
+    )
+
+
+# ---------------------------------------------------------------------
+# §5.1 — D4 baseline vs DomainNet on SB
+# ---------------------------------------------------------------------
+@dataclass
+class BaselineComparison:
+    d4_precision: float
+    d4_hits: int
+    domainnet_precision: float
+    domainnet_hits: int
+    k: int
+    d4_domains: int
+
+    def format(self) -> str:
+        return (
+            f"SB top-{self.k} (P = R at k = #homographs)\n"
+            f"  D4 baseline : {self.d4_hits}/{self.k} = "
+            f"{self.d4_precision:.2f}   ({self.d4_domains} domains found; "
+            f"paper: 0.38)\n"
+            f"  DomainNet BC: {self.domainnet_hits}/{self.k} = "
+            f"{self.domainnet_precision:.2f}   (paper: 0.69)"
+        )
+
+
+def experiment_sb_baseline(
+    sb: Optional[SBDataset] = None,
+) -> BaselineComparison:
+    """§5.1: D4-based homograph detection vs DomainNet BC on SB."""
+    sb = sb or generate_sb()
+    k = len(sb.homographs)
+
+    d4 = run_d4(sb.lake)
+    d4_pr = precision_recall_at_k(d4.ranked_homographs(), sb.homographs, k)
+
+    detector = DomainNet.from_lake(sb.lake)
+    bc = detector.detect(measure="betweenness")
+    bc_pr = precision_recall_at_k(bc.ranking.values, sb.homographs, k)
+
+    # Paper convention: quote hits/k so that precision = recall even
+    # when a method returns fewer than k candidates (D4 often does).
+    return BaselineComparison(
+        d4_precision=d4_pr.true_positives / k,
+        d4_hits=d4_pr.true_positives,
+        domainnet_precision=bc_pr.true_positives / k,
+        domainnet_hits=bc_pr.true_positives,
+        k=k,
+        d4_domains=d4.num_domains,
+    )
+
+
+# ---------------------------------------------------------------------
+# Tables 2 and 3 — injected-homograph recovery on TUS-I
+# ---------------------------------------------------------------------
+@dataclass
+class InjectionSweepResult:
+    parameter_name: str
+    rows: List[Tuple[object, float]]  # (parameter value, mean recovery)
+    repeats: int
+
+    def format(self) -> str:
+        lines = [
+            f"% of injected homographs in top-50 vs {self.parameter_name} "
+            f"(mean of {self.repeats} runs)"
+        ]
+        for value, recovery in self.rows:
+            lines.append(f"  {self.parameter_name}={value}: {recovery:.1%}")
+        return "\n".join(lines)
+
+
+def experiment_injection_cardinality(
+    tus: Optional[TUSDataset] = None,
+    thresholds: Sequence[int] = (0, 100, 200, 300, 400, 500),
+    repeats: int = 4,
+    sample_size: int = 500,
+) -> InjectionSweepResult:
+    """Table 2: recovery vs cardinality threshold (meanings fixed at 2)."""
+    tus = tus or generate_tus()
+    clean, groups = remove_homographs(tus)
+    rows = []
+    for threshold in thresholds:
+        recoveries = [
+            _one_injection_run(
+                clean, groups,
+                InjectionConfig(min_cardinality=threshold, seed=rep),
+                sample_size=sample_size,
+            )
+            for rep in range(repeats)
+        ]
+        rows.append((threshold, float(np.mean(recoveries))))
+    return InjectionSweepResult(
+        parameter_name="min_cardinality", rows=rows, repeats=repeats
+    )
+
+
+def experiment_injection_meanings(
+    tus: Optional[TUSDataset] = None,
+    meanings: Sequence[int] = (2, 3, 4, 5, 6, 7, 8),
+    min_cardinality: int = 500,
+    repeats: int = 4,
+    sample_size: int = 500,
+) -> InjectionSweepResult:
+    """Table 3: recovery vs #meanings (cardinality fixed at >= 500)."""
+    tus = tus or generate_tus()
+    clean, groups = remove_homographs(tus)
+    rows = []
+    for m in meanings:
+        recoveries = [
+            _one_injection_run(
+                clean, groups,
+                InjectionConfig(
+                    meanings=m, min_cardinality=min_cardinality, seed=rep
+                ),
+                sample_size=sample_size,
+            )
+            for rep in range(repeats)
+        ]
+        rows.append((m, float(np.mean(recoveries))))
+    return InjectionSweepResult(
+        parameter_name="meanings", rows=rows, repeats=repeats
+    )
+
+
+def _one_injection_run(clean, groups, config, sample_size) -> float:
+    injected = inject_homographs(clean, groups, config)
+    detector = DomainNet.from_lake(injected.lake)
+    result = detector.detect(
+        measure="betweenness", sample_size=sample_size, seed=config.seed
+    )
+    return injection_recovery(injected, result.ranking.values)
+
+
+# ---------------------------------------------------------------------
+# Figure 7 and the §5.3 top-10 listing — TUS top-k sweep
+# ---------------------------------------------------------------------
+@dataclass
+class TusTopKResult:
+    num_homographs: int
+    p_at_200: float
+    pr_at_truth: float
+    best_f1: float
+    best_f1_k: int
+    curve_ks: List[int] = field(default_factory=list)
+    curve_precision: List[float] = field(default_factory=list)
+    curve_recall: List[float] = field(default_factory=list)
+    curve_f1: List[float] = field(default_factory=list)
+    top10: List[Tuple[str, float, bool]] = field(default_factory=list)
+
+    def format(self) -> str:
+        lines = [
+            f"TUS-like top-k sweep ({self.num_homographs} true homographs)",
+            f"  P@200 = {self.p_at_200:.2f}            (paper: 0.89)",
+            f"  P=R at k=#homographs = {self.pr_at_truth:.2f} (paper: 0.622)",
+            f"  best F1 = {self.best_f1:.2f} at k={self.best_f1_k} "
+            f"(paper: 0.655 at k=29,633)",
+            "  k, precision, recall, f1:",
+        ]
+        for i, k in enumerate(self.curve_ks):
+            lines.append(
+                f"    {k:>7d}  {self.curve_precision[i]:.3f}  "
+                f"{self.curve_recall[i]:.3f}  {self.curve_f1[i]:.3f}"
+            )
+        lines.append("  top-10 values by BC (paper: all 10 homographs):")
+        for value, score, is_hom in self.top10:
+            marker = "homograph  " if is_hom else "unambiguous"
+            lines.append(f"    {marker} {score:.6f}  {value!r}")
+        return "\n".join(lines)
+
+
+def experiment_tus_topk(
+    tus: Optional[TUSDataset] = None,
+    sample_size: int = 1000,
+    seed: int = 7,
+    num_curve_points: int = 20,
+) -> TusTopKResult:
+    """Figure 7 + the §5.3 top-10 listing, in one detection run."""
+    tus = tus or generate_tus()
+    homographs = tus.homographs
+    detector = DomainNet.from_lake(tus.lake)
+    result = detector.detect(
+        measure="betweenness", sample_size=sample_size, seed=seed
+    )
+    ranked = result.ranking.values
+
+    n = len(ranked)
+    ks = sorted({
+        max(1, int(round(x)))
+        for x in np.linspace(1, n, num_curve_points)
+    } | {200, len(homographs)})
+    curve = topk_curve(ranked, homographs, ks=ks)
+    full = topk_curve(ranked, homographs)
+    best = full.best_f1()
+
+    top10 = [
+        (e.value, e.score, e.value in homographs)
+        for e in result.ranking.top(10)
+    ]
+    return TusTopKResult(
+        num_homographs=len(homographs),
+        p_at_200=curve.at_k(min(200, n)).precision,
+        pr_at_truth=curve.at_k(min(len(homographs), n)).precision,
+        best_f1=best.f1,
+        best_f1_k=best.k,
+        curve_ks=curve.ks,
+        curve_precision=curve.precision,
+        curve_recall=curve.recall,
+        curve_f1=curve.f1,
+        top10=top10,
+    )
+
+
+# ---------------------------------------------------------------------
+# Figure 8 — precision and runtime vs BC sample size
+# ---------------------------------------------------------------------
+@dataclass
+class SampleSizeSweepResult:
+    rows: List[Tuple[int, float, float]]  # (samples, precision, seconds)
+    exact_precision: float
+    exact_seconds: float
+    k: int
+
+    def format(self) -> str:
+        lines = [f"precision@{self.k} and runtime vs BC sample size"]
+        for samples, precision, seconds in self.rows:
+            lines.append(
+                f"  samples={samples:>6d}: P={precision:.3f}  "
+                f"time={seconds:6.1f}s"
+            )
+        lines.append(
+            f"  exact        : P={self.exact_precision:.3f}  "
+            f"time={self.exact_seconds:6.1f}s"
+        )
+        return "\n".join(lines)
+
+
+def experiment_sample_size_sweep(
+    tus: Optional[TUSDataset] = None,
+    sample_sizes: Sequence[int] = (100, 250, 500, 1000, 2000),
+    seed: int = 11,
+    include_exact: bool = True,
+) -> SampleSizeSweepResult:
+    """Figure 8: the sampling-quality trade-off of approximate BC."""
+    tus = tus or generate_tus()
+    homographs = tus.homographs
+    detector = DomainNet.from_lake(tus.lake)
+    graph = detector.graph
+    k = len(homographs)
+
+    rows = []
+    for samples in sample_sizes:
+        start = time.perf_counter()
+        scores = betweenness_scores(graph, sample_size=samples, seed=seed)
+        elapsed = time.perf_counter() - start
+        ranking = _rank_values(graph, scores)
+        pr = precision_recall_at_k(ranking, homographs, k)
+        rows.append((samples, pr.precision, elapsed))
+
+    exact_precision = float("nan")
+    exact_seconds = float("nan")
+    if include_exact:
+        start = time.perf_counter()
+        scores = betweenness_scores(graph)
+        exact_seconds = time.perf_counter() - start
+        pr = precision_recall_at_k(
+            _rank_values(graph, scores), homographs, k
+        )
+        exact_precision = pr.precision
+
+    return SampleSizeSweepResult(
+        rows=rows,
+        exact_precision=exact_precision,
+        exact_seconds=exact_seconds,
+        k=k,
+    )
+
+
+def _rank_values(graph, scores) -> List[str]:
+    value_scores = {
+        graph.value_name(v): float(scores[v])
+        for v in range(graph.num_values)
+    }
+    return rank_by_betweenness(value_scores).values
+
+
+# ---------------------------------------------------------------------
+# Figure 9 — approximate-BC runtime vs graph size
+# ---------------------------------------------------------------------
+@dataclass
+class RuntimeScalingResult:
+    rows: List[Tuple[int, int, float]]  # (edges, nodes, seconds)
+    sample_fraction: float
+
+    def format(self) -> str:
+        lines = [
+            f"approx-BC runtime vs subgraph size "
+            f"({self.sample_fraction:.0%} of nodes sampled)"
+        ]
+        for edges, nodes, seconds in self.rows:
+            lines.append(
+                f"  edges={edges:>9,d} nodes={nodes:>9,d}: {seconds:6.1f}s"
+            )
+        return "\n".join(lines)
+
+    def is_roughly_linear(self, tolerance: float = 0.5) -> bool:
+        """Runtime-per-edge must not drift more than ``tolerance``."""
+        if len(self.rows) < 2:
+            return True
+        per_edge = [sec / edges for edges, _n, sec in self.rows]
+        lo, hi = min(per_edge), max(per_edge)
+        return (hi - lo) / hi <= tolerance
+
+
+def experiment_runtime_scaling(
+    config: ScaleConfig = ScaleConfig(),
+    edge_targets: Sequence[int] = (30_000, 60_000, 90_000, 120_000),
+    sample_fraction: float = 0.01,
+    seed: int = 5,
+) -> RuntimeScalingResult:
+    """Figure 9: linear scaling of sampled BC over random subgraphs."""
+    lake = generate_scale_lake(config)
+    detector = DomainNet.from_lake(lake)
+    subgraphs = extract_subgraphs(
+        detector.graph, list(edge_targets), seed=seed
+    )
+
+    rows = []
+    for graph in subgraphs:
+        samples = max(10, int(graph.num_nodes * sample_fraction))
+        start = time.perf_counter()
+        betweenness_scores(graph, sample_size=samples, seed=seed)
+        elapsed = time.perf_counter() - start
+        rows.append((graph.num_edges, graph.num_nodes, elapsed))
+    return RuntimeScalingResult(rows=rows, sample_fraction=sample_fraction)
+
+
+# ---------------------------------------------------------------------
+# Figure 10 — impact of injected homographs on D4
+# ---------------------------------------------------------------------
+@dataclass
+class D4ImpactResult:
+    baseline_domains: int
+    baseline_max_per_column: int
+    baseline_avg_per_column: float
+    rows: List[Tuple[int, int, int, int, float]]
+    # (num_injected, meanings, domains, max/col, avg/col)
+
+    def format(self) -> str:
+        lines = [
+            "D4 on TUS-I vs injected homographs "
+            "(domains found; max / avg domains per column)",
+            f"  no injections: {self.baseline_domains} domains, "
+            f"max={self.baseline_max_per_column}, "
+            f"avg={self.baseline_avg_per_column:.3f}",
+        ]
+        for n, m, domains, max_c, avg_c in self.rows:
+            lines.append(
+                f"  inject {n:>4d} x {m} meanings: {domains} domains, "
+                f"max={max_c}, avg={avg_c:.3f}"
+            )
+        return "\n".join(lines)
+
+
+def experiment_d4_impact(
+    tus: Optional[TUSDataset] = None,
+    injection_counts: Sequence[int] = (50, 100, 150, 200),
+    meanings: Sequence[int] = (2, 4, 6),
+    d4_config: D4Config = D4Config(trim_variant="centrist"),
+) -> D4ImpactResult:
+    """Figure 10: domain discovery degrades as homographs are injected.
+
+    Uses the centrist trimming variant, which is sensitive to the
+    signature perturbation injected homographs cause (see DESIGN.md).
+    """
+    tus = tus or generate_tus(TUSConfig.small(seed=3))
+    clean, groups = remove_homographs(tus)
+
+    baseline = run_d4(clean, d4_config)
+    rows = []
+    for m in meanings:
+        for n in injection_counts:
+            injected = inject_homographs(
+                clean, groups,
+                InjectionConfig(num_homographs=n, meanings=m, seed=1),
+            )
+            result = run_d4(injected.lake, d4_config)
+            rows.append((
+                n, m, result.num_domains,
+                result.max_domains_per_column(),
+                result.avg_domains_per_column(),
+            ))
+    return D4ImpactResult(
+        baseline_domains=baseline.num_domains,
+        baseline_max_per_column=baseline.max_domains_per_column(),
+        baseline_avg_per_column=baseline.avg_domains_per_column(),
+        rows=rows,
+    )

@@ -1,0 +1,178 @@
+"""Precision/recall metrics for homograph rankings.
+
+The paper's measure of success (§5): report precision and recall of the
+``k`` top-ranked candidates against ground truth, with ``k`` defaulting
+to the true number of homographs — at that point precision, recall and
+F1 coincide (both denominators equal ``k``), which is why the paper can
+quote "a precision and a recall of 38%" as a single number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+
+@dataclass(frozen=True)
+class PrecisionRecall:
+    """Precision/recall/F1 of one top-k cut."""
+
+    k: int
+    true_positives: int
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        if self.precision + self.recall == 0.0:
+            return 0.0
+        return (
+            2 * self.precision * self.recall / (self.precision + self.recall)
+        )
+
+
+def precision_recall_at_k(
+    ranked_values: Sequence[str],
+    ground_truth: Set[str],
+    k: int,
+) -> PrecisionRecall:
+    """Evaluate the top-``k`` of a ranking against ground truth.
+
+    ``k`` larger than the ranking is clamped — retrieving everything is
+    the best that ranking can do.
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if not ground_truth:
+        raise ValueError("ground truth must be non-empty")
+    k = min(k, len(ranked_values))
+    hits = sum(1 for value in ranked_values[:k] if value in ground_truth)
+    precision = hits / k if k else 0.0
+    recall = hits / len(ground_truth)
+    return PrecisionRecall(
+        k=k, true_positives=hits, precision=precision, recall=recall
+    )
+
+
+@dataclass(frozen=True)
+class TopKCurve:
+    """Precision/recall/F1 as a function of k (the Figure 7 series)."""
+
+    ks: List[int]
+    precision: List[float]
+    recall: List[float]
+    f1: List[float]
+
+    def best_f1(self) -> PrecisionRecall:
+        """The cut with the highest F1 (the paper quotes k=29,633)."""
+        best = max(range(len(self.ks)), key=lambda i: self.f1[i])
+        # Reconstruct the hit count from precision; avoids re-scanning.
+        k = self.ks[best]
+        hits = round(self.precision[best] * k)
+        return PrecisionRecall(
+            k=k,
+            true_positives=hits,
+            precision=self.precision[best],
+            recall=self.recall[best],
+        )
+
+    def at_k(self, k: int) -> PrecisionRecall:
+        """The curve point at exactly ``k`` (must be one of ``ks``)."""
+        try:
+            i = self.ks.index(k)
+        except ValueError:
+            raise KeyError(f"k={k} not on the curve") from None
+        hits = round(self.precision[i] * k)
+        return PrecisionRecall(
+            k=k,
+            true_positives=hits,
+            precision=self.precision[i],
+            recall=self.recall[i],
+        )
+
+
+def topk_curve(
+    ranked_values: Sequence[str],
+    ground_truth: Set[str],
+    ks: Sequence[int] = (),
+) -> TopKCurve:
+    """Sweep k over a ranking in one pass.
+
+    Without explicit ``ks``, every prefix length 1..len(ranking) is
+    evaluated (the full Figure 7 sweep).
+    """
+    if not ground_truth:
+        raise ValueError("ground truth must be non-empty")
+    n = len(ranked_values)
+    cut_points = sorted({min(k, n) for k in ks if k > 0}) if ks else list(
+        range(1, n + 1)
+    )
+
+    total_truth = len(ground_truth)
+    hits = 0
+    curve_p: List[float] = []
+    curve_r: List[float] = []
+    curve_f: List[float] = []
+    next_cut = 0
+    for i, value in enumerate(ranked_values, start=1):
+        if value in ground_truth:
+            hits += 1
+        while next_cut < len(cut_points) and cut_points[next_cut] == i:
+            precision = hits / i
+            recall = hits / total_truth
+            f1 = (
+                2 * precision * recall / (precision + recall)
+                if precision + recall
+                else 0.0
+            )
+            curve_p.append(precision)
+            curve_r.append(recall)
+            curve_f.append(f1)
+            next_cut += 1
+    return TopKCurve(
+        ks=cut_points, precision=curve_p, recall=curve_r, f1=curve_f
+    )
+
+
+def average_precision(
+    ranked_values: Sequence[str], ground_truth: Set[str]
+) -> float:
+    """Mean of precision at each relevant hit (classic ranking AP)."""
+    if not ground_truth:
+        raise ValueError("ground truth must be non-empty")
+    hits = 0
+    total = 0.0
+    for i, value in enumerate(ranked_values, start=1):
+        if value in ground_truth:
+            hits += 1
+            total += hits / i
+    return total / len(ground_truth)
+
+
+def recall_of_set(
+    predicted: Set[str], ground_truth: Set[str]
+) -> PrecisionRecall:
+    """Set-based precision/recall (for unranked baselines like D4)."""
+    if not ground_truth:
+        raise ValueError("ground truth must be non-empty")
+    hits = len(predicted & ground_truth)
+    precision = hits / len(predicted) if predicted else 0.0
+    recall = hits / len(ground_truth)
+    return PrecisionRecall(
+        k=len(predicted), true_positives=hits,
+        precision=precision, recall=recall,
+    )
+
+
+def ranking_overlap(
+    ranking_a: Sequence[str], ranking_b: Sequence[str], k: int
+) -> float:
+    """Top-k overlap fraction between two rankings (sampling ablation)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    top_a = set(ranking_a[:k])
+    top_b = set(ranking_b[:k])
+    denom = min(k, len(ranking_a), len(ranking_b))
+    if denom == 0:
+        return 0.0
+    return len(top_a & top_b) / denom

@@ -1,0 +1,133 @@
+"""Result rendering and export for the experiment harness.
+
+Terminal-friendly output for the regenerated figures: ASCII line charts
+for the curve figures (7, 8, 9) and bar charts for the per-category
+ones, plus JSON/CSV export so downstream tooling can replot everything.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+PathLike = Union[str, os.PathLike]
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Plot one or more aligned series as an ASCII line chart.
+
+    All series share the x axis (``xs``) and are scaled to a common
+    [min, max] y range.  Each series is drawn with its own glyph; a
+    legend line maps glyphs to names.
+    """
+    if not xs or not series:
+        raise ValueError("chart needs at least one point and one series")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, x axis has {len(xs)}"
+            )
+
+    glyphs = "*o+x#@%&"
+    all_values = [y for ys in series.values() for y in ys]
+    y_min, y_max = min(all_values), max(all_values)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        glyph = glyphs[si % len(glyphs)]
+        for x, y in zip(xs, ys):
+            col = int((x - x_min) / x_span * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:10.3g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_min:10.3g} +" + "-" * width)
+    lines.append(
+        " " * 12 + f"{x_min:<10.4g}" + " " * max(0, width - 20)
+        + f"{x_max:>10.4g}"
+    )
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart for categorical results."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        raise ValueError("nothing to chart")
+    peak = max(values) or 1.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(value / peak * width)) if value > 0 else ""
+        lines.append(f"{str(label):>{label_width}} | {bar} {value:.3g}")
+    return "\n".join(lines)
+
+
+def export_series_json(
+    path: PathLike,
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    metadata: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write aligned series as a JSON document."""
+    payload = {
+        "x": list(xs),
+        "series": {name: list(ys) for name, ys in series.items()},
+        "metadata": dict(metadata or {}),
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def export_series_csv(
+    path: PathLike,
+    xs: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    x_name: str = "x",
+) -> None:
+    """Write aligned series as CSV with one row per x value."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = list(series)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_name] + names)
+        for i, x in enumerate(xs):
+            writer.writerow([x] + [series[name][i] for name in names])
+
+
+def load_series_json(path: PathLike) -> Dict[str, object]:
+    """Read back a document written by :func:`export_series_json`."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,117 @@
+"""Tests for the Riondato–Kornaropoulos estimator and degree sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.approx import (
+    riondato_kornaropoulos_bc,
+    sample_size_bound,
+)
+from repro.core.betweenness import betweenness_scores
+from repro.core.builder import build_graph, build_graph_from_columns
+
+
+class TestSampleSizeBound:
+    def test_grows_with_precision(self):
+        loose = sample_size_bound(0.1, 0.1, 10)
+        tight = sample_size_bound(0.01, 0.1, 10)
+        assert tight > loose
+
+    def test_grows_with_confidence(self):
+        assert sample_size_bound(0.05, 0.01, 10) > \
+            sample_size_bound(0.05, 0.5, 10)
+
+    def test_grows_with_diameter(self):
+        assert sample_size_bound(0.05, 0.1, 1000) >= \
+            sample_size_bound(0.05, 0.1, 4)
+
+    def test_minimum_one(self):
+        assert sample_size_bound(0.99, 0.99, 3) >= 1
+
+
+class TestRiondatoKornaropoulos:
+    def test_close_to_exact_on_figure1(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        exact = betweenness_scores(graph)
+        estimate = riondato_kornaropoulos_bc(
+            graph, epsilon=0.03, delta=0.1, seed=1
+        )
+        assert np.max(np.abs(estimate - exact)) < 0.03
+
+    def test_top_value_matches_exact(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        estimate = riondato_kornaropoulos_bc(
+            graph, epsilon=0.03, delta=0.1, seed=2
+        )
+        top = int(np.argmax(estimate[: graph.num_values]))
+        assert graph.value_name(top) == "JAGUAR"
+
+    def test_max_samples_cap(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        estimate = riondato_kornaropoulos_bc(
+            graph, epsilon=0.01, delta=0.1, seed=3, max_samples=50
+        )
+        assert np.all(estimate >= 0.0)
+
+    def test_deterministic_given_seed(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        a = riondato_kornaropoulos_bc(graph, seed=7, max_samples=200)
+        b = riondato_kornaropoulos_bc(graph, seed=7, max_samples=200)
+        np.testing.assert_array_equal(a, b)
+
+    def test_tiny_graph_zero(self):
+        graph = build_graph_from_columns({"A": ["x"]})
+        estimate = riondato_kornaropoulos_bc(graph, seed=0)
+        np.testing.assert_allclose(estimate, 0.0)
+
+    def test_disconnected_pairs_skipped(self):
+        graph = build_graph_from_columns(
+            {"A": ["a", "b"], "B": ["x", "y"]}
+        )
+        # Cross-component pairs are skipped without error; the only
+        # shortest paths run value -> attribute -> value, so value
+        # nodes score 0 while the two attribute hubs may score > 0.
+        estimate = riondato_kornaropoulos_bc(graph, seed=0, max_samples=300)
+        np.testing.assert_allclose(estimate[: graph.num_values], 0.0)
+        assert np.all(estimate >= 0.0)
+
+    def test_invalid_parameters(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        with pytest.raises(ValueError):
+            riondato_kornaropoulos_bc(graph, epsilon=0.0)
+        with pytest.raises(ValueError):
+            riondato_kornaropoulos_bc(graph, delta=1.5)
+
+
+class TestDegreeStrategy:
+    def test_unbiased_on_average(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        exact = betweenness_scores(graph)
+        estimates = np.mean(
+            [
+                betweenness_scores(
+                    graph, sample_size=15, seed=s, strategy="degree"
+                )
+                for s in range(50)
+            ],
+            axis=0,
+        )
+        assert np.max(np.abs(estimates - exact)) < 0.02
+
+    def test_single_run_nonnegative(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        scores = betweenness_scores(
+            graph, sample_size=10, seed=1, strategy="degree"
+        )
+        assert np.all(scores >= -1e-12)
+
+    def test_unknown_strategy(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        with pytest.raises(ValueError):
+            betweenness_scores(graph, sample_size=5, strategy="pagerank")
+
+    def test_exact_ignores_strategy(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        a = betweenness_scores(graph, strategy="uniform")
+        b = betweenness_scores(graph, strategy="degree")
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,183 @@
+"""Unit tests for repro.core.betweenness.
+
+The exact implementation is cross-checked against networkx on several
+graph shapes, and against the paper's Example 3.6 scores.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.betweenness import betweenness_score_map, betweenness_scores
+from repro.core.builder import build_graph, build_graph_from_columns
+from repro.core.graph import BipartiteGraph
+
+
+def nx_scores(graph):
+    """Reference betweenness from networkx, aligned to our node ids."""
+    nxg = graph.to_networkx()
+    raw = nx.betweenness_centrality(nxg, normalized=True)
+    out = np.zeros(graph.num_nodes)
+    for v in range(graph.num_values):
+        out[v] = raw[("val", graph.value_name(v))]
+    for a in range(graph.num_values, graph.num_nodes):
+        out[a] = raw[("attr", graph.attribute_name(a))]
+    return out
+
+
+class TestExample36Calibration:
+    def test_paper_scores(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        bc = betweenness_score_map(g)
+        assert bc["JAGUAR"] == pytest.approx(0.0249, abs=0.0005)
+        assert bc["PUMA"] == pytest.approx(0.0031, abs=0.0005)
+        assert bc["TOYOTA"] == pytest.approx(0.0024, abs=0.0005)
+        assert bc["PANDA"] == pytest.approx(0.0024, abs=0.0005)
+
+    def test_homograph_ranks_first(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        bc = betweenness_score_map(g)
+        assert max(bc, key=bc.get) == "JAGUAR"
+
+
+class TestAgainstNetworkx:
+    def test_figure1_exact_match(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        ours = betweenness_scores(g)
+        np.testing.assert_allclose(ours, nx_scores(g), atol=1e-12)
+
+    def test_path_graph(self):
+        # A chain v1 - A - v2 - B - v3: attribute nodes and the middle
+        # value carry all the betweenness.
+        g = BipartiteGraph(
+            ["v1", "v2", "v3"], ["A", "B"],
+            [(0, 0), (1, 0), (1, 1), (2, 1)],
+        )
+        np.testing.assert_allclose(
+            betweenness_scores(g), nx_scores(g), atol=1e-12
+        )
+
+    def test_star(self):
+        g = build_graph_from_columns({"A": [f"v{i}" for i in range(8)]})
+        np.testing.assert_allclose(
+            betweenness_scores(g), nx_scores(g), atol=1e-12
+        )
+
+    def test_disconnected_components(self):
+        g = build_graph_from_columns(
+            {"A": ["a", "b"], "B": ["x", "y", "z"]}
+        )
+        np.testing.assert_allclose(
+            betweenness_scores(g), nx_scores(g), atol=1e-12
+        )
+
+    def test_random_bipartite(self):
+        rng = np.random.default_rng(42)
+        columns = {
+            f"A{j}": [f"v{rng.integers(0, 30)}" for _ in range(12)]
+            for j in range(10)
+        }
+        g = build_graph_from_columns(columns)
+        np.testing.assert_allclose(
+            betweenness_scores(g), nx_scores(g), atol=1e-12
+        )
+
+    def test_unnormalized_matches_networkx(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        ours = betweenness_scores(g, normalized=False)
+        nxg = g.to_networkx()
+        raw = nx.betweenness_centrality(nxg, normalized=False)
+        ref = np.array(
+            [raw[("val", g.value_name(v))] for v in range(g.num_values)]
+        )
+        np.testing.assert_allclose(ours[: g.num_values], ref, atol=1e-9)
+
+
+class TestSampling:
+    def test_full_sample_equals_exact(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        exact = betweenness_scores(g)
+        sampled = betweenness_scores(g, sample_size=g.num_nodes, seed=0)
+        np.testing.assert_allclose(sampled, exact, atol=1e-12)
+
+    def test_oversized_sample_clamps_to_exact(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        exact = betweenness_scores(g)
+        sampled = betweenness_scores(g, sample_size=10**6, seed=0)
+        np.testing.assert_allclose(sampled, exact, atol=1e-12)
+
+    def test_deterministic_under_seed(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        a = betweenness_scores(g, sample_size=10, seed=7)
+        b = betweenness_scores(g, sample_size=10, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sampling_unbiased_on_average(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        exact = betweenness_scores(g)
+        estimates = np.mean(
+            [
+                betweenness_scores(g, sample_size=12, seed=s)
+                for s in range(40)
+            ],
+            axis=0,
+        )
+        # Mean of many unbiased estimates approaches the exact scores.
+        assert np.max(np.abs(estimates - exact)) < 0.02
+
+    def test_sampled_top_value_still_jaguar(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        bc = betweenness_score_map(g, sample_size=25, seed=3)
+        assert max(bc, key=bc.get) == "JAGUAR"
+
+    def test_invalid_sample_size(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        with pytest.raises(ValueError):
+            betweenness_scores(g, sample_size=0)
+
+
+class TestEndpointModes:
+    def test_values_only_zeroes_attribute_endpoints(self):
+        # A path v1 - A - v2: with value endpoints only, A still carries
+        # the v1<->v2 paths, but scores differ from all-endpoints mode.
+        g = BipartiteGraph(["v1", "v2"], ["A"], [(0, 0), (1, 0)])
+        all_mode = betweenness_scores(g, normalized=False)
+        val_mode = betweenness_scores(g, normalized=False, endpoints="values")
+        a = g.attribute_id("A")
+        assert val_mode[a] == pytest.approx(1.0)  # one v-pair through A
+        assert all_mode[a] == pytest.approx(1.0)
+        # v1 lies on no paths between eligible endpoints in either mode
+        assert val_mode[0] == 0.0
+
+    def test_values_mode_excludes_attribute_pairs(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        all_mode = betweenness_scores(g, normalized=False)
+        val_mode = betweenness_scores(g, normalized=False, endpoints="values")
+        # Restricting endpoints can only remove path pairs.
+        assert np.all(val_mode <= all_mode + 1e-9)
+
+    def test_values_mode_still_ranks_jaguar_first(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        bc = betweenness_score_map(g, endpoints="values")
+        assert max(bc, key=bc.get) == "JAGUAR"
+
+    def test_unknown_mode(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        with pytest.raises(ValueError):
+            betweenness_scores(g, endpoints="bogus")
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        g = BipartiteGraph([], [], [])
+        assert betweenness_scores(g).size == 0
+
+    def test_single_edge(self):
+        g = BipartiteGraph(["v"], ["A"], [(0, 0)])
+        scores = betweenness_scores(g)
+        np.testing.assert_allclose(scores, 0.0)
+
+    def test_isolated_nodes(self):
+        g = BipartiteGraph(["v", "w"], ["A"], [(0, 0)])
+        scores = betweenness_scores(g)
+        np.testing.assert_allclose(scores, 0.0)

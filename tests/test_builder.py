@@ -1,0 +1,70 @@
+"""Unit tests for repro.core.builder."""
+
+import pytest
+
+from repro import DataLake, Table
+from repro.core.builder import build_graph, build_graph_from_columns
+
+
+class TestBuildGraph:
+    def test_figure1_shape(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        # 37 distinct normalized values, 12 attributes, 43 edges
+        # (calibrated in DESIGN.md against Example 3.6)
+        assert g.num_values == 37
+        assert g.num_attributes == 12
+        assert g.num_edges == 43
+
+    def test_values_normalized(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        assert g.has_value("JAGUAR")
+        assert g.has_value("SAN DIEGO")
+        assert not g.has_value("Jaguar")
+
+    def test_attribute_names_qualified(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        g.attribute_id("T1.At Risk")  # raises if missing
+        g.attribute_id("T3.C2")
+
+    def test_duplicate_cells_single_edge(self):
+        lake = DataLake([Table("t", ["a"], [["x"], ["x"], ["x"]])])
+        g = build_graph(lake)
+        assert g.num_edges == 1
+
+    def test_min_degree_pruning(self, figure1_lake):
+        g = build_graph(figure1_lake, min_value_degree=2)
+        # Only JAGUAR (4 attrs), PUMA (2), PANDA (2), TOYOTA (2) repeat.
+        assert sorted(g.value_names) == ["JAGUAR", "PANDA", "PUMA", "TOYOTA"]
+        assert g.num_attributes == 12
+
+    def test_min_degree_invalid(self, figure1_lake):
+        with pytest.raises(ValueError):
+            build_graph(figure1_lake, min_value_degree=0)
+
+    def test_blank_cells_skipped(self):
+        lake = DataLake([Table("t", ["a", "b"], [["x", ""], ["", "y"]])])
+        g = build_graph(lake)
+        assert sorted(g.value_names) == ["X", "Y"]
+
+    def test_empty_lake(self):
+        g = build_graph(DataLake())
+        assert g.num_nodes == 0
+
+
+class TestBuildGraphFromColumns:
+    def test_matches_lake_builder(self, figure1_lake):
+        columns = {
+            c.qualified_name: list(c.values)
+            for c in figure1_lake.iter_attributes()
+        }
+        g1 = build_graph(figure1_lake)
+        g2 = build_graph_from_columns(columns)
+        assert g1.num_values == g2.num_values
+        assert g1.num_edges == g2.num_edges
+        assert sorted(g1.value_names) == sorted(g2.value_names)
+
+    def test_pruning_via_kwarg(self):
+        g = build_graph_from_columns(
+            {"A": ["x", "y"], "B": ["y", "z"]}, min_value_degree=2
+        )
+        assert g.value_names == ["Y"]

@@ -1,0 +1,58 @@
+"""Unit tests for repro.datalake.catalog."""
+
+from repro.datalake.catalog import (
+    LakeStatistics,
+    compute_statistics,
+    format_statistics_table,
+)
+
+
+class TestComputeStatistics:
+    def test_without_ground_truth(self, figure1_lake):
+        stats = compute_statistics(figure1_lake, "fig1")
+        assert stats.num_tables == 4
+        assert stats.num_attributes == 12
+        assert stats.num_values == 37
+        assert stats.num_homographs is None
+        assert stats.as_row()["#Hom"] == "N/A"
+
+    def test_with_ground_truth(self, figure1_lake, figure1_homographs):
+        stats = compute_statistics(
+            figure1_lake,
+            "fig1",
+            homographs=figure1_homographs,
+            meanings={"JAGUAR": 2, "PUMA": 2},
+        )
+        assert stats.num_homographs == 2
+        # Card(JAGUAR)=7, Card(PUMA)=5
+        assert stats.homograph_cardinality_min == 5
+        assert stats.homograph_cardinality_max == 7
+        assert stats.meanings_min == 2
+        assert stats.meanings_max == 2
+        row = stats.as_row()
+        assert row["Card(H)"] == "5-7"
+        assert row["#M"] == "2"
+
+    def test_unknown_homograph_ignored_in_cardinality(self, figure1_lake):
+        stats = compute_statistics(
+            figure1_lake, "fig1", homographs={"JAGUAR", "NOT_IN_LAKE"}
+        )
+        assert stats.num_homographs == 2
+        assert stats.homograph_cardinality_min == 7
+        assert stats.homograph_cardinality_max == 7
+
+
+class TestFormatStatisticsTable:
+    def test_header_and_alignment(self):
+        rows = [
+            LakeStatistics("SB", 13, 39, 17633, 55, 151, 1966, 2, 2),
+            LakeStatistics("TUS-I", 1253, 5020, 163860),
+        ]
+        text = format_statistics_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("dataset")
+        assert "SB" in lines[2]
+        assert "151-1966" in lines[2]
+        assert "N/A" in lines[3]
+        # all rows align on the same column widths
+        assert len(lines) == 4

@@ -1,0 +1,91 @@
+"""Tests for the domainnet command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def csv_lake(tmp_path):
+    (tmp_path / "zoo.csv").write_text(
+        "animal,city\nJaguar,Memphis\nPanda,Atlanta\nJaguar,Boston\n"
+        "Lemur,Boston\nOtter,Memphis\n"
+    )
+    (tmp_path / "cars.csv").write_text(
+        "maker,model\nJaguar,XE\nToyota,Prius\nJaguar,F-Type\n"
+        "Fiat,Panda2\nJaguar,XJ\n"
+    )
+    return tmp_path
+
+
+class TestScan:
+    def test_scan_prints_ranking(self, csv_lake, capsys):
+        assert main(["scan", str(csv_lake), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "JAGUAR" in out
+        assert "graph:" in out
+
+    def test_scan_with_meanings(self, csv_lake, capsys):
+        assert main(["scan", str(csv_lake), "--meanings"]) == 0
+        out = capsys.readouterr().out
+        assert "meaning(s)" in out
+
+    def test_scan_with_errors_flag(self, csv_lake, capsys):
+        assert main(["scan", str(csv_lake), "--errors"]) == 0
+        out = capsys.readouterr().out
+        assert "[genuine]" in out or "[error]" in out or \
+            "[single-meaning]" in out
+
+    def test_scan_lcc(self, csv_lake, capsys):
+        assert main(["scan", str(csv_lake), "--measure", "lcc"]) == 0
+        assert "lcc" in capsys.readouterr().out
+
+    def test_scan_sampled(self, csv_lake, capsys):
+        assert main(["scan", str(csv_lake), "--sample", "5"]) == 0
+        assert "5 samples" in capsys.readouterr().out
+
+    def test_scan_empty_directory(self, tmp_path, capsys):
+        assert main(["scan", str(tmp_path)]) == 1
+
+
+class TestStats:
+    def test_stats_table(self, csv_lake, capsys):
+        assert main(["stats", str(csv_lake)]) == 0
+        out = capsys.readouterr().out
+        assert "#Tables" in out
+        assert " 2 " in out  # two tables
+
+
+class TestGenerate:
+    def test_generate_sb(self, tmp_path, capsys):
+        out_dir = tmp_path / "sb"
+        assert main(["generate", "sb", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "13 tables" in out
+        assert "55 ground-truth homographs" in out
+        assert (out_dir / "countries.csv").exists()
+
+    def test_generate_tus(self, tmp_path, capsys):
+        out_dir = tmp_path / "tus"
+        assert main(["generate", "tus", str(out_dir), "--seed", "1"]) == 0
+        assert "wrote" in capsys.readouterr().out
+        assert any(out_dir.glob("*.csv"))
+
+    def test_generated_lake_scannable(self, tmp_path, capsys):
+        out_dir = tmp_path / "sb"
+        main(["generate", "sb", str(out_dir)])
+        capsys.readouterr()
+        assert main(["scan", str(out_dir), "--top", "5",
+                     "--sample", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "1." in out
+
+
+class TestParser:
+    def test_missing_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_measure(self, csv_lake):
+        with pytest.raises(SystemExit):
+            main(["scan", str(csv_lake), "--measure", "pagerank"])

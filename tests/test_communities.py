@@ -1,0 +1,98 @@
+"""Tests for meaning-count estimation (repro.core.communities)."""
+
+import pytest
+
+from repro.core.builder import build_graph, build_graph_from_columns
+from repro.core.communities import estimate_all_meanings, estimate_meanings
+
+
+class TestRunningExample:
+    """Figure 1 ground truth: Jaguar/Puma 2 meanings, Toyota/Panda 1."""
+
+    def test_jaguar_two_meanings(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        estimate = estimate_meanings(graph, "JAGUAR")
+        assert estimate.num_meanings == 2
+        assert estimate.is_homograph
+        groups = [set(g) for g in estimate.groups]
+        assert {"T1.At Risk", "T2.name"} in groups
+        assert {"T3.C2", "T4.Name"} in groups
+
+    def test_puma_two_meanings(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        assert estimate_meanings(graph, "PUMA").num_meanings == 2
+
+    def test_toyota_one_meaning(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        estimate = estimate_meanings(graph, "TOYOTA")
+        assert estimate.num_meanings == 1
+        assert not estimate.is_homograph
+
+    def test_panda_one_meaning(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        assert estimate_meanings(graph, "PANDA").num_meanings == 1
+
+
+class TestEdgeCases:
+    def test_single_attribute_value(self):
+        graph = build_graph_from_columns({"A": ["x", "y"]})
+        estimate = estimate_meanings(graph, "X")
+        assert estimate.num_meanings == 1
+
+    def test_many_meanings(self):
+        # NULL appears in four mutually disjoint columns.
+        columns = {
+            f"C{i}": ["null"] + [f"v{i}_{j}" for j in range(5)]
+            for i in range(4)
+        }
+        graph = build_graph_from_columns(columns)
+        estimate = estimate_meanings(graph, "NULL")
+        assert estimate.num_meanings == 4
+
+    def test_threshold_controls_merging(self):
+        # Two city columns share 1 of 4 other values: J = 1/7.
+        columns = {
+            "A": ["h", "a1", "a2", "a3", "shared"],
+            "B": ["h", "b1", "b2", "b3", "shared"],
+        }
+        graph = build_graph_from_columns(columns)
+        loose = estimate_meanings(graph, "H", threshold=0.1)
+        strict = estimate_meanings(graph, "H", threshold=0.5)
+        assert loose.num_meanings == 1
+        assert strict.num_meanings == 2
+
+    def test_invalid_threshold(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        with pytest.raises(ValueError):
+            estimate_meanings(graph, "JAGUAR", threshold=0.0)
+
+    def test_unknown_value(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        with pytest.raises(Exception):
+            estimate_meanings(graph, "NOT_THERE")
+
+
+class TestEstimateAll:
+    def test_defaults_to_candidates(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        estimates = estimate_all_meanings(graph)
+        # Candidates: values in >= 2 attributes.
+        assert set(estimates) == {"JAGUAR", "PUMA", "PANDA", "TOYOTA"}
+        assert estimates["JAGUAR"].num_meanings == 2
+
+    def test_explicit_values(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        estimates = estimate_all_meanings(graph, values=["PANDA"])
+        assert list(estimates) == ["PANDA"]
+
+    def test_sb_homographs_have_two_meanings(self):
+        from repro.bench.synthetic import SBConfig, generate_sb
+
+        sb = generate_sb(SBConfig(rows=300, seed=1))
+        graph = build_graph(sb.lake)
+        correct = 0
+        for value in sorted(sb.homographs)[:20]:
+            estimate = estimate_meanings(graph, value)
+            if estimate.num_meanings == 2:
+                correct += 1
+        assert correct >= 15  # the estimator is right most of the time

@@ -1,0 +1,93 @@
+"""Unit tests for repro.datalake.csv_io."""
+
+import pytest
+
+from repro import DataLake, Table
+from repro.datalake.csv_io import dump_lake, load_lake, read_table, write_table
+from repro.datalake.table import TableError
+
+
+@pytest.fixture
+def csv_dir(tmp_path):
+    (tmp_path / "zoo.csv").write_text(
+        "name,locale,num\nPanda,Memphis,2\nJaguar,San Diego,8\n"
+    )
+    (tmp_path / "cars.csv").write_text(
+        "model,maker\nXE,Jaguar\nPrius,Toyota\n"
+    )
+    return tmp_path
+
+
+class TestReadTable:
+    def test_roundtrip_values(self, csv_dir):
+        t = read_table(csv_dir / "zoo.csv")
+        assert t.name == "zoo"
+        assert t.columns == ["name", "locale", "num"]
+        assert t.rows[1] == ["Jaguar", "San Diego", "8"]
+
+    def test_explicit_name(self, csv_dir):
+        t = read_table(csv_dir / "zoo.csv", name="custom")
+        assert t.name == "custom"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TableError):
+            read_table(path)
+
+    def test_header_only_is_fine(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("a,b\n")
+        t = read_table(path)
+        assert t.num_rows == 0
+
+    def test_quoted_commas(self, tmp_path):
+        path = tmp_path / "q.csv"
+        path.write_text('a,b\n"x, y",z\n')
+        t = read_table(path)
+        assert t.rows[0] == ["x, y", "z"]
+
+
+class TestWriteTable:
+    def test_roundtrip(self, tmp_path):
+        t = Table("t", ["a", "b"], [["x, y", "z"], ["1", ""]])
+        path = tmp_path / "out" / "t.csv"
+        write_table(t, path)
+        back = read_table(path)
+        assert back.columns == t.columns
+        assert back.rows == t.rows
+
+
+class TestLoadLake:
+    def test_loads_all_tables_sorted(self, csv_dir):
+        lake = load_lake(csv_dir)
+        assert lake.table_names == ["cars", "zoo"]
+
+    def test_recursive_with_subdirs(self, csv_dir):
+        sub = csv_dir / "nested"
+        sub.mkdir()
+        (sub / "zoo.csv").write_text("a\n1\n")
+        lake = load_lake(csv_dir)
+        assert "nested/zoo" in lake.table_names
+        assert "zoo" in lake.table_names
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_lake(tmp_path / "nope")
+
+
+class TestDumpLake:
+    def test_roundtrip_whole_lake(self, csv_dir, tmp_path):
+        lake = load_lake(csv_dir)
+        out = tmp_path / "dump"
+        paths = dump_lake(lake, out)
+        assert len(paths) == 2
+        back = load_lake(out)
+        assert sorted(back.table_names) == sorted(lake.table_names)
+        assert back.table("zoo").rows == lake.table("zoo").rows
+
+    def test_nested_names_make_subdirs(self, tmp_path):
+        lake = DataLake([Table("a/b", ["x"], [["1"]])])
+        paths = dump_lake(lake, tmp_path)
+        assert paths[0] == tmp_path / "a" / "b.csv"
+        assert paths[0].exists()

@@ -1,0 +1,127 @@
+"""Unit tests for repro.domains.signatures."""
+
+import numpy as np
+import pytest
+
+from repro import DataLake, Table
+from repro.domains.signatures import (
+    all_robust_signatures,
+    build_term_index,
+    context_signature,
+    robust_signature,
+)
+
+
+@pytest.fixture
+def lake():
+    # Two animal columns, one company column; JAGUAR spans both types.
+    return DataLake([
+        Table.from_columns("zoo", {
+            "animal": ["Jaguar", "Panda", "Lemur", "Tiger"],
+            "count": ["1", "2", "3", "4"],       # numeric: excluded
+        }),
+        Table.from_columns("wild", {
+            "species": ["Jaguar", "Panda", "Tiger", "Wolf"],
+        }),
+        Table.from_columns("corp", {
+            "company": ["Jaguar", "Google", "Amazon"],
+        }),
+    ])
+
+
+class TestBuildTermIndex:
+    def test_text_columns_only(self, lake):
+        index = build_term_index(lake)
+        assert set(index.columns) == {
+            "zoo.animal", "wild.species", "corp.company"
+        }
+
+    def test_terms_normalized_and_unique(self, lake):
+        index = build_term_index(lake)
+        assert "JAGUAR" in index.term_ids
+        assert len(index.terms) == len(set(index.terms))
+
+    def test_term_columns_inverse(self, lake):
+        index = build_term_index(lake)
+        jaguar = index.term_ids["JAGUAR"]
+        cols = {index.columns[int(c)] for c in index.term_columns[jaguar]}
+        assert cols == {"zoo.animal", "wild.species", "corp.company"}
+
+    def test_column_terms_sorted(self, lake):
+        index = build_term_index(lake)
+        for ids in index.column_terms:
+            assert list(ids) == sorted(ids)
+
+
+class TestContextSignature:
+    def test_similarities_are_column_jaccard(self, lake):
+        index = build_term_index(lake)
+        jaguar = index.term_ids["JAGUAR"]
+        ids, sims = context_signature(index, jaguar)
+        by_name = {index.terms[int(t)]: float(s) for t, s in zip(ids, sims)}
+        # PANDA and TIGER share 2 of JAGUAR's 3 columns: J = 2/3.
+        assert by_name["PANDA"] == pytest.approx(2 / 3)
+        assert by_name["TIGER"] == pytest.approx(2 / 3)
+        # GOOGLE shares only corp.company: J = 1/3.
+        assert by_name["GOOGLE"] == pytest.approx(1 / 3)
+
+    def test_sorted_descending(self, lake):
+        index = build_term_index(lake)
+        _, sims = context_signature(index, index.term_ids["JAGUAR"])
+        assert list(sims) == sorted(sims, reverse=True)
+
+    def test_excludes_self(self, lake):
+        index = build_term_index(lake)
+        jaguar = index.term_ids["JAGUAR"]
+        ids, _ = context_signature(index, jaguar)
+        assert jaguar not in ids
+
+    def test_isolated_term(self):
+        lake = DataLake([Table.from_columns("t", {"a": ["only"]})])
+        index = build_term_index(lake)
+        ids, sims = context_signature(index, 0)
+        assert ids.size == 0
+
+
+class TestRobustSignature:
+    def test_centrist_cuts_at_steepest_drop(self, lake):
+        index = build_term_index(lake)
+        jaguar = index.term_ids["JAGUAR"]
+        robust = robust_signature(index, jaguar, variant="centrist")
+        names = {index.terms[t] for t in robust}
+        # Steepest drop is 2/3 -> 1/3; the 2/3 block survives.
+        assert names == {"PANDA", "TIGER"}
+
+    def test_liberal_keeps_through_last_drop(self, lake):
+        index = build_term_index(lake)
+        jaguar = index.term_ids["JAGUAR"]
+        robust = robust_signature(index, jaguar, variant="liberal")
+        names = {index.terms[t] for t in robust}
+        # Only one drop level here (2/3 -> 1/3), so liberal == centrist.
+        assert names == {"PANDA", "TIGER"}
+
+    def test_conservative_cuts_at_first_drop(self, lake):
+        index = build_term_index(lake)
+        panda = index.term_ids["PANDA"]
+        conservative = robust_signature(index, panda, variant="conservative")
+        centrist = robust_signature(index, panda, variant="centrist")
+        assert conservative <= centrist or conservative == centrist
+
+    def test_flat_signature_kept_whole(self):
+        lake = DataLake([
+            Table.from_columns("t", {"a": ["x", "y", "z"]}),
+        ])
+        index = build_term_index(lake)
+        x = index.term_ids["X"]
+        robust = robust_signature(index, x)
+        assert {index.terms[t] for t in robust} == {"Y", "Z"}
+
+    def test_unknown_variant(self, lake):
+        index = build_term_index(lake)
+        with pytest.raises(ValueError):
+            robust_signature(index, 0, variant="bogus")
+
+    def test_all_signatures_dense(self, lake):
+        index = build_term_index(lake)
+        signatures = all_robust_signatures(index)
+        assert len(signatures) == index.num_terms

@@ -1,0 +1,71 @@
+"""Tests for error-vs-genuine homograph classification."""
+
+import pytest
+
+from repro import DataLake, Table
+from repro.core.errors import classify_homographs
+
+
+@pytest.fixture
+def lake_with_error():
+    """YELLOW: 4 legitimate color cells plus one stray habitat cell."""
+    return DataLake([
+        Table.from_columns("birds", {
+            "color": ["Yellow", "Yellow", "Red", "Yellow", "Yellow"],
+            "habitat": ["Forest", "Yellow", "Marsh", "Coast", "Desert"],
+        }),
+        Table.from_columns("flowers", {
+            "color": ["Yellow", "Blue", "Red", "White", "Pink"],
+            "region": ["Alps", "Andes", "Rockies", "Alps", "Urals"],
+        }),
+        # Genuine homograph: JAGUAR recurs in both meanings.
+        Table.from_columns("zoo", {
+            "animal": ["Jaguar", "Panda", "Jaguar", "Lemur", "Otter"],
+        }),
+        Table.from_columns("cars", {
+            "maker": ["Jaguar", "Toyota", "Jaguar", "Fiat", "Jaguar"],
+        }),
+    ])
+
+
+class TestClassification:
+    def test_stray_cell_is_error(self, lake_with_error):
+        verdicts = classify_homographs(lake_with_error, ["YELLOW"])
+        assert verdicts["YELLOW"].kind == "error"
+        assert verdicts["YELLOW"].meaning_support[-1] == 1
+
+    def test_recurring_meanings_are_genuine(self, lake_with_error):
+        verdicts = classify_homographs(lake_with_error, ["JAGUAR"])
+        assert verdicts["JAGUAR"].kind == "genuine"
+        assert verdicts["JAGUAR"].num_meanings == 2
+
+    def test_single_meaning_value(self, lake_with_error):
+        verdicts = classify_homographs(lake_with_error, ["RED"])
+        assert verdicts["RED"].kind == "single-meaning"
+
+    def test_unknown_values_skipped(self, lake_with_error):
+        verdicts = classify_homographs(lake_with_error, ["NOPE"])
+        assert verdicts == {}
+
+    def test_support_counts_cells_not_columns(self, lake_with_error):
+        verdicts = classify_homographs(lake_with_error, ["JAGUAR"])
+        # zoo has 2 JAGUAR cells, cars has 3.
+        assert sorted(verdicts["JAGUAR"].meaning_support) == [2, 3]
+
+    def test_dominant_support_guard(self):
+        # Both meanings weakly supported: sparsity, not error.
+        lake = DataLake([
+            Table.from_columns("a", {"x": ["Jag", "v1"]}),
+            Table.from_columns("b", {"y": ["Jag", "w1"]}),
+        ])
+        verdicts = classify_homographs(lake, ["JAG"])
+        assert verdicts["JAG"].kind == "genuine"
+
+    def test_reuses_provided_graph(self, lake_with_error):
+        from repro.core.builder import build_graph
+
+        graph = build_graph(lake_with_error)
+        verdicts = classify_homographs(
+            lake_with_error, ["YELLOW"], graph=graph
+        )
+        assert verdicts["YELLOW"].kind == "error"

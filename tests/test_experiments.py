@@ -1,0 +1,141 @@
+"""Fast unit tests for the experiment runners (repro.eval.experiments).
+
+The benchmarks exercise these at full scale; here they run on reduced
+inputs so regressions in the runners themselves (formatting, plumbing,
+metric wiring) surface in the unit suite.
+"""
+
+import pytest
+
+from repro.bench.synthetic import SBConfig, generate_sb
+from repro.bench.tus import TUSConfig, generate_tus
+from repro.eval.experiments import (
+    experiment_d4_impact,
+    experiment_injection_cardinality,
+    experiment_injection_meanings,
+    experiment_runtime_scaling,
+    experiment_sample_size_sweep,
+    experiment_sb_baseline,
+    experiment_sb_top55,
+    experiment_table1,
+    experiment_tus_topk,
+)
+
+
+@pytest.fixture(scope="module")
+def small_sb():
+    return generate_sb(SBConfig(rows=200, seed=1))
+
+
+@pytest.fixture(scope="module")
+def small_tus():
+    return generate_tus(TUSConfig.small(seed=1))
+
+
+class TestTable1:
+    def test_contains_all_rows(self, small_sb, small_tus):
+        result = experiment_table1(sb=small_sb, tus=small_tus)
+        text = result.format()
+        for label in ("SB", "TUS-I (clean)", "TUS-like", "SCALE"):
+            assert label in text
+
+    def test_sb_row_exact(self, small_sb, small_tus):
+        text = experiment_table1(sb=small_sb, tus=small_tus).format()
+        sb_row = next(
+            line for line in text.splitlines() if line.startswith("SB")
+        )
+        assert " 13 " in f" {sb_row} " or sb_row.split()[1] == "13"
+
+
+class TestTop55:
+    def test_betweenness_entries(self, small_sb):
+        result = experiment_sb_top55("betweenness", sb=small_sb, k=20)
+        assert len(result.entries) == 20
+        assert result.total_homographs == 55
+        assert 0 <= result.homographs_in_top <= 20
+        assert "betweenness" in result.format()
+
+    def test_lcc_entries(self, small_sb):
+        result = experiment_sb_top55("lcc", sb=small_sb, k=10)
+        scores = [s for _v, s, _h in result.entries]
+        assert scores == sorted(scores)  # ascending for LCC
+
+
+class TestBaseline:
+    def test_comparison_structure(self, small_sb):
+        result = experiment_sb_baseline(sb=small_sb)
+        assert result.k == 55
+        assert 0.0 <= result.d4_precision <= 1.0
+        assert 0.0 <= result.domainnet_precision <= 1.0
+        assert "D4 baseline" in result.format()
+
+
+class TestInjectionSweeps:
+    def test_cardinality_rows(self, small_tus):
+        result = experiment_injection_cardinality(
+            tus=small_tus, thresholds=(0, 20), repeats=1, sample_size=150
+        )
+        assert [t for t, _r in result.rows] == [0, 20]
+        assert all(0.0 <= r <= 1.0 for _t, r in result.rows)
+        assert "min_cardinality" in result.format()
+
+    def test_meanings_rows(self, small_tus):
+        result = experiment_injection_meanings(
+            tus=small_tus, meanings=(2, 3), min_cardinality=0,
+            repeats=1, sample_size=150,
+        )
+        assert [m for m, _r in result.rows] == [2, 3]
+
+
+class TestTusTopK:
+    def test_curve_and_top10(self, small_tus):
+        result = experiment_tus_topk(
+            tus=small_tus, sample_size=200, num_curve_points=5
+        )
+        assert len(result.top10) == 10
+        assert result.curve_ks == sorted(result.curve_ks)
+        assert 0.0 <= result.p_at_200 <= 1.0
+        assert result.best_f1 >= 0.0
+        assert "paper: 0.89" in result.format()
+
+
+class TestSampleSweep:
+    def test_rows_and_exact(self, small_tus):
+        result = experiment_sample_size_sweep(
+            tus=small_tus, sample_sizes=(50, 150), include_exact=True
+        )
+        assert len(result.rows) == 2
+        assert result.exact_precision == result.exact_precision  # not NaN
+        assert "exact" in result.format()
+
+    def test_without_exact(self, small_tus):
+        result = experiment_sample_size_sweep(
+            tus=small_tus, sample_sizes=(50,), include_exact=False
+        )
+        assert result.exact_precision != result.exact_precision  # NaN
+
+
+class TestRuntimeScaling:
+    def test_rows_sorted_and_linear_check(self):
+        from repro.bench.scale import ScaleConfig
+
+        result = experiment_runtime_scaling(
+            config=ScaleConfig(num_tables=6, rows_per_table=150),
+            edge_targets=(2000, 4000),
+        )
+        edges = [e for e, _n, _s in result.rows]
+        assert edges == sorted(edges)
+        assert isinstance(result.is_roughly_linear(tolerance=5.0), bool)
+
+
+class TestD4Impact:
+    def test_structure(self, small_tus):
+        result = experiment_d4_impact(
+            tus=small_tus, injection_counts=(10,), meanings=(2,)
+        )
+        assert result.baseline_domains > 0
+        assert len(result.rows) == 1
+        n, m, domains, max_c, avg_c = result.rows[0]
+        assert (n, m) == (10, 2)
+        assert domains > 0
+        assert "no injections" in result.format()

@@ -1,0 +1,170 @@
+"""Unit tests for repro.core.graph (BipartiteGraph)."""
+
+import numpy as np
+import pytest
+
+from repro.core.graph import BipartiteGraph, GraphError
+
+
+@pytest.fixture
+def small_graph():
+    # values: a,b,c,d ; attributes: A1 (a,b,c), A2 (c,d)
+    return BipartiteGraph(
+        ["a", "b", "c", "d"],
+        ["A1", "A2"],
+        [(0, 0), (1, 0), (2, 0), (2, 1), (3, 1)],
+    )
+
+
+class TestConstruction:
+    def test_sizes(self, small_graph):
+        assert small_graph.num_values == 4
+        assert small_graph.num_attributes == 2
+        assert small_graph.num_nodes == 6
+        assert small_graph.num_edges == 5
+
+    def test_duplicate_edges_collapse(self):
+        g = BipartiteGraph(["a"], ["A"], [(0, 0), (0, 0), (0, 0)])
+        assert g.num_edges == 1
+
+    def test_empty_graph(self):
+        g = BipartiteGraph([], [], [])
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+
+    def test_no_edges(self):
+        g = BipartiteGraph(["a"], ["A"], [])
+        assert g.degree(0) == 0
+        assert g.value_neighbors(0).size == 0
+
+    def test_value_id_out_of_range(self):
+        with pytest.raises(GraphError):
+            BipartiteGraph(["a"], ["A"], [(1, 0)])
+
+    def test_attribute_id_out_of_range(self):
+        with pytest.raises(GraphError):
+            BipartiteGraph(["a"], ["A"], [(0, 5)])
+
+    def test_duplicate_value_names_rejected(self):
+        with pytest.raises(GraphError):
+            BipartiteGraph(["a", "a"], ["A"], [])
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(GraphError):
+            BipartiteGraph(["a"], ["A", "A"], [])
+
+
+class TestIdSpaces:
+    def test_partition(self, small_graph):
+        assert small_graph.is_value_node(0)
+        assert small_graph.is_value_node(3)
+        assert not small_graph.is_value_node(4)
+        assert small_graph.is_attribute_node(4)
+        assert small_graph.is_attribute_node(5)
+        assert not small_graph.is_attribute_node(6)
+
+    def test_name_lookup(self, small_graph):
+        assert small_graph.value_name(2) == "c"
+        assert small_graph.attribute_name(5) == "A2"
+        assert small_graph.value_id("d") == 3
+        assert small_graph.attribute_id("A1") == 4
+
+    def test_name_lookup_errors(self, small_graph):
+        with pytest.raises(GraphError):
+            small_graph.value_name(4)  # attribute id
+        with pytest.raises(GraphError):
+            small_graph.attribute_name(0)  # value id
+        with pytest.raises(GraphError):
+            small_graph.value_id("nope")
+        with pytest.raises(GraphError):
+            small_graph.attribute_id("nope")
+
+    def test_has_value(self, small_graph):
+        assert small_graph.has_value("a")
+        assert not small_graph.has_value("zz")
+
+
+class TestTopology:
+    def test_degrees(self, small_graph):
+        assert small_graph.degree(2) == 2  # c in both attributes
+        assert small_graph.degree(0) == 1
+        assert small_graph.degree(4) == 3  # A1 holds a,b,c
+        np.testing.assert_array_equal(
+            small_graph.degrees(), [1, 1, 2, 1, 3, 2]
+        )
+
+    def test_neighbors_sorted(self, small_graph):
+        nbrs = small_graph.neighbors(4)
+        assert list(nbrs) == sorted(nbrs)
+
+    def test_value_attributes(self, small_graph):
+        assert list(small_graph.value_attributes(2)) == [4, 5]
+        with pytest.raises(GraphError):
+            small_graph.value_attributes(4)
+
+    def test_attribute_values(self, small_graph):
+        assert list(small_graph.attribute_values(4)) == [0, 1, 2]
+        with pytest.raises(GraphError):
+            small_graph.attribute_values(0)
+
+    def test_value_neighbors_excludes_self(self, small_graph):
+        # N(c) = {a, b} from A1 plus {d} from A2
+        assert list(small_graph.value_neighbors(2)) == [0, 1, 3]
+        assert small_graph.value_cardinality(2) == 3
+
+    def test_value_neighbors_single_attribute(self, small_graph):
+        assert list(small_graph.value_neighbors(0)) == [1, 2]
+
+
+class TestPruning:
+    def test_prune_keeps_multi_attribute_values(self, small_graph):
+        pruned = small_graph.prune_values(min_degree=2)
+        assert pruned.value_names == ["c"]
+        assert pruned.num_attributes == 2  # attribute nodes survive
+        assert pruned.num_edges == 2
+
+    def test_prune_noop_at_degree_one(self, small_graph):
+        pruned = small_graph.prune_values(min_degree=1)
+        assert pruned.num_values == small_graph.num_values
+        assert pruned.num_edges == small_graph.num_edges
+
+    def test_subgraph_from_values(self, small_graph):
+        sub = small_graph.subgraph_from_values([0, 2])
+        assert sorted(sub.value_names) == ["a", "c"]
+        assert sub.num_edges == 3  # a-A1, c-A1, c-A2
+
+
+class TestSubgraphFromAttributes:
+    def test_pulls_in_attribute_values(self, small_graph):
+        sub = small_graph.subgraph_from_attributes([5])  # A2
+        assert sorted(sub.value_names) == ["c", "d"]
+        assert sub.attribute_names == ["A2"]
+        assert sub.num_edges == 2
+
+    def test_rejects_value_node(self, small_graph):
+        with pytest.raises(GraphError):
+            small_graph.subgraph_from_attributes([0])
+
+
+class TestComponentsAndInterop:
+    def test_connected_components(self):
+        g = BipartiteGraph(
+            ["a", "b", "x", "y"],
+            ["A", "B"],
+            [(0, 0), (1, 0), (2, 1), (3, 1)],
+        )
+        comps = g.connected_components()
+        assert len(comps) == 2
+        sizes = sorted(len(c) for c in comps)
+        assert sizes == [3, 3]
+
+    def test_single_component_when_bridged(self, small_graph):
+        comps = small_graph.connected_components()
+        assert len(comps) == 1
+        assert len(comps[0]) == 6
+
+    def test_to_networkx_roundtrip(self, small_graph):
+        nxg = small_graph.to_networkx()
+        assert nxg.number_of_nodes() == 6
+        assert nxg.number_of_edges() == 5
+        assert nxg.has_edge(("val", "c"), ("attr", "A2"))

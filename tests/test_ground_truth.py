@@ -1,0 +1,66 @@
+"""Unit tests for repro.bench.ground_truth."""
+
+import pytest
+
+from repro import DataLake, Table
+from repro.bench.ground_truth import label_lake, meanings_range
+
+
+@pytest.fixture
+def small_lake():
+    return DataLake([
+        Table.from_columns("t1", {"animals": ["Jaguar", "Panda"]}),
+        Table.from_columns("t2", {"zoo": ["Jaguar", "Panda", "Lemur"]}),
+        Table.from_columns("t3", {"cars": ["Jaguar", "Prius"]}),
+    ])
+
+
+GROUPS = {
+    "t1.animals": "animal",
+    "t2.zoo": "animal",
+    "t3.cars": "car",
+}
+
+
+class TestLabelLake:
+    def test_homograph_detected(self, small_lake):
+        truth = label_lake(small_lake, GROUPS)
+        assert truth.homographs == {"JAGUAR"}
+
+    def test_same_group_repeat_not_homograph(self, small_lake):
+        truth = label_lake(small_lake, GROUPS)
+        assert "PANDA" not in truth.homographs
+        assert truth.meanings["PANDA"] == 1
+
+    def test_meanings_counts_groups(self, small_lake):
+        truth = label_lake(small_lake, GROUPS)
+        assert truth.meanings["JAGUAR"] == 2
+        assert truth.meanings["LEMUR"] == 1
+
+    def test_labels_mapping(self, small_lake):
+        truth = label_lake(small_lake, GROUPS)
+        labels = truth.labels()
+        assert labels["JAGUAR"] is True
+        assert labels["PRIUS"] is False
+        assert set(labels) == set(truth.meanings)
+
+    def test_missing_attribute_mapping_raises(self, small_lake):
+        with pytest.raises(KeyError):
+            label_lake(small_lake, {"t1.animals": "animal"})
+
+    def test_is_homograph(self, small_lake):
+        truth = label_lake(small_lake, GROUPS)
+        assert truth.is_homograph("JAGUAR")
+        assert not truth.is_homograph("PANDA")
+        assert not truth.is_homograph("NOT_PRESENT")
+
+
+class TestMeaningsRange:
+    def test_range(self, small_lake):
+        truth = label_lake(small_lake, GROUPS)
+        assert meanings_range(truth) == (2, 2)
+
+    def test_empty_homographs(self):
+        lake = DataLake([Table.from_columns("t", {"a": ["x"]})])
+        truth = label_lake(lake, {"t.a": "g"})
+        assert meanings_range(truth) == (0, 0)

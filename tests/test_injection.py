@@ -1,0 +1,193 @@
+"""Tests for TUS-I homograph removal and injection (§4.3)."""
+
+import pytest
+
+from repro.bench.ground_truth import label_lake
+from repro.bench.injection import (
+    InjectionConfig,
+    InjectionError,
+    inject_homographs,
+    injection_recovery,
+    remove_homographs,
+)
+from repro.bench.tus import TUSConfig, generate_tus
+from repro.datalake.profiling import value_attribute_index
+
+
+@pytest.fixture(scope="module")
+def tus():
+    return generate_tus(TUSConfig.small(seed=1))
+
+
+@pytest.fixture(scope="module")
+def clean(tus):
+    lake, groups = remove_homographs(tus)
+    return lake, groups
+
+
+class TestRemoveHomographs:
+    def test_no_homographs_remain(self, tus, clean):
+        lake, groups = clean
+        truth = label_lake(lake, groups)
+        assert truth.homographs == set()
+
+    def test_table_shapes_preserved(self, tus, clean):
+        lake, _ = clean
+        assert len(lake) == len(tus.lake)
+        for name in tus.lake.table_names:
+            assert lake.table(name).num_rows == tus.lake.table(name).num_rows
+            assert lake.table(name).columns == tus.lake.table(name).columns
+
+    def test_unambiguous_values_untouched(self, tus, clean):
+        lake, _ = clean
+        original = value_attribute_index(tus.lake)
+        cleaned = value_attribute_index(lake)
+        untouched = [
+            v for v in original
+            if v not in tus.homographs
+        ]
+        for value in untouched[:100]:
+            assert cleaned.get(value) == original[value]
+
+    def test_disambiguated_forms_carry_domain(self, tus, clean):
+        lake, groups = clean
+        cleaned = value_attribute_index(lake)
+        renamed = [v for v in cleaned if "@DOM_" in v]
+        assert renamed, "expected disambiguated values in the clean lake"
+
+
+class TestInjectHomographs:
+    def test_injected_values_present(self, clean):
+        lake, groups = clean
+        inj = inject_homographs(
+            lake, groups, InjectionConfig(num_homographs=10, seed=0)
+        )
+        index = value_attribute_index(inj.lake)
+        for token in inj.injected_values:
+            assert token in index
+
+    def test_injected_have_requested_meanings(self, clean):
+        lake, groups = clean
+        for meanings in (2, 3):
+            inj = inject_homographs(
+                lake, groups,
+                InjectionConfig(num_homographs=8, meanings=meanings, seed=1),
+            )
+            truth = label_lake(inj.lake, groups)
+            for token in inj.injected_values:
+                assert truth.meanings[token] == meanings, token
+
+    def test_injected_are_only_homographs(self, clean):
+        lake, groups = clean
+        inj = inject_homographs(
+            lake, groups, InjectionConfig(num_homographs=10, seed=2)
+        )
+        truth = label_lake(inj.lake, groups)
+        assert truth.homographs == inj.injected_set
+
+    def test_replaced_values_gone(self, clean):
+        lake, groups = clean
+        inj = inject_homographs(
+            lake, groups, InjectionConfig(num_homographs=10, seed=3)
+        )
+        index = value_attribute_index(inj.lake)
+        for token, originals in inj.replaced.items():
+            for value, _domain in originals:
+                assert value not in index
+
+    def test_replaced_respect_min_length(self, clean):
+        lake, groups = clean
+        inj = inject_homographs(
+            lake, groups,
+            InjectionConfig(num_homographs=10, min_value_length=5, seed=4),
+        )
+        for originals in inj.replaced.values():
+            for value, _domain in originals:
+                assert len(value) >= 5
+
+    def test_replaced_come_from_distinct_domains(self, clean):
+        lake, groups = clean
+        inj = inject_homographs(
+            lake, groups, InjectionConfig(num_homographs=10, meanings=3, seed=5)
+        )
+        for originals in inj.replaced.values():
+            domains = [d for _v, d in originals]
+            assert len(set(domains)) == len(domains) == 3
+
+    def test_input_lake_unmodified(self, clean):
+        lake, groups = clean
+        before = value_attribute_index(lake)
+        inject_homographs(lake, groups, InjectionConfig(seed=6))
+        after = value_attribute_index(lake)
+        assert before == after
+
+    def test_cardinality_threshold_restricts_columns(self, clean):
+        lake, groups = clean
+        sizes = {
+            c.qualified_name: c.distinct_count()
+            for c in lake.iter_attributes()
+        }
+        threshold = sorted(sizes.values())[len(sizes) // 2]  # median
+        inj = inject_homographs(
+            lake, groups,
+            InjectionConfig(
+                num_homographs=5, min_cardinality=threshold, seed=7
+            ),
+        )
+        index = value_attribute_index(lake)
+        for originals in inj.replaced.values():
+            for value, _domain in originals:
+                # The value must live in some attribute of distinct
+                # count above the threshold (the |N(v)| lower bound).
+                assert any(
+                    sizes[attr] - 1 >= threshold for attr in index[value]
+                )
+
+
+class TestValidation:
+    def test_meanings_below_two_rejected(self, clean):
+        lake, groups = clean
+        with pytest.raises(InjectionError):
+            inject_homographs(lake, groups, InjectionConfig(meanings=1))
+
+    def test_zero_homographs_rejected(self, clean):
+        lake, groups = clean
+        with pytest.raises(InjectionError):
+            inject_homographs(
+                lake, groups, InjectionConfig(num_homographs=0)
+            )
+
+    def test_impossible_cardinality_rejected(self, clean):
+        lake, groups = clean
+        with pytest.raises(InjectionError):
+            inject_homographs(
+                lake, groups,
+                InjectionConfig(min_cardinality=10**9),
+            )
+
+
+class TestInjectionRecovery:
+    def test_full_recovery(self, clean):
+        lake, groups = clean
+        inj = inject_homographs(
+            lake, groups, InjectionConfig(num_homographs=5, seed=8)
+        )
+        ranking = list(inj.injected_values) + ["OTHER"]
+        assert injection_recovery(inj, ranking) == 1.0
+
+    def test_partial_recovery(self, clean):
+        lake, groups = clean
+        inj = inject_homographs(
+            lake, groups, InjectionConfig(num_homographs=4, seed=9)
+        )
+        ranking = inj.injected_values[:2] + ["A", "B"]
+        assert injection_recovery(inj, ranking) == 0.5
+
+    def test_custom_k(self, clean):
+        lake, groups = clean
+        inj = inject_homographs(
+            lake, groups, InjectionConfig(num_homographs=4, seed=10)
+        )
+        ranking = ["A"] + inj.injected_values
+        assert injection_recovery(inj, ranking, k=1) == 0.0
+        assert injection_recovery(inj, ranking, k=5) == 1.0

@@ -1,0 +1,89 @@
+"""Unit tests for repro.datalake.lake."""
+
+import pytest
+
+from repro import DataLake, Table
+from repro.datalake.lake import LakeError
+
+
+def table(name, cols=("a",), rows=()):
+    return Table(name, list(cols), [list(r) for r in rows])
+
+
+class TestMutation:
+    def test_add_and_len(self):
+        lake = DataLake()
+        lake.add_table(table("t1"))
+        lake.add_table(table("t2"))
+        assert len(lake) == 2
+        assert "t1" in lake
+
+    def test_duplicate_rejected(self):
+        lake = DataLake([table("t")])
+        with pytest.raises(LakeError):
+            lake.add_table(table("t"))
+
+    def test_remove_returns_table(self):
+        lake = DataLake([table("t")])
+        removed = lake.remove_table("t")
+        assert removed.name == "t"
+        assert "t" not in lake
+
+    def test_remove_missing(self):
+        with pytest.raises(LakeError):
+            DataLake().remove_table("nope")
+
+    def test_replace(self):
+        lake = DataLake([table("t", cols=("a",))])
+        lake.replace_table(table("t", cols=("a", "b")))
+        assert lake.table("t").num_columns == 2
+
+    def test_replace_missing(self):
+        with pytest.raises(LakeError):
+            DataLake().replace_table(table("t"))
+
+
+class TestAccess:
+    def test_iteration_preserves_insertion_order(self):
+        lake = DataLake([table("z"), table("a"), table("m")])
+        assert [t.name for t in lake] == ["z", "a", "m"]
+
+    def test_table_lookup_missing(self):
+        with pytest.raises(LakeError):
+            DataLake().table("nope")
+
+    def test_iter_attributes(self, figure1_lake):
+        qnames = [c.qualified_name for c in figure1_lake.iter_attributes()]
+        assert len(qnames) == 12
+        assert "T1.At Risk" in qnames
+        assert "T3.C2" in qnames
+
+    def test_attribute_lookup(self, figure1_lake):
+        col = figure1_lake.attribute("T1.At Risk")
+        assert col.values == ("Panda", "Puma", "Jaguar", "Pelican")
+
+    def test_attribute_lookup_with_dotted_table_name(self):
+        lake = DataLake([table("data.v2", cols=("x",), rows=[["1"]])])
+        col = lake.attribute("data.v2.x")
+        assert col.values == ("1",)
+
+    def test_attribute_missing(self, figure1_lake):
+        with pytest.raises(LakeError):
+            figure1_lake.attribute("T9.nope")
+
+
+class TestAggregates:
+    def test_num_attributes(self, figure1_lake):
+        assert figure1_lake.num_attributes == 12
+
+    def test_num_cells(self, figure1_lake):
+        # T1: 4x3, T2: 4x3, T3: 3x3, T4: 4x3
+        assert figure1_lake.num_cells == 12 + 12 + 9 + 12
+
+    def test_copy_is_independent(self, figure1_lake):
+        clone = figure1_lake.copy()
+        clone.remove_table("T1")
+        assert "T1" in figure1_lake
+        clone2 = figure1_lake.copy()
+        clone2.table("T2").rows[0][0] = "CHANGED"
+        assert figure1_lake.table("T2").rows[0][0] == "Panda"

@@ -1,0 +1,96 @@
+"""Unit tests for repro.core.lcc — including the Example 3.6 calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_graph, build_graph_from_columns
+from repro.core.lcc import lcc_score_map, lcc_scores
+
+
+class TestExample36Calibration:
+    """LCC must reproduce the paper's running-example scores."""
+
+    def test_paper_scores(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        lcc = lcc_score_map(g)
+        assert lcc["JAGUAR"] == pytest.approx(0.357, abs=0.005)
+        assert lcc["PUMA"] == pytest.approx(0.433, abs=0.005)
+        assert lcc["TOYOTA"] == pytest.approx(0.458, abs=0.005)
+        assert lcc["PANDA"] == pytest.approx(0.458, abs=0.005)
+
+    def test_homographs_rank_below_unambiguous_repeats(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        lcc = lcc_score_map(g)
+        assert lcc["JAGUAR"] < lcc["TOYOTA"]
+        assert lcc["PUMA"] < lcc["PANDA"]
+
+
+class TestAttributeJaccardVariant:
+    def test_single_attribute_clique_scores_one(self):
+        # All values share exactly one attribute: every pairwise Jaccard
+        # of attribute sets is 1.
+        g = build_graph_from_columns({"A": ["x", "y", "z"]})
+        scores = lcc_scores(g)
+        np.testing.assert_allclose(scores, 1.0)
+
+    def test_isolated_value_scores_zero(self):
+        g = build_graph_from_columns({"A": ["x"]})
+        assert lcc_scores(g)[0] == 0.0
+
+    def test_two_disjoint_columns_bridged(self):
+        # h is the only shared value; its attribute set {A,B} has
+        # Jaccard 1/2 with every neighbor's singleton set.
+        g = build_graph_from_columns(
+            {"A": ["h", "a1", "a2"], "B": ["h", "b1", "b2"]}
+        )
+        scores = lcc_score_map(g)
+        assert scores["H"] == pytest.approx(0.5)
+        # a1's neighbors are a2 (J=1) and h (J=1/2)
+        assert scores["A1"] == pytest.approx(0.75)
+
+    def test_empty_graph(self):
+        g = build_graph_from_columns({})
+        assert lcc_scores(g).size == 0
+
+
+class TestValueNeighborsVariant:
+    def test_figure1_literal_eq1(self, figure1_lake):
+        # The literal Eq. 1 reading gives JAGUAR 2/7 (hand-derived in
+        # DESIGN.md) — different from the paper's reported 0.36.
+        g = build_graph(figure1_lake)
+        scores = lcc_score_map(g, variant="value-neighbors")
+        assert scores["JAGUAR"] == pytest.approx(2 / 7, abs=1e-9)
+
+    def test_clique_follows_open_neighborhood_formula(self):
+        # In an n-value clique, N(x) and N(y) differ only in {x, y}, so
+        # every pairwise Jaccard is (n-2)/n.
+        for n in (3, 5, 8):
+            g = build_graph_from_columns({"A": [f"v{i}" for i in range(n)]})
+            scores = lcc_scores(g, variant="value-neighbors")
+            np.testing.assert_allclose(scores, (n - 2) / n)
+
+    def test_pruned_figure1_hand_derived(self, figure1_lake):
+        # Hand-derived on the 4-candidate pruned graph: JAGUAR and PUMA
+        # score 1/3; PANDA and TOYOTA score 1/4.  Notably the literal
+        # Eq. 1 variant puts the homographs *above* the unambiguous
+        # values here — the instability the paper's §3.3 warns about.
+        g = build_graph(figure1_lake, min_value_degree=2)
+        scores = lcc_score_map(g, variant="value-neighbors")
+        assert scores["JAGUAR"] == pytest.approx(1 / 3)
+        assert scores["PUMA"] == pytest.approx(1 / 3)
+        assert scores["PANDA"] == pytest.approx(1 / 4)
+        assert scores["TOYOTA"] == pytest.approx(1 / 4)
+
+
+class TestValidation:
+    def test_unknown_variant(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        with pytest.raises(ValueError):
+            lcc_scores(g, variant="bogus")
+
+    def test_scores_bounded(self, figure1_lake):
+        g = build_graph(figure1_lake)
+        for variant in ("attribute-jaccard", "value-neighbors"):
+            scores = lcc_scores(g, variant=variant)
+            assert np.all(scores >= 0.0)
+            assert np.all(scores <= 1.0)

@@ -1,0 +1,131 @@
+"""Unit tests for repro.eval.metrics."""
+
+import pytest
+
+from repro.eval.metrics import (
+    average_precision,
+    precision_recall_at_k,
+    ranking_overlap,
+    recall_of_set,
+    topk_curve,
+)
+
+RANKING = ["a", "b", "c", "d", "e", "f"]
+TRUTH = {"a", "c", "e"}
+
+
+class TestPrecisionRecallAtK:
+    def test_perfect_prefix(self):
+        pr = precision_recall_at_k(["a", "c", "e"], TRUTH, 3)
+        assert pr.precision == 1.0
+        assert pr.recall == 1.0
+        assert pr.f1 == 1.0
+
+    def test_partial(self):
+        pr = precision_recall_at_k(RANKING, TRUTH, 3)
+        # top-3 = a, b, c -> 2 hits
+        assert pr.true_positives == 2
+        assert pr.precision == pytest.approx(2 / 3)
+        assert pr.recall == pytest.approx(2 / 3)
+
+    def test_precision_equals_recall_at_truth_size(self):
+        # The property the paper relies on when quoting one number.
+        pr = precision_recall_at_k(RANKING, TRUTH, len(TRUTH))
+        assert pr.precision == pr.recall == pr.f1
+
+    def test_k_clamped_to_ranking_length(self):
+        pr = precision_recall_at_k(RANKING, TRUTH, 100)
+        assert pr.k == len(RANKING)
+        assert pr.recall == 1.0
+
+    def test_zero_k(self):
+        pr = precision_recall_at_k(RANKING, TRUTH, 0)
+        assert pr.precision == 0.0
+        assert pr.f1 == 0.0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            precision_recall_at_k(RANKING, TRUTH, -1)
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(ValueError):
+            precision_recall_at_k(RANKING, set(), 1)
+
+
+class TestTopKCurve:
+    def test_full_sweep(self):
+        curve = topk_curve(RANKING, TRUTH)
+        assert curve.ks == [1, 2, 3, 4, 5, 6]
+        assert curve.precision[0] == 1.0  # "a" is a hit
+        assert curve.recall[-1] == 1.0
+
+    def test_explicit_cut_points(self):
+        curve = topk_curve(RANKING, TRUTH, ks=[2, 4])
+        assert curve.ks == [2, 4]
+        assert curve.precision == [pytest.approx(1 / 2), pytest.approx(2 / 4)]
+
+    def test_recall_monotone(self):
+        curve = topk_curve(RANKING, TRUTH)
+        assert curve.recall == sorted(curve.recall)
+
+    def test_at_k(self):
+        curve = topk_curve(RANKING, TRUTH)
+        pr = curve.at_k(3)
+        assert pr.true_positives == 2
+        with pytest.raises(KeyError):
+            curve.at_k(99)
+
+    def test_best_f1(self):
+        curve = topk_curve(RANKING, TRUTH)
+        best = curve.best_f1()
+        assert best.f1 == max(curve.f1)
+
+    def test_matches_pointwise_evaluation(self):
+        curve = topk_curve(RANKING, TRUTH)
+        for i, k in enumerate(curve.ks):
+            pr = precision_recall_at_k(RANKING, TRUTH, k)
+            assert curve.precision[i] == pytest.approx(pr.precision)
+            assert curve.recall[i] == pytest.approx(pr.recall)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision(["a", "c", "e", "b"], TRUTH) == 1.0
+
+    def test_worst_ranking(self):
+        ap = average_precision(["b", "d", "f", "a", "c", "e"], TRUTH)
+        assert ap == pytest.approx((1 / 4 + 2 / 5 + 3 / 6) / 3)
+
+    def test_missing_truth_items_count_against(self):
+        ap = average_precision(["a"], TRUTH)
+        assert ap == pytest.approx(1 / 3)
+
+
+class TestSetMetrics:
+    def test_recall_of_set(self):
+        pr = recall_of_set({"a", "b"}, TRUTH)
+        assert pr.true_positives == 1
+        assert pr.precision == 0.5
+        assert pr.recall == pytest.approx(1 / 3)
+
+    def test_empty_prediction(self):
+        pr = recall_of_set(set(), TRUTH)
+        assert pr.precision == 0.0
+        assert pr.recall == 0.0
+
+
+class TestRankingOverlap:
+    def test_identical(self):
+        assert ranking_overlap(RANKING, list(RANKING), 4) == 1.0
+
+    def test_disjoint(self):
+        assert ranking_overlap(["a", "b"], ["x", "y"], 2) == 0.0
+
+    def test_partial(self):
+        assert ranking_overlap(["a", "b", "c"], ["c", "b", "x"], 3) == (
+            pytest.approx(2 / 3)
+        )
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ranking_overlap(RANKING, RANKING, 0)

@@ -1,0 +1,38 @@
+"""Unit tests for repro.core.normalize."""
+
+from repro.core.normalize import normalize_column, normalize_value
+
+
+class TestNormalizeValue:
+    def test_uppercases(self):
+        assert normalize_value("jaguar") == "JAGUAR"
+
+    def test_strips_whitespace(self):
+        assert normalize_value("  Jaguar \t") == "JAGUAR"
+
+    def test_collapses_internal_runs(self):
+        assert normalize_value("San   Diego") == "SAN DIEGO"
+        assert normalize_value("San\tDiego") == "SAN DIEGO"
+
+    def test_empty_and_blank(self):
+        assert normalize_value("") == ""
+        assert normalize_value("   ") == ""
+
+    def test_non_letters_preserved(self):
+        assert normalize_value("01223") == "01223"
+        assert normalize_value(".") == "."
+        assert normalize_value("25.80") == "25.80"
+
+
+class TestNormalizeColumn:
+    def test_dedupes_preserving_order(self):
+        assert normalize_column(["b", "a", "B", "a "]) == ["B", "A"]
+
+    def test_drops_blanks(self):
+        assert normalize_column(["", " ", "x"]) == ["X"]
+
+    def test_case_variants_collapse(self):
+        assert normalize_column(["Jaguar", "JAGUAR", "jaguar"]) == ["JAGUAR"]
+
+    def test_empty_column(self):
+        assert normalize_column([]) == []

@@ -1,0 +1,78 @@
+"""Unit tests for repro.datalake.profiling."""
+
+from repro import DataLake, Table
+from repro.datalake.profiling import (
+    cardinality_range,
+    profile_attributes,
+    value_attribute_index,
+    value_cardinalities,
+)
+
+
+class TestProfileAttributes:
+    def test_counts(self, figure1_lake):
+        profiles = {p.qualified_name: p for p in profile_attributes(figure1_lake)}
+        assert len(profiles) == 12
+        at_risk = profiles["T1.At Risk"]
+        assert at_risk.num_rows == 4
+        assert at_risk.num_distinct == 4
+        assert at_risk.num_empty == 0
+        assert at_risk.kind == "text"
+
+    def test_numeric_kind(self, figure1_lake):
+        profiles = {p.qualified_name: p for p in profile_attributes(figure1_lake)}
+        assert profiles["T2.num"].kind == "numeric"
+        assert profiles["T4.Revenue"].kind == "numeric"
+
+    def test_duplicates_counted_once(self, figure1_lake):
+        profiles = {p.qualified_name: p for p in profile_attributes(figure1_lake)}
+        # T2.name has Panda twice
+        assert profiles["T2.name"].num_distinct == 3
+
+    def test_fill_ratio(self):
+        lake = DataLake([Table("t", ["a"], [["x"], [""], ["y"], [""]])])
+        profile = profile_attributes(lake)[0]
+        assert profile.fill_ratio == 0.5
+
+    def test_fill_ratio_empty_table(self):
+        lake = DataLake([Table("t", ["a"], [])])
+        assert profile_attributes(lake)[0].fill_ratio == 0.0
+
+
+class TestValueAttributeIndex:
+    def test_normalized_keys(self, figure1_lake):
+        index = value_attribute_index(figure1_lake)
+        assert "JAGUAR" in index
+        assert index["JAGUAR"] == {"T1.At Risk", "T2.name", "T3.C2", "T4.Name"}
+
+    def test_single_attribute_values(self, figure1_lake):
+        index = value_attribute_index(figure1_lake)
+        assert index["GOOGLE"] == {"T1.Donor"}
+
+    def test_unnormalized_mode(self, figure1_lake):
+        index = value_attribute_index(figure1_lake, normalize=False)
+        assert "Jaguar" in index
+        assert "JAGUAR" not in index
+
+
+class TestValueCardinalities:
+    def test_figure1_jaguar(self, figure1_lake):
+        cards = value_cardinalities(figure1_lake)
+        # N(JAGUAR) = union of 4 columns minus itself = 7 (see DESIGN.md)
+        assert cards["JAGUAR"] == 7
+        assert cards["PUMA"] == 5
+        assert cards["PANDA"] == 4
+        assert cards["TOYOTA"] == 4
+        assert cards["LEMUR"] == 2
+
+    def test_value_alone_in_column(self):
+        lake = DataLake([Table("t", ["a"], [["x"]])])
+        assert value_cardinalities(lake)["X"] == 0
+
+
+class TestCardinalityRange:
+    def test_range_formatting(self):
+        cards = {"A": 3, "B": 10, "C": 7}
+        assert cardinality_range(cards, {"A", "B"}) == "3-10"
+        assert cardinality_range(cards, {"C"}) == "7"
+        assert cardinality_range(cards, {"Z"}) == "N/A"

@@ -1,0 +1,142 @@
+"""Property-based tests for the centrality measures and metrics."""
+
+import string
+
+import networkx as nx
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.betweenness import betweenness_scores
+from repro.core.builder import build_graph_from_columns
+from repro.core.lcc import lcc_scores
+from repro.eval.metrics import (
+    average_precision,
+    precision_recall_at_k,
+    topk_curve,
+)
+
+values_strategy = st.text(
+    alphabet=string.ascii_uppercase[:8], min_size=1, max_size=3
+)
+columns_strategy = st.dictionaries(
+    keys=st.text(string.ascii_lowercase, min_size=1, max_size=5),
+    values=st.lists(values_strategy, min_size=1, max_size=10),
+    min_size=1,
+    max_size=5,
+)
+
+
+class TestBetweennessProperties:
+    @given(columns_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_matches_networkx(self, columns):
+        graph = build_graph_from_columns(columns)
+        ours = betweenness_scores(graph)
+        reference = nx.betweenness_centrality(
+            graph.to_networkx(), normalized=True
+        )
+        for v in range(graph.num_values):
+            expected = reference[("val", graph.value_name(v))]
+            assert abs(ours[v] - expected) < 1e-9
+
+    @given(columns_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_scores_bounded(self, columns):
+        graph = build_graph_from_columns(columns)
+        scores = betweenness_scores(graph)
+        assert np.all(scores >= -1e-12)
+        assert np.all(scores <= 1.0 + 1e-12)
+
+    @given(columns_strategy, st.integers(min_value=0, max_value=999))
+    @settings(max_examples=25, deadline=None)
+    def test_sampling_never_negative(self, columns, seed):
+        graph = build_graph_from_columns(columns)
+        size = max(1, graph.num_nodes // 2)
+        scores = betweenness_scores(graph, sample_size=size, seed=seed)
+        assert np.all(scores >= -1e-12)
+
+    @given(columns_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_values_endpoint_mode_bounded_by_all(self, columns):
+        graph = build_graph_from_columns(columns)
+        all_mode = betweenness_scores(graph, normalized=False)
+        val_mode = betweenness_scores(
+            graph, normalized=False, endpoints="values"
+        )
+        assert np.all(val_mode <= all_mode + 1e-9)
+
+
+class TestLCCProperties:
+    @given(columns_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_both_variants_bounded(self, columns):
+        graph = build_graph_from_columns(columns)
+        for variant in ("attribute-jaccard", "value-neighbors"):
+            scores = lcc_scores(graph, variant=variant)
+            assert np.all(scores >= 0.0)
+            assert np.all(scores <= 1.0 + 1e-12)
+
+    @given(columns_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_attribute_jaccard_matches_bruteforce(self, columns):
+        graph = build_graph_from_columns(columns)
+        scores = lcc_scores(graph)
+        for u in range(graph.num_values):
+            neighbors = graph.value_neighbors(u)
+            if neighbors.size == 0:
+                assert scores[u] == 0.0
+                continue
+            a_u = set(int(x) for x in graph.value_attributes(u))
+            total = 0.0
+            for v in neighbors:
+                a_v = set(int(x) for x in graph.value_attributes(int(v)))
+                total += len(a_u & a_v) / len(a_u | a_v)
+            assert abs(scores[u] - total / neighbors.size) < 1e-9
+
+
+rankings_strategy = st.lists(
+    st.text(string.ascii_uppercase[:10], min_size=1, max_size=2),
+    min_size=1, max_size=20, unique=True,
+)
+
+
+class TestMetricProperties:
+    @given(rankings_strategy, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_precision_recall_bounds(self, ranking, data):
+        truth = set(
+            data.draw(st.lists(st.sampled_from(ranking), min_size=1))
+        )
+        k = data.draw(st.integers(min_value=0, max_value=len(ranking) + 3))
+        pr = precision_recall_at_k(ranking, truth, k)
+        assert 0.0 <= pr.precision <= 1.0
+        assert 0.0 <= pr.recall <= 1.0
+        assert 0.0 <= pr.f1 <= 1.0
+
+    @given(rankings_strategy, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_curve_recall_monotone_and_complete(self, ranking, data):
+        truth = set(
+            data.draw(st.lists(st.sampled_from(ranking), min_size=1))
+        )
+        curve = topk_curve(ranking, truth)
+        assert curve.recall == sorted(curve.recall)
+        assert curve.recall[-1] == 1.0  # truth drawn from the ranking
+
+    @given(rankings_strategy, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_average_precision_bounds(self, ranking, data):
+        truth = set(
+            data.draw(st.lists(st.sampled_from(ranking), min_size=1))
+        )
+        assert 0.0 <= average_precision(ranking, truth) <= 1.0
+
+    @given(rankings_strategy, st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_perfect_prefix_has_ap_one(self, ranking, data):
+        size = data.draw(
+            st.integers(min_value=1, max_value=len(ranking))
+        )
+        truth = set(ranking[:size])
+        assert average_precision(ranking, truth) == 1.0

@@ -1,0 +1,75 @@
+"""Property-based tests for the D4 signature machinery."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DataLake, Table
+from repro.domains.signatures import (
+    build_term_index,
+    context_signature,
+    robust_signature,
+)
+
+values_strategy = st.text(
+    alphabet=string.ascii_uppercase[:8], min_size=1, max_size=3
+)
+lake_strategy = st.lists(
+    st.lists(values_strategy, min_size=2, max_size=8),
+    min_size=1,
+    max_size=5,
+).map(
+    lambda cols: DataLake([
+        Table.from_columns(f"t{i}", {"c": col})
+        for i, col in enumerate(cols)
+    ])
+)
+
+
+class TestSignatureProperties:
+    @given(lake_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_similarities_in_unit_interval(self, lake):
+        index = build_term_index(lake)
+        for tid in range(index.num_terms):
+            _ids, sims = context_signature(index, tid)
+            assert all(0.0 < s <= 1.0 for s in sims)
+
+    @given(lake_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_context_symmetry(self, lake):
+        """sim(a, b) == sim(b, a) whenever both are defined."""
+        index = build_term_index(lake)
+        sims = {}
+        for tid in range(index.num_terms):
+            ids, scores = context_signature(index, tid)
+            for other, s in zip(ids, scores):
+                sims[(tid, int(other))] = float(s)
+        for (a, b), s in sims.items():
+            assert abs(sims[(b, a)] - s) < 1e-12
+
+    @given(lake_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_trim_variant_containment(self, lake):
+        """conservative ⊆ liberal ⊆ full context, centrist within full."""
+        index = build_term_index(lake)
+        for tid in range(index.num_terms):
+            full = set(
+                int(t) for t in context_signature(index, tid)[0]
+            )
+            conservative = robust_signature(index, tid, "conservative")
+            centrist = robust_signature(index, tid, "centrist")
+            liberal = robust_signature(index, tid, "liberal")
+            assert conservative <= liberal <= full
+            assert centrist <= full
+            assert conservative <= centrist or conservative == centrist
+
+    @given(lake_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_robust_never_empty_when_context_nonempty(self, lake):
+        index = build_term_index(lake)
+        for tid in range(index.num_terms):
+            full, _ = context_signature(index, tid)
+            if full.size:
+                assert robust_signature(index, tid)

@@ -1,0 +1,103 @@
+"""Property-based tests (hypothesis) for the graph layer."""
+
+import string
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_graph_from_columns
+from repro.core.normalize import normalize_value
+
+# Small alphabet so values collide across columns (the interesting case).
+values_strategy = st.text(
+    alphabet=string.ascii_uppercase[:8], min_size=1, max_size=3
+)
+column_strategy = st.lists(values_strategy, min_size=1, max_size=12)
+columns_strategy = st.dictionaries(
+    keys=st.text(string.ascii_lowercase, min_size=1, max_size=5),
+    values=column_strategy,
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestNormalizeProperties:
+    @given(st.text(max_size=30))
+    def test_idempotent(self, raw):
+        once = normalize_value(raw)
+        assert normalize_value(once) == once
+
+    @given(st.text(max_size=30))
+    def test_never_has_edge_whitespace(self, raw):
+        value = normalize_value(raw)
+        assert value == value.strip()
+
+    @given(st.text(max_size=30))
+    def test_case_insensitive(self, raw):
+        assert normalize_value(raw.lower()) == normalize_value(raw.upper())
+
+
+class TestGraphProperties:
+    @given(columns_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sum_is_twice_edges(self, columns):
+        graph = build_graph_from_columns(columns)
+        assert int(graph.degrees().sum()) == 2 * graph.num_edges
+
+    @given(columns_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_bipartite_edges_cross_sides(self, columns):
+        graph = build_graph_from_columns(columns)
+        for v in range(graph.num_values):
+            for neighbor in graph.neighbors(v):
+                assert graph.is_attribute_node(int(neighbor))
+        for a in range(graph.num_values, graph.num_nodes):
+            for neighbor in graph.neighbors(a):
+                assert graph.is_value_node(int(neighbor))
+
+    @given(columns_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_value_neighbors_symmetric(self, columns):
+        graph = build_graph_from_columns(columns)
+        for v in range(graph.num_values):
+            for w in graph.value_neighbors(v):
+                assert v in graph.value_neighbors(int(w))
+
+    @given(columns_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_pruning_is_idempotent(self, columns):
+        graph = build_graph_from_columns(columns)
+        once = graph.prune_values(min_degree=2)
+        twice = once.prune_values(min_degree=2)
+        assert once.num_values == twice.num_values
+        assert once.num_edges == twice.num_edges
+
+    @given(columns_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_pruned_values_subset(self, columns):
+        graph = build_graph_from_columns(columns)
+        pruned = graph.prune_values(min_degree=2)
+        assert set(pruned.value_names) <= set(graph.value_names)
+        for name in pruned.value_names:
+            assert pruned.degree(pruned.value_id(name)) == \
+                graph.degree(graph.value_id(name))
+
+    @given(columns_strategy, st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_column_order_invariance(self, columns, seed):
+        """Scores must not depend on table iteration order."""
+        graph_a = build_graph_from_columns(columns)
+        rng = np.random.default_rng(seed)
+        names = list(columns)
+        rng.shuffle(names)
+        graph_b = build_graph_from_columns({n: columns[n] for n in names})
+        assert graph_a.num_edges == graph_b.num_edges
+        for name in graph_a.value_names:
+            assert sorted(
+                graph_a.attribute_name(int(x))
+                for x in graph_a.value_attributes(graph_a.value_id(name))
+            ) == sorted(
+                graph_b.attribute_name(int(x))
+                for x in graph_b.value_attributes(graph_b.value_id(name))
+            )

@@ -1,0 +1,91 @@
+"""Tests for repro.eval.reporting."""
+
+import pytest
+
+from repro.eval.reporting import (
+    ascii_bars,
+    ascii_chart,
+    export_series_csv,
+    export_series_json,
+    load_series_json,
+)
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        text = ascii_chart(
+            [0, 1, 2, 3],
+            {"precision": [1.0, 0.8, 0.6, 0.4]},
+            title="figure 7",
+        )
+        assert "figure 7" in text
+        assert "*" in text
+        assert "*=precision" in text
+
+    def test_multiple_series_distinct_glyphs(self):
+        text = ascii_chart(
+            [0, 1], {"a": [0.0, 1.0], "b": [1.0, 0.0]}
+        )
+        assert "*" in text and "o" in text
+        assert "*=a" in text and "o=b" in text
+
+    def test_constant_series(self):
+        text = ascii_chart([0, 1, 2], {"flat": [0.5, 0.5, 0.5]})
+        assert "*" in text
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0, 1], {"a": [1.0]})
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            ascii_chart([], {})
+
+    def test_axis_labels_present(self):
+        text = ascii_chart([10, 90], {"a": [2.0, 8.0]})
+        assert "10" in text
+        assert "90" in text
+        assert "8" in text  # y max
+
+
+class TestAsciiBars:
+    def test_basic(self):
+        text = ascii_bars(["x", "yy"], [1.0, 2.0], title="bars")
+        lines = text.splitlines()
+        assert lines[0] == "bars"
+        assert lines[1].strip().startswith("x |")
+        assert lines[2].count("#") > lines[1].count("#")
+
+    def test_zero_values(self):
+        text = ascii_bars(["a"], [0.0])
+        assert "0" in text
+
+    def test_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            ascii_bars([], [])
+
+
+class TestExport:
+    def test_json_roundtrip(self, tmp_path):
+        path = tmp_path / "out" / "series.json"
+        export_series_json(
+            path, [1, 2], {"p": [0.9, 0.8]}, metadata={"k": 55}
+        )
+        back = load_series_json(path)
+        assert back["x"] == [1, 2]
+        assert back["series"]["p"] == [0.9, 0.8]
+        assert back["metadata"]["k"] == 55
+
+    def test_csv_layout(self, tmp_path):
+        path = tmp_path / "series.csv"
+        export_series_csv(
+            path, [1, 2], {"p": [0.9, 0.8], "r": [0.1, 0.2]}, x_name="k"
+        )
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "k,p,r"
+        assert lines[1] == "1,0.9,0.1"
+        assert lines[2] == "2,0.8,0.2"

@@ -1,0 +1,75 @@
+"""Tests for the scalability substrate (repro.bench.scale)."""
+
+import pytest
+
+from repro.bench.scale import ScaleConfig, extract_subgraphs, generate_scale_lake
+from repro.core.builder import build_graph
+
+
+@pytest.fixture(scope="module")
+def small_scale_lake():
+    return generate_scale_lake(ScaleConfig(
+        num_tables=6, columns_per_table=4, rows_per_table=120,
+        shared_vocabulary=500,
+    ))
+
+
+class TestGenerateScaleLake:
+    def test_shape(self, small_scale_lake):
+        assert len(small_scale_lake) == 6
+        assert small_scale_lake.num_attributes == 24
+        for table in small_scale_lake:
+            assert table.num_rows == 120
+
+    def test_mix_of_shared_and_unique(self, small_scale_lake):
+        graph = build_graph(small_scale_lake)
+        degrees = [graph.degree(v) for v in range(graph.num_values)]
+        assert max(degrees) > 1     # shared tokens span attributes
+        assert min(degrees) == 1    # unique ids appear once
+
+    def test_deterministic(self):
+        config = ScaleConfig(num_tables=2, rows_per_table=50)
+        a = generate_scale_lake(config)
+        b = generate_scale_lake(config)
+        assert a.table("table0000").rows == b.table("table0000").rows
+
+    def test_size_scales_with_config(self):
+        small = generate_scale_lake(
+            ScaleConfig(num_tables=2, rows_per_table=50)
+        )
+        large = generate_scale_lake(
+            ScaleConfig(num_tables=4, rows_per_table=100)
+        )
+        g_small = build_graph(small)
+        g_large = build_graph(large)
+        assert g_large.num_edges > 2 * g_small.num_edges
+
+
+class TestExtractSubgraphs:
+    def test_targets_reached(self, small_scale_lake):
+        graph = build_graph(small_scale_lake)
+        targets = [graph.num_edges // 4, graph.num_edges // 2]
+        subs = extract_subgraphs(graph, targets, seed=1)
+        assert len(subs) == 2
+        assert subs[0].num_edges >= targets[0]
+        assert subs[1].num_edges >= targets[1]
+        assert subs[0].num_edges <= subs[1].num_edges
+
+    def test_subgraphs_nest(self, small_scale_lake):
+        graph = build_graph(small_scale_lake)
+        subs = extract_subgraphs(
+            graph, [graph.num_edges // 4, graph.num_edges // 2], seed=1
+        )
+        small_attrs = set(subs[0].attribute_names)
+        large_attrs = set(subs[1].attribute_names)
+        assert small_attrs <= large_attrs
+
+    def test_oversized_target_returns_whole_graph(self, small_scale_lake):
+        graph = build_graph(small_scale_lake)
+        subs = extract_subgraphs(graph, [graph.num_edges * 10], seed=1)
+        assert subs[0].num_edges == graph.num_edges
+
+    def test_invalid_target(self, small_scale_lake):
+        graph = build_graph(small_scale_lake)
+        with pytest.raises(ValueError):
+            extract_subgraphs(graph, [0], seed=1)

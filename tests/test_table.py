@@ -1,0 +1,144 @@
+"""Unit tests for repro.datalake.table."""
+
+import pytest
+
+from repro.datalake.table import (
+    Column,
+    Table,
+    TableError,
+    infer_column_kind,
+)
+
+
+class TestTableConstruction:
+    def test_basic_shape(self):
+        t = Table("t", ["a", "b"], [["1", "2"], ["3", "4"]])
+        assert t.num_rows == 2
+        assert t.num_columns == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TableError):
+            Table("", ["a"], [])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(TableError):
+            Table("t", [], [])
+
+    def test_short_rows_padded(self):
+        t = Table("t", ["a", "b", "c"], [["1"]])
+        assert t.rows[0] == ["1", "", ""]
+
+    def test_long_rows_rejected(self):
+        with pytest.raises(TableError):
+            Table("t", ["a"], [["1", "2"]])
+
+    def test_none_cells_become_empty(self):
+        t = Table("t", ["a", "b"], [[None, "x"]])
+        assert t.rows[0] == ["", "x"]
+
+    def test_non_string_cells_coerced(self):
+        t = Table("t", ["a"], [[42]])
+        assert t.rows[0] == ["42"]
+
+    def test_duplicate_headers_disambiguated(self):
+        t = Table("t", ["name", "name", "name"], [])
+        assert t.columns == ["name", "name#2", "name#3"]
+
+    def test_blank_headers_get_positional_names(self):
+        t = Table("t", ["", "  ", "x"], [])
+        assert t.columns == ["col_0", "col_1", "x"]
+
+
+class TestColumnAccess:
+    def test_column_by_name(self):
+        t = Table("t", ["a", "b"], [["1", "2"], ["3", "4"]])
+        col = t.column("b")
+        assert col.values == ("2", "4")
+        assert col.qualified_name == "t.b"
+
+    def test_column_missing_name(self):
+        t = Table("t", ["a"], [])
+        with pytest.raises(KeyError):
+            t.column("zz")
+
+    def test_column_at_out_of_range(self):
+        t = Table("t", ["a"], [])
+        with pytest.raises(IndexError):
+            t.column_at(5)
+
+    def test_iter_columns_order(self):
+        t = Table("t", ["x", "y"], [["1", "2"]])
+        names = [c.name for c in t.iter_columns()]
+        assert names == ["x", "y"]
+
+    def test_column_is_snapshot(self):
+        t = Table("t", ["a"], [["1"]])
+        col = t.column("a")
+        t.append_row(["2"])
+        assert col.values == ("1",)  # old snapshot unchanged
+        assert t.column("a").values == ("1", "2")
+
+
+class TestColumnStats:
+    def test_distinct_values_order_and_blanks(self):
+        col = Column("t", "a", ("x", "", "y", "x", "z", "y"))
+        assert col.distinct_values() == ["x", "y", "z"]
+        assert col.distinct_count() == 3
+
+    def test_len(self):
+        col = Column("t", "a", ("x", "y"))
+        assert len(col) == 2
+
+
+class TestFromColumns:
+    def test_rectangularizes_ragged_columns(self):
+        t = Table.from_columns("t", {"a": ["1", "2", "3"], "b": ["x"]})
+        assert t.num_rows == 3
+        assert t.column("b").values == ("x", "", "")
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(TableError):
+            Table.from_columns("t", {})
+
+
+class TestAppendRow:
+    def test_append_and_pad(self):
+        t = Table("t", ["a", "b"], [])
+        t.append_row(["1"])
+        assert t.rows == [["1", ""]]
+
+    def test_append_too_long(self):
+        t = Table("t", ["a"], [])
+        with pytest.raises(TableError):
+            t.append_row(["1", "2"])
+
+
+class TestReplaceValues:
+    def test_replaces_everywhere(self):
+        t = Table("t", ["a", "b"], [["x", "y"], ["y", "x"]])
+        t2 = t.replace_values({"x": "INJECTED"})
+        assert t2.rows == [["INJECTED", "y"], ["y", "INJECTED"]]
+
+    def test_original_untouched(self):
+        t = Table("t", ["a"], [["x"]])
+        t.replace_values({"x": "z"})
+        assert t.rows == [["x"]]
+
+
+class TestInferColumnKind:
+    def test_numeric(self):
+        assert infer_column_kind(["1", "2.5", "-3", "1,000"]) == "numeric"
+
+    def test_text(self):
+        assert infer_column_kind(["apple", "pear", "1"]) == "text"
+
+    def test_mixed_mostly_numeric(self):
+        values = ["1"] * 9 + ["x"]
+        assert infer_column_kind(values) == "numeric"
+
+    def test_mixed_mostly_text(self):
+        values = ["x"] * 9 + ["1"]
+        assert infer_column_kind(values) == "text"
+
+    def test_empty(self):
+        assert infer_column_kind(["", "", ""]) == "empty"

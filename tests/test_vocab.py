@@ -1,0 +1,103 @@
+"""Unit tests for repro.bench.vocab — vocabulary invariants."""
+
+import pytest
+
+from repro.bench.vocab import (
+    PLANTED_HOMOGRAPHS,
+    Vocabulary,
+    VocabularyError,
+    build_vocabularies,
+    planted_homographs_normalized,
+    planted_meanings,
+    validate_vocabularies,
+)
+from repro.core.normalize import normalize_value
+
+
+@pytest.fixture(scope="module")
+def vocabs():
+    return build_vocabularies()
+
+
+class TestPlantedRegistry:
+    def test_exactly_55_planted(self):
+        assert len(PLANTED_HOMOGRAPHS) == 55
+
+    def test_all_have_two_types(self):
+        for value, types in PLANTED_HOMOGRAPHS.items():
+            assert len(types) == 2
+            assert types[0] != types[1]
+
+    def test_keys_are_normalized(self):
+        for value in PLANTED_HOMOGRAPHS:
+            assert value == normalize_value(value)
+
+    def test_paper_examples_present(self):
+        # The classes the paper names explicitly in §4.1.
+        assert PLANTED_HOMOGRAPHS["SYDNEY"] == ("first_name", "city")
+        assert PLANTED_HOMOGRAPHS["JAMAICA"] == ("country_name", "city")
+        assert PLANTED_HOMOGRAPHS["LINCOLN"] == ("car_model", "city")
+        assert PLANTED_HOMOGRAPHS["CA"] == ("country_code", "state_abbr")
+        assert PLANTED_HOMOGRAPHS["PUMPKIN"] == ("grocery", "movie_title")
+
+    def test_meanings_all_two(self):
+        meanings = planted_meanings()
+        assert set(meanings.values()) == {2}
+        assert len(meanings) == 55
+
+
+class TestBuildVocabularies:
+    def test_real_world_sizes(self, vocabs):
+        assert len(vocabs["country_name"]) == 193
+        assert len(vocabs["country_code"]) == 193
+        assert len(vocabs["state_name"]) == 50
+        assert len(vocabs["state_abbr"]) == 50
+
+    def test_planted_values_present_on_both_sides(self, vocabs):
+        for value, (type_a, type_b) in PLANTED_HOMOGRAPHS.items():
+            assert value in vocabs[type_a].normalized()
+            assert value in vocabs[type_b].normalized()
+
+    def test_no_unplanned_collisions(self, vocabs):
+        # validate_vocabularies raises on violation; reaching here means
+        # the invariant holds, but assert pairwise independently too.
+        names = sorted(vocabs)
+        planted = planted_homographs_normalized()
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                overlap = vocabs[a].normalized() & vocabs[b].normalized()
+                assert overlap <= planted, (a, b, overlap - planted)
+
+    def test_abbreviation_class_is_21(self, vocabs):
+        codes = vocabs["country_code"].normalized()
+        abbrs = vocabs["state_abbr"].normalized()
+        assert len(codes & abbrs) == 21
+
+    def test_no_within_type_duplicates(self, vocabs):
+        for vocab in vocabs.values():
+            normalized = [normalize_value(v) for v in vocab.values]
+            assert len(normalized) == len(set(normalized)), vocab.type_name
+
+    def test_tickers_disjoint_from_everything(self, vocabs):
+        tickers = vocabs["ticker"].normalized()
+        for name, vocab in vocabs.items():
+            if name != "ticker":
+                assert not (tickers & vocab.normalized())
+
+
+class TestValidateVocabularies:
+    def test_detects_missing_planted(self):
+        bad = {
+            "country_code": Vocabulary("country_code", ("XX",)),
+            "state_abbr": Vocabulary("state_abbr", ("CA",)),
+        }
+        with pytest.raises(VocabularyError):
+            validate_vocabularies(bad)
+
+    def test_detects_unplanned_collision(self):
+        bad = {
+            "genre": Vocabulary("genre", ("Drama", "Rogue")),
+            "car_model": Vocabulary("car_model", ("Rogue",)),
+        }
+        with pytest.raises(VocabularyError):
+            validate_vocabularies(bad)

@@ -1,0 +1,79 @@
+"""Sanity tests for the raw word lists behind the SB generator."""
+
+import string
+
+from repro.bench import wordlists as words
+
+
+class TestCountries:
+    def test_193_un_members(self):
+        assert len(words.COUNTRIES_WITH_CODES) == 193
+
+    def test_names_unique(self):
+        names = [c for c, _ in words.COUNTRIES_WITH_CODES]
+        assert len(set(names)) == len(names)
+
+    def test_codes_unique_two_uppercase_letters(self):
+        codes = [code for _, code in words.COUNTRIES_WITH_CODES]
+        assert len(set(codes)) == len(codes)
+        for code in codes:
+            assert len(code) == 2
+            assert code.isupper()
+
+    def test_planted_collision_countries_present(self):
+        pairs = dict(words.COUNTRIES_WITH_CODES)
+        assert pairs["Canada"] == "CA"
+        assert pairs["Albania"] == "AL"
+        assert pairs["Israel"] == "IL"
+        assert pairs["Tunisia"] == "TN"
+
+
+class TestStates:
+    def test_50_states(self):
+        assert len(words.US_STATES_WITH_ABBR) == 50
+
+    def test_abbreviations_unique(self):
+        abbrs = [a for _, a in words.US_STATES_WITH_ABBR]
+        assert len(set(abbrs)) == 50
+        for abbr in abbrs:
+            assert len(abbr) == 2 and abbr.isupper()
+
+    def test_exactly_21_code_collisions(self):
+        codes = {code for _, code in words.COUNTRIES_WITH_CODES}
+        abbrs = {a for _, a in words.US_STATES_WITH_ABBR}
+        assert len(codes & abbrs) == 21
+
+
+class TestOtherLists:
+    def test_no_list_has_blank_entries(self):
+        for name in ("CITIES", "FIRST_NAMES", "LAST_NAMES", "ANIMALS",
+                     "COMPANIES", "CAR_MODELS", "GROCERY_BASES",
+                     "MOVIE_ADJECTIVES", "MOVIE_NOUNS", "PLANT_ADJECTIVES",
+                     "PLANT_NOUNS", "DEPARTMENTS"):
+            values = getattr(words, name)
+            assert values, name
+            for value in values:
+                assert value.strip(), (name, value)
+
+    def test_planted_values_in_their_lists(self):
+        assert "Sydney" in words.FIRST_NAMES
+        assert "Sydney" in words.CITIES
+        assert "Jaguar" in words.ANIMALS
+        assert "Jaguar" in words.COMPANIES
+        assert "Lincoln" in words.CAR_MODELS
+        assert "Lincoln" in words.CITIES
+        assert "Pumpkin" in words.GROCERY_BASES
+        assert "Pumpkin" in words.MOVIE_STANDALONE_TITLES
+        assert "Berkeley" in words.LAST_NAMES
+        assert "Berkeley" in words.CITIES
+
+    def test_email_domains_wellformed(self):
+        for domain in words.EMAIL_DOMAINS:
+            assert "." in domain
+            assert " " not in domain
+
+    def test_latin_name_parts_capitalization(self):
+        for genus in words.LATIN_GENERA:
+            assert genus[0].isupper()
+        for epithet in words.LATIN_EPITHETS:
+            assert epithet == epithet.lower()
