@@ -6,12 +6,16 @@ things in different tables.  The script
 
 1. writes the synthetic benchmark (SB) lake to a temporary directory as
    plain CSV files — stand-ins for a real open-data download,
-2. loads it back with :func:`repro.load_lake` (all strings, no schema),
+2. indexes it with :meth:`repro.HomographIndex.from_directory`
+   (all strings, no schema),
 3. runs DomainNet with sampled betweenness centrality,
-4. prints the top-25 suspected homographs with their scores, and
-5. re-runs detection after deleting a table, showing how lake updates
-   change homograph status (a point §1 of the paper makes: homographs
-   are a property of the lake, not of the value).
+4. prints the top-25 suspected homographs with their scores,
+5. removes a table *through the index* and re-queries, showing how lake
+   updates change homograph status without re-instantiating anything
+   (a point §1 of the paper makes: homographs are a property of the
+   lake, not of the value), and
+6. exports the result as JSON and reads it back — the payload a service
+   would return.
 
 Run with:  python examples/data_lake_scan.py
 """
@@ -19,15 +23,17 @@ Run with:  python examples/data_lake_scan.py
 import tempfile
 from pathlib import Path
 
-from repro import DomainNet, dump_lake, load_lake
+from repro import DetectRequest, DetectResponse, HomographIndex, dump_lake
 from repro.bench.synthetic import generate_sb
 
+REQUEST = DetectRequest(measure="betweenness", sample_size=800, seed=7)
 
-def scan(lake, label: str, top: int = 25):
-    detector = DomainNet.from_lake(lake)
-    result = detector.detect(measure="betweenness", sample_size=800, seed=7)
-    print(f"\n[{label}] graph: {detector.graph}")
-    print(f"[{label}] top-{top} suspected homographs:")
+
+def scan(index: HomographIndex, label: str, top: int = 25):
+    result = index.detect(REQUEST)
+    print(f"\n[{label}] graph: {index.graph}")
+    print(f"[{label}] top-{top} suspected homographs "
+          f"(cached={result.cached}):")
     for entry in result.ranking.top(top):
         print(f"  {entry.rank:>3}. {entry.score:.5f}  {entry.value}")
     return result
@@ -41,8 +47,8 @@ def main() -> None:
         paths = dump_lake(sb.lake, directory)
         print(f"wrote {len(paths)} CSV files to {directory}")
 
-        lake = load_lake(directory)
-        result = scan(lake, "full lake")
+        index = HomographIndex.from_directory(directory)
+        result = scan(index, "full lake")
 
         truth = sb.homographs
         hits = sum(1 for v in result.top_values(25) if v in truth)
@@ -52,14 +58,22 @@ def main() -> None:
         # Drop the zoo table: the animal meaning of JAGUAR, PUMA, ...
         # survives only in endangered_sponsors.species, so they remain
         # homographs, but values that only collided through the zoo's
-        # city column lose a meaning.
-        lake.remove_table("zoo_inventory")
-        after = scan(lake, "after removing zoo_inventory", top=10)
+        # city column lose a meaning.  The index invalidates its graph
+        # and score cache and rebuilds lazily on the next query.
+        index.remove_table("zoo_inventory")
+        after = scan(index, "after removing zoo_inventory", top=10)
 
         jaguar_before = result.ranking.rank_of("JAGUAR")
         jaguar_after = after.ranking.rank_of("JAGUAR")
         print(f"\nJAGUAR rank before={jaguar_before} after={jaguar_after} "
               f"(still a homograph via the sponsors table)")
+
+        # Results serialize for transport: JSON out, identical object in.
+        payload = after.to_json(indent=2, top=5)
+        reloaded = DetectResponse.from_json(payload)
+        print(f"\nJSON round-trip: {len(payload)} bytes, top value "
+              f"{reloaded.top_values(1)[0]!r} "
+              f"(rank preserved: {reloaded.ranking[0].rank == 1})")
 
 
 if __name__ == "__main__":

@@ -4,7 +4,8 @@ Runs both systems on the synthetic benchmark:
 
 * D4 discovers domains (sets of same-type values) and flags values
   assigned to more than one domain;
-* DomainNet ranks values by betweenness centrality directly.
+* DomainNet ranks values by betweenness centrality directly, via
+  :class:`repro.HomographIndex`.
 
 Prints the domains D4 found, both methods' precision at k = 55 (the
 number of true homographs, where precision = recall), and the classes
@@ -15,7 +16,7 @@ Run with:  python examples/domain_discovery_comparison.py
 
 from collections import Counter
 
-from repro import DomainNet
+from repro import HomographIndex
 from repro.bench.synthetic import generate_sb
 from repro.bench.vocab import PLANTED_HOMOGRAPHS
 from repro.domains import run_d4
@@ -45,8 +46,8 @@ def main() -> None:
     d4_hits = sum(1 for v in d4_predicted if v in truth)
 
     print("\nrunning DomainNet (betweenness centrality)...")
-    detector = DomainNet.from_lake(sb.lake)
-    bc = detector.detect(measure="betweenness")
+    index = HomographIndex(sb.lake)
+    bc = index.detect(measure="betweenness")
     bc_top = bc.top_values(k)
     bc_hits = sum(1 for v in bc_top if v in truth)
 

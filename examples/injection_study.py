@@ -6,10 +6,14 @@ known properties, and measure how many the detector recovers in its
 top-25.  Sweep the cardinality threshold to see the paper's Table 2
 effect: homographs replacing well-connected values are easier to find.
 
+Each injected lake gets its own :class:`repro.HomographIndex`; the
+shared :class:`repro.DetectRequest` makes the sweep's configuration
+explicit instead of repeating keyword arguments.
+
 Run with:  python examples/injection_study.py
 """
 
-from repro import DomainNet
+from repro import DetectRequest, HomographIndex
 from repro.bench.injection import (
     InjectionConfig,
     inject_homographs,
@@ -17,6 +21,8 @@ from repro.bench.injection import (
     remove_homographs,
 )
 from repro.bench.tus import TUSConfig, generate_tus
+
+REQUEST = DetectRequest(measure="betweenness", sample_size=400, seed=3)
 
 
 def main() -> None:
@@ -41,10 +47,8 @@ def main() -> None:
         )
         injected = inject_homographs(clean, groups, config)
 
-        detector = DomainNet.from_lake(injected.lake)
-        result = detector.detect(
-            measure="betweenness", sample_size=400, seed=3
-        )
+        index = HomographIndex(injected.lake)
+        result = index.detect(REQUEST)
         recovery = injection_recovery(injected, result.ranking.values)
         print(f"\nmin_cardinality={min_cardinality}: recovered "
               f"{recovery:.0%} of 25 injected homographs in the top-25")

@@ -4,12 +4,13 @@ After detection tells you *which* values are homographs, two follow-up
 questions arise (both posed as future work in the paper):
 
 1. **How many meanings does each homograph have?**
-   :func:`repro.core.communities.estimate_meanings` clusters a value's
+   :meth:`repro.HomographIndex.estimate_meanings` clusters a value's
    attributes by their value-overlap; each cluster is one meaning.
 2. **Is the homograph a data error?**
-   :func:`repro.core.errors.classify_homographs` compares how much cell
+   :meth:`repro.HomographIndex.classify_errors` compares how much cell
    support each meaning has: a meaning backed by a single stray cell
-   looks like a mis-filed value, not genuine ambiguity.
+   looks like a mis-filed value, not genuine ambiguity.  (The index
+   builds and caches the unpruned graph this needs.)
 
 The script runs both on the synthetic benchmark, plus the
 community-detection view: label propagation discovers the lake's
@@ -18,11 +19,8 @@ latent domains and re-derives homographs as community-spanning values.
 Run with:  python examples/meaning_discovery.py
 """
 
-from repro import DomainNet
+from repro import DetectRequest, HomographIndex
 from repro.bench.synthetic import generate_sb
-from repro.core.builder import build_graph
-from repro.core.communities import estimate_meanings
-from repro.core.errors import classify_homographs
 from repro.core.label_propagation import (
     cross_community_values,
     value_communities,
@@ -31,14 +29,15 @@ from repro.core.label_propagation import (
 
 def main() -> None:
     sb = generate_sb()
-    detector = DomainNet.from_lake(sb.lake)
-    result = detector.detect(measure="betweenness", sample_size=800, seed=7)
+    index = HomographIndex(sb.lake)
+    result = index.detect(
+        DetectRequest(measure="betweenness", sample_size=800, seed=7)
+    )
     top = result.top_values(15)
 
     print("=== meanings per top-ranked candidate ===")
-    graph = detector.graph
     for value in top:
-        estimate = estimate_meanings(graph, value)
+        estimate = index.estimate_meanings(value)
         groups = "; ".join(
             ",".join(sorted(g)[:2]) + ("..." if len(g) > 2 else "")
             for g in estimate.groups
@@ -48,8 +47,7 @@ def main() -> None:
               f"[{truth}]  ({groups})")
 
     print("\n=== error-vs-genuine triage ===")
-    unpruned = build_graph(sb.lake)
-    verdicts = classify_homographs(sb.lake, top, graph=unpruned)
+    verdicts = index.classify_errors(top)
     for value in top:
         verdict = verdicts.get(value)
         if verdict:
@@ -57,6 +55,7 @@ def main() -> None:
                   f"support={verdict.meaning_support}")
 
     print("\n=== community-detection view (label propagation) ===")
+    graph = index.graph
     domains = value_communities(graph, seed=5)
     print(f"  {len(domains)} value communities; largest sizes: "
           f"{[len(d) for d in domains[:6]]}")

@@ -4,15 +4,33 @@ Reproduction of Leventidis et al., EDBT 2021 (arXiv:2103.09940).
 
 Public surface::
 
-    from repro import DataLake, DomainNet, Table
+    from repro import DataLake, DetectRequest, HomographIndex, Table
 
     lake = DataLake([Table.from_columns("zoo", {"name": [...], ...})])
-    detector = DomainNet.from_lake(lake)
-    result = detector.detect(measure="betweenness")
-    print(result.ranking.top_values(10))
+    index = HomographIndex(lake)
+    response = index.detect(DetectRequest(measure="betweenness"))
+    print(response.ranking.top_values(10))
+
+    index.detect(measure="betweenness")      # served from the score cache
+    index.add_table(new_table)               # invalidates graph + caches
+    payload = response.to_json()             # round-trips via from_json
+
+Third-party centralities plug in through the measure registry::
+
+    from repro import MeasureOutput, register_measure
+
+    @register_measure("degree")
+    def degree(graph, request):
+        return MeasureOutput(scores={...}, descending=True)
+
+The legacy one-shot surface (``DomainNet.from_lake(lake).detect(...)``)
+still works as a deprecated shim over :class:`HomographIndex`.
 
 Sub-packages
 ------------
+``repro.api``
+    Stateful :class:`HomographIndex`, measure registry, typed
+    request/response objects with JSON serialization.
 ``repro.core``
     Bipartite graph, LCC / betweenness measures, detection pipeline.
 ``repro.datalake``
@@ -48,18 +66,42 @@ from .datalake import (
     read_table,
     write_table,
 )
+from .api import (
+    CacheInfo,
+    DetectRequest,
+    DetectResponse,
+    DuplicateMeasureError,
+    HomographIndex,
+    Measure,
+    MeasureError,
+    MeasureOutput,
+    UnknownMeasureError,
+    available_measures,
+    register_measure,
+    unregister_measure,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BipartiteGraph",
+    "CacheInfo",
     "Column",
     "DataLake",
+    "DetectRequest",
+    "DetectResponse",
     "DetectionResult",
     "DomainNet",
+    "DuplicateMeasureError",
+    "HomographIndex",
     "HomographRanking",
+    "Measure",
+    "MeasureError",
+    "MeasureOutput",
     "RankedValue",
     "Table",
+    "UnknownMeasureError",
+    "available_measures",
     "betweenness_score_map",
     "betweenness_scores",
     "build_graph",
@@ -70,6 +112,8 @@ __all__ = [
     "load_lake",
     "normalize_value",
     "read_table",
+    "register_measure",
+    "unregister_measure",
     "write_table",
     "__version__",
 ]

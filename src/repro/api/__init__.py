@@ -1,0 +1,50 @@
+"""Service-ready detection API: stateful index, registry, typed configs.
+
+This package is the public entry point for applications.  It wraps the
+batch pipeline in :mod:`repro.core` with the three things a serving
+layer needs:
+
+* :class:`HomographIndex` — construct once from a lake, serve many
+  queries with per-``(measure, config)`` score caching and incremental
+  ``add_table``/``remove_table``;
+* a pluggable measure registry (:func:`register_measure`) with
+  betweenness and LCC as built-ins;
+* typed :class:`DetectRequest`/:class:`DetectResponse` objects with
+  ``to_json``/``from_json`` round-trip serialization.
+
+The legacy ``DomainNet`` class remains as a thin shim over this API.
+"""
+
+from .index import CacheInfo, HomographIndex, execute_request
+from .measures import (
+    DuplicateMeasureError,
+    Measure,
+    MeasureError,
+    MeasureOutput,
+    UnknownMeasureError,
+    available_measures,
+    get_measure,
+    register_measure,
+    run_measure,
+    unregister_measure,
+)
+from .requests import SCHEMA_VERSION, DetectRequest, DetectResponse
+
+__all__ = [
+    "CacheInfo",
+    "DetectRequest",
+    "DetectResponse",
+    "DuplicateMeasureError",
+    "HomographIndex",
+    "Measure",
+    "MeasureError",
+    "MeasureOutput",
+    "SCHEMA_VERSION",
+    "UnknownMeasureError",
+    "available_measures",
+    "execute_request",
+    "get_measure",
+    "register_measure",
+    "run_measure",
+    "unregister_measure",
+]

@@ -1,0 +1,285 @@
+"""The stateful :class:`HomographIndex` — construct once, query many.
+
+The one-shot ``DomainNet.from_lake(...).detect(...)`` surface rebuilds
+and rescores from scratch on every use; a service cannot afford that.
+The index keeps the lake, builds the bipartite graph lazily, caches
+scores per ``(measure, config)``, and supports incremental
+``add_table``/``remove_table`` that invalidate instead of forcing the
+caller to re-instantiate::
+
+    from repro import DetectRequest, HomographIndex
+
+    index = HomographIndex(lake)
+    response = index.detect(DetectRequest(measure="betweenness",
+                                          sample_size=1000, seed=7))
+    index.detect(measure="betweenness", sample_size=1000, seed=7)  # cache hit
+    index.add_table(new_table)       # invalidates graph + score cache
+    index.detect(measure="lcc")      # recomputed on the updated lake
+
+Graph construction is deferred until a query (or the ``graph``
+property) needs it, so a burst of ``add_table`` calls costs one
+rebuild, not N.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.builder import build_graph
+from ..core.communities import MeaningEstimate, estimate_meanings
+from ..core.errors import HomographClassification, classify_homographs
+from ..core.graph import BipartiteGraph
+from ..core.ranking import HomographRanking
+from ..datalake.lake import DataLake
+from ..datalake.table import Table
+from .measures import run_measure
+from .requests import DetectRequest, DetectResponse
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Score-cache statistics, in the spirit of ``functools.lru_cache``."""
+
+    hits: int
+    misses: int
+    size: int
+
+
+def execute_request(
+    graph: BipartiteGraph,
+    request: DetectRequest,
+    graph_seconds: float = 0.0,
+) -> DetectResponse:
+    """Run one detection request against a pre-built graph (no caching).
+
+    The stateless core of :meth:`HomographIndex.detect`, also used by
+    the legacy ``DomainNet`` shim.
+    """
+    start = time.perf_counter()
+    output = run_measure(graph, request)
+    measure_seconds = time.perf_counter() - start
+    ranking = HomographRanking(
+        output.scores, descending=output.descending, measure=request.measure
+    )
+    return DetectResponse(
+        measure=request.measure,
+        ranking=ranking,
+        scores={entry.value: entry.score for entry in ranking},
+        descending=output.descending,
+        graph_seconds=graph_seconds,
+        measure_seconds=measure_seconds,
+        parameters=dict(output.parameters),
+        cached=False,
+        request=request,
+    )
+
+
+class HomographIndex:
+    """A queryable homograph index over a (mutable) data lake.
+
+    Parameters
+    ----------
+    lake:
+        The lake to index; an empty one is created when omitted.  The
+        index holds a reference (not a copy): mutate through
+        :meth:`add_table`/:meth:`remove_table` so caches stay honest,
+        or call :meth:`invalidate` after mutating the lake directly.
+    prune_candidates:
+        ``True`` (default) applies the paper's preprocessing — drop
+        values occurring only once in the whole lake.  ``False`` keeps
+        every value node (Example 3.6 reproduction).
+    """
+
+    def __init__(
+        self,
+        lake: Optional[DataLake] = None,
+        prune_candidates: bool = True,
+    ) -> None:
+        self._lake = lake if lake is not None else DataLake()
+        self._prune_candidates = prune_candidates
+        self._graph: Optional[BipartiteGraph] = None
+        self._graph_seconds = 0.0
+        self._unpruned_graph: Optional[BipartiteGraph] = None
+        self._score_cache: Dict[Tuple, DetectResponse] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_lake(
+        cls, lake: DataLake, prune_candidates: bool = True
+    ) -> "HomographIndex":
+        """Mirror of the legacy ``DomainNet.from_lake`` spelling."""
+        return cls(lake, prune_candidates=prune_candidates)
+
+    @classmethod
+    def from_directory(
+        cls, directory, prune_candidates: bool = True
+    ) -> "HomographIndex":
+        """Index every ``*.csv`` table under ``directory``."""
+        from ..datalake.csv_io import load_lake
+
+        return cls(load_lake(directory), prune_candidates=prune_candidates)
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def lake(self) -> DataLake:
+        return self._lake
+
+    @property
+    def prune_candidates(self) -> bool:
+        return self._prune_candidates
+
+    @property
+    def graph(self) -> BipartiteGraph:
+        """The bipartite graph, built lazily on first access."""
+        if self._graph is None:
+            start = time.perf_counter()
+            self._graph = build_graph(
+                self._lake,
+                min_occurrences=2 if self._prune_candidates else 1,
+            )
+            self._graph_seconds = time.perf_counter() - start
+        return self._graph
+
+    @property
+    def graph_seconds(self) -> float:
+        """Build time of the current graph (0.0 until first build)."""
+        return self._graph_seconds
+
+    @property
+    def unpruned_graph(self) -> BipartiteGraph:
+        """The full graph with every value node, for error triage.
+
+        Identical to :attr:`graph` when ``prune_candidates=False``;
+        otherwise built once on demand and cached until the lake
+        changes.
+        """
+        if not self._prune_candidates:
+            return self.graph
+        if self._unpruned_graph is None:
+            self._unpruned_graph = build_graph(self._lake)
+        return self._unpruned_graph
+
+    # ------------------------------------------------------------------
+    # Incremental updates
+    # ------------------------------------------------------------------
+    def add_table(self, table: Table) -> None:
+        """Add a table; graph and score caches are invalidated lazily."""
+        self._lake.add_table(table)
+        self.invalidate()
+
+    def remove_table(self, name: str) -> Table:
+        """Remove and return a table, invalidating caches."""
+        table = self._lake.remove_table(name)
+        self.invalidate()
+        return table
+
+    def replace_table(self, table: Table) -> None:
+        """Replace the same-named table, invalidating caches."""
+        self._lake.replace_table(table)
+        self.invalidate()
+
+    def invalidate(self) -> None:
+        """Drop the graph and score caches (call after direct lake edits)."""
+        self._graph = None
+        self._graph_seconds = 0.0
+        self._unpruned_graph = None
+        self._score_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    def detect(
+        self,
+        request: Optional[DetectRequest] = None,
+        **overrides,
+    ) -> DetectResponse:
+        """Score and rank every value node.
+
+        Accepts a :class:`DetectRequest`, keyword overrides applied on
+        top of one, or keywords alone (``detect(measure="lcc")``).
+        Responses are cached per ``(measure, config)``: a repeat call
+        with the same configuration returns the stored scores with
+        ``cached=True`` and does not recompute.
+        """
+        if request is None:
+            request = DetectRequest(**overrides)
+        elif overrides:
+            request = request.with_overrides(**overrides)
+
+        key = request.cache_key
+        hit = self._score_cache.get(key)
+        if hit is not None:
+            self._cache_hits += 1
+            return self._serve(hit, cached=True)
+        self._cache_misses += 1
+        response = execute_request(
+            self.graph, request, graph_seconds=self._graph_seconds
+        )
+        self._score_cache[key] = response
+        return self._serve(response, cached=False)
+
+    @staticmethod
+    def _serve(stored: DetectResponse, cached: bool) -> DetectResponse:
+        """Copy the mutable parts so callers cannot poison the cache.
+
+        The ranking is shared: its entries are frozen and it is treated
+        as immutable throughout.
+        """
+        return replace(
+            stored,
+            scores=dict(stored.scores),
+            parameters=dict(stored.parameters),
+            cached=cached,
+        )
+
+    # ------------------------------------------------------------------
+    # Analysis conveniences (fold the one-off helpers callers grew)
+    # ------------------------------------------------------------------
+    def estimate_meanings(
+        self, value: str, threshold: float = 0.25
+    ) -> MeaningEstimate:
+        """Cluster a value's attributes into meanings (§6 direction 1)."""
+        return estimate_meanings(self.graph, value, threshold=threshold)
+
+    def classify_errors(
+        self, values: Iterable[str], **kwargs
+    ) -> Dict[str, HomographClassification]:
+        """Genuine-vs-error triage (§6 direction 2).
+
+        Uses the index's cached unpruned graph, replacing the old CLI
+        pattern of rebuilding the whole graph per call.
+        """
+        return classify_homographs(
+            self._lake, values, graph=self.unpruned_graph, **kwargs
+        )
+
+    # ------------------------------------------------------------------
+    # Cache introspection
+    # ------------------------------------------------------------------
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters (cumulative) and current cache size."""
+        return CacheInfo(
+            hits=self._cache_hits,
+            misses=self._cache_misses,
+            size=len(self._score_cache),
+        )
+
+    def clear_cache(self) -> None:
+        """Drop cached scores without touching the graph."""
+        self._score_cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        built = "unbuilt" if self._graph is None else repr(self._graph)
+        return (
+            f"HomographIndex(tables={len(self._lake)}, "
+            f"prune={self._prune_candidates}, graph={built}, "
+            f"cached_results={len(self._score_cache)})"
+        )

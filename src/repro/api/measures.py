@@ -1,0 +1,195 @@
+"""Pluggable centrality-measure registry.
+
+The detection pipeline is agnostic about *which* per-value score it
+ranks; the paper evaluates two (betweenness centrality, Hypothesis 3.5,
+and the local clustering coefficient, Hypothesis 3.4) but §6 explicitly
+invites others.  This module turns the measure choice into a registry
+so third-party centralities slot in without touching the core:
+
+    from repro.api import MeasureOutput, register_measure
+
+    @register_measure("degree")
+    def degree_measure(graph, request):
+        scores = {
+            graph.value_name(v): float(graph.degree(v))
+            for v in range(graph.num_values)
+        }
+        return MeasureOutput(scores=scores, descending=True)
+
+    HomographIndex(lake).detect(measure="degree")
+
+A measure is any callable ``(graph, request) -> MeasureOutput`` (the
+:class:`Measure` protocol).  ``descending`` states the direction in
+which "more homograph-like" points: ``True`` for betweenness-style
+scores (high = suspicious), ``False`` for LCC-style scores (low =
+suspicious).  Returning a plain mapping is also accepted and treated as
+a descending score map with no parameters.
+
+The two paper measures are registered as built-ins on import, under
+their historical names ``"betweenness"`` and ``"lcc"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Mapping,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+from ..core.betweenness import betweenness_score_map
+from ..core.graph import BipartiteGraph
+from ..core.lcc import lcc_score_map
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from .requests import DetectRequest
+
+
+class MeasureError(ValueError):
+    """Base class for measure-registry failures."""
+
+
+class UnknownMeasureError(MeasureError):
+    """Raised when dispatching to a measure name nobody registered."""
+
+
+class DuplicateMeasureError(MeasureError):
+    """Raised when registering a name that is already taken."""
+
+
+@dataclass(frozen=True)
+class MeasureOutput:
+    """What a measure hands back to the pipeline.
+
+    ``scores`` maps each value name to its score; ``descending`` is the
+    ranking direction (``True``: high score = more homograph-like);
+    ``parameters`` records the knobs that produced the scores so results
+    stay reproducible once serialized.
+    """
+
+    scores: Mapping[str, float]
+    descending: bool = True
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+
+@runtime_checkable
+class Measure(Protocol):
+    """A per-value scoring function over the bipartite graph."""
+
+    def __call__(
+        self, graph: BipartiteGraph, request: "DetectRequest"
+    ) -> MeasureOutput: ...
+
+
+_REGISTRY: Dict[str, Measure] = {}
+
+
+def register_measure(
+    name: str,
+    fn: Optional[Measure] = None,
+    *,
+    replace: bool = False,
+) -> Callable:
+    """Register ``fn`` under ``name``; usable as a decorator.
+
+    Registering an existing name raises :class:`DuplicateMeasureError`
+    unless ``replace=True``.  Returns ``fn`` so the decorator form
+    leaves the function usable directly.
+    """
+    if fn is None:
+        return lambda f: register_measure(name, f, replace=replace)
+    if not callable(fn):
+        raise TypeError(f"measure {name!r} must be callable, got {fn!r}")
+    if name in _REGISTRY and not replace:
+        raise DuplicateMeasureError(
+            f"measure {name!r} is already registered; "
+            f"pass replace=True to override"
+        )
+    _REGISTRY[name] = fn
+    return fn
+
+
+def unregister_measure(name: str) -> Measure:
+    """Remove and return a registered measure (built-ins included)."""
+    try:
+        return _REGISTRY.pop(name)
+    except KeyError:
+        raise UnknownMeasureError(
+            f"unknown measure {name!r}; "
+            f"registered measures: {available_measures()}"
+        ) from None
+
+
+def get_measure(name: str) -> Measure:
+    """Look up a measure, raising :class:`UnknownMeasureError` if absent."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownMeasureError(
+            f"unknown measure {name!r}; "
+            f"registered measures: {available_measures()}"
+        ) from None
+
+
+def available_measures() -> Tuple[str, ...]:
+    """Registered measure names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def run_measure(
+    graph: BipartiteGraph, request: "DetectRequest"
+) -> MeasureOutput:
+    """Dispatch ``request`` to its measure and normalize the output."""
+    output = get_measure(request.measure)(graph, request)
+    if isinstance(output, MeasureOutput):
+        return output
+    if isinstance(output, Mapping):
+        return MeasureOutput(scores=output)
+    raise TypeError(
+        f"measure {request.measure!r} returned {type(output).__name__}; "
+        f"expected MeasureOutput or a score mapping"
+    )
+
+
+# ---------------------------------------------------------------------
+# Built-ins: the two measures evaluated in the paper.
+# ---------------------------------------------------------------------
+@register_measure("betweenness")
+def _betweenness_measure(
+    graph: BipartiteGraph, request: "DetectRequest"
+) -> MeasureOutput:
+    """Betweenness centrality (Hypothesis 3.5): homographs score HIGH."""
+    scores = betweenness_score_map(
+        graph,
+        sample_size=request.sample_size,
+        seed=request.seed,
+        endpoints=request.endpoints,
+    )
+    return MeasureOutput(
+        scores=scores,
+        descending=True,
+        parameters={
+            "sample_size": request.sample_size,
+            "seed": request.seed,
+            "endpoints": request.endpoints,
+        },
+    )
+
+
+@register_measure("lcc")
+def _lcc_measure(
+    graph: BipartiteGraph, request: "DetectRequest"
+) -> MeasureOutput:
+    """Local clustering coefficient (Hypothesis 3.4): homographs score LOW."""
+    scores = lcc_score_map(graph, variant=request.lcc_variant)
+    return MeasureOutput(
+        scores=scores,
+        descending=False,
+        parameters={"variant": request.lcc_variant},
+    )

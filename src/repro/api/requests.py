@@ -1,0 +1,235 @@
+"""Typed request/response objects for the detection API.
+
+Detection used to be configured through a growing pile of keyword
+arguments (``measure=``, ``sample_size=``, ``lcc_variant=``, ...).
+:class:`DetectRequest` gathers them into one immutable, hashable value
+object that doubles as the score-cache key, and :class:`DetectResponse`
+carries the outcome with ``to_dict``/``to_json``/``from_json``
+round-trip serialization so results can cross process boundaries (CLI
+``--json``, services, result stores).
+
+Custom measures registered via :func:`repro.api.register_measure` read
+their extra knobs from ``request.options`` (see
+:meth:`DetectRequest.option`); the built-in fields cover the paper's
+two measures.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..core.ranking import HomographRanking, RankedValue
+
+#: Serialization schema version, bumped on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+
+def _hashable_option(value: object) -> object:
+    """Normalize an option value so requests stay hashable and stable.
+
+    JSON turns tuples into lists; canonicalizing sequences to tuples
+    (and mappings to sorted pair tuples) keeps a request equal to its
+    serialized round-trip and keeps ``cache_key`` hashable.
+    """
+    if isinstance(value, Mapping):
+        return tuple(
+            sorted((str(k), _hashable_option(v)) for k, v in value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable_option(v) for v in value)
+    if isinstance(value, set):
+        return tuple(sorted(_hashable_option(v) for v in value))
+    return value
+
+
+@dataclass(frozen=True)
+class DetectRequest:
+    """Configuration of one detection run.
+
+    Parameters
+    ----------
+    measure:
+        Registered measure name (``"betweenness"``, ``"lcc"``, or any
+        third-party registration).
+    sample_size:
+        Betweenness only: number of sampled sources for approximate BC;
+        ``None`` computes exactly.  The paper finds ~1% of nodes
+        sufficient (§5.4).
+    seed:
+        RNG seed for the sampled approximation.
+    lcc_variant:
+        LCC only: ``"attribute-jaccard"`` (paper implementation) or
+        ``"value-neighbors"`` (literal Eq. 1).
+    endpoints:
+        Betweenness only: ``"all"`` (paper) or ``"values"`` (footnote-2
+        variant).
+    options:
+        Free-form extra knobs for custom measures, stored as a sorted
+        tuple of ``(name, value)`` pairs so the request stays hashable.
+        A mapping passed here is normalized automatically.
+    """
+
+    measure: str = "betweenness"
+    sample_size: Optional[int] = None
+    seed: Optional[int] = None
+    lcc_variant: str = "attribute-jaccard"
+    endpoints: str = "all"
+    options: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        pairs = (
+            self.options.items()
+            if isinstance(self.options, Mapping)
+            else self.options
+        )
+        normalized = tuple(
+            sorted((str(k), _hashable_option(v)) for k, v in pairs)
+        )
+        object.__setattr__(self, "options", normalized)
+
+    def option(self, name: str, default: object = None) -> object:
+        """Value of an extra knob, for custom measures."""
+        for key, value in self.options:
+            if key == name:
+                return value
+        return default
+
+    def with_overrides(self, **overrides) -> "DetectRequest":
+        """A copy with some fields replaced."""
+        return replace(self, **overrides)
+
+    @property
+    def cache_key(self) -> Tuple:
+        """Hashable identity of this configuration for score caching."""
+        return (
+            self.measure,
+            self.sample_size,
+            self.seed,
+            self.lcc_variant,
+            self.endpoints,
+            self.options,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "measure": self.measure,
+            "sample_size": self.sample_size,
+            "seed": self.seed,
+            "lcc_variant": self.lcc_variant,
+            "endpoints": self.endpoints,
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "DetectRequest":
+        return cls(
+            measure=str(payload.get("measure", "betweenness")),
+            sample_size=payload.get("sample_size"),
+            seed=payload.get("seed"),
+            lcc_variant=str(payload.get("lcc_variant", "attribute-jaccard")),
+            endpoints=str(payload.get("endpoints", "all")),
+            options=payload.get("options") or (),
+        )
+
+
+@dataclass
+class DetectResponse:
+    """Outcome of one detection run, serializable end to end.
+
+    ``ranking`` orders every scored value (best candidate first) and
+    ``scores`` is the same data as a map.  ``cached`` marks responses
+    served from a :class:`~repro.api.index.HomographIndex` score cache
+    without recomputation; their timings are those of the original run.
+    """
+
+    measure: str
+    ranking: HomographRanking
+    scores: Dict[str, float]
+    descending: bool
+    graph_seconds: float
+    measure_seconds: float
+    parameters: Dict[str, object] = field(default_factory=dict)
+    cached: bool = False
+    request: Optional[DetectRequest] = None
+
+    def top(self, k: int) -> List[RankedValue]:
+        return self.ranking.top(k)
+
+    def top_values(self, k: int) -> List[str]:
+        return self.ranking.top_values(k)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self, top: Optional[int] = None) -> Dict[str, object]:
+        """JSON-safe representation; inverse of :meth:`from_dict`.
+
+        ``top`` truncates the serialized ranking to its best ``top``
+        entries (the CLI's ``--json`` uses this to keep payloads small);
+        ``None`` serializes everything.
+        """
+        entries = self.ranking.top(top) if top is not None else list(
+            self.ranking
+        )
+        return {
+            "schema": SCHEMA_VERSION,
+            "measure": self.measure,
+            "descending": self.descending,
+            "graph_seconds": self.graph_seconds,
+            "measure_seconds": self.measure_seconds,
+            "cached": self.cached,
+            "parameters": dict(self.parameters),
+            "request": self.request.to_dict() if self.request else None,
+            "ranking": [
+                {"rank": e.rank, "value": e.value, "score": e.score}
+                for e in entries
+            ],
+        }
+
+    def to_json(self, indent: Optional[int] = None,
+                top: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(top=top), indent=indent,
+                          sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "DetectResponse":
+        schema = payload.get("schema")
+        if schema != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported DetectResponse schema {schema!r}; "
+                f"this build reads schema {SCHEMA_VERSION}"
+            )
+        entries = [
+            RankedValue(
+                rank=int(e["rank"]),
+                value=str(e["value"]),
+                score=float(e["score"]),
+            )
+            for e in payload["ranking"]
+        ]
+        descending = bool(payload["descending"])
+        measure = str(payload["measure"])
+        request_payload = payload.get("request")
+        return cls(
+            measure=measure,
+            ranking=HomographRanking.from_entries(
+                entries, descending=descending, measure=measure
+            ),
+            scores={e.value: e.score for e in entries},
+            descending=descending,
+            graph_seconds=float(payload["graph_seconds"]),
+            measure_seconds=float(payload["measure_seconds"]),
+            parameters=dict(payload.get("parameters") or {}),
+            cached=bool(payload.get("cached", False)),
+            request=(
+                DetectRequest.from_dict(request_payload)
+                if request_payload
+                else None
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "DetectResponse":
+        return cls.from_dict(json.loads(text))

@@ -4,13 +4,18 @@ Installed as the ``domainnet`` console script::
 
     domainnet scan path/to/csvs --top 25
     domainnet scan path/to/csvs --measure lcc
+    domainnet scan path/to/csvs --json > result.json
     domainnet scan path/to/csvs --meanings --errors
+    domainnet scan path/to/csvs --no-prune
     domainnet stats path/to/csvs
     domainnet generate sb out/dir
     domainnet generate tus out/dir --seed 7
 
-``scan`` runs the full Figure-4 pipeline (graph construction, sampled
-betweenness by default, ranking) and prints the top candidates.
+``scan`` builds a :class:`repro.api.HomographIndex` over the lake and
+runs the full Figure-4 pipeline (graph construction, sampled
+betweenness by default, ranking).  ``--json`` emits the machine-readable
+``DetectResponse`` payload instead of the human listing; feed it back
+with ``repro.DetectResponse.from_json``.
 """
 
 from __future__ import annotations
@@ -19,9 +24,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .core.communities import estimate_meanings
-from .core.detector import DomainNet
-from .core.errors import classify_homographs
+from .api import HomographIndex, available_measures
 from .datalake.catalog import compute_statistics, format_statistics_table
 from .datalake.csv_io import dump_lake, load_lake
 
@@ -39,12 +42,18 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("directory", help="directory containing *.csv tables")
     scan.add_argument("--top", type=int, default=25,
                       help="number of candidates to print (default 25)")
-    scan.add_argument("--measure", choices=("betweenness", "lcc"),
+    scan.add_argument("--measure", choices=available_measures(),
                       default="betweenness")
     scan.add_argument("--sample", type=int, default=None,
                       help="BC source samples (default: exact for small "
                            "graphs, 1%% of nodes for large ones)")
     scan.add_argument("--seed", type=int, default=0)
+    scan.add_argument("--json", action="store_true",
+                      help="emit the top candidates as a DetectResponse "
+                           "JSON payload instead of the human listing")
+    scan.add_argument("--no-prune", action="store_true",
+                      help="keep values that occur only once in the lake "
+                           "(disables the paper's candidate pruning)")
     scan.add_argument("--meanings", action="store_true",
                       help="estimate the number of meanings per candidate")
     scan.add_argument("--errors", action="store_true",
@@ -74,50 +83,52 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _cmd_scan(args) -> int:
+    if args.json and (args.meanings or args.errors):
+        print("--json cannot be combined with --meanings/--errors "
+              "(the DetectResponse payload does not carry them)",
+              file=sys.stderr)
+        return 2
     lake = load_lake(args.directory)
     if len(lake) == 0:
         print("no CSV tables found", file=sys.stderr)
         return 1
-    detector = DomainNet.from_lake(lake)
-    graph = detector.graph
-    print(f"lake: {len(lake)} tables, {lake.num_attributes} attributes")
-    print(f"graph: {graph.num_values} candidate values, "
-          f"{graph.num_attributes} attributes, {graph.num_edges} edges")
+    index = HomographIndex(lake, prune_candidates=not args.no_prune)
+    graph = index.graph
 
     sample = args.sample
     if sample is None and args.measure == "betweenness":
         if graph.num_nodes > 20_000:
             sample = max(1000, graph.num_nodes // 100)
-    result = detector.detect(
+    response = index.detect(
         measure=args.measure, sample_size=sample, seed=args.seed
     )
+
+    if args.json:
+        print(response.to_json(indent=2, top=args.top))
+        return 0
+
+    print(f"lake: {len(lake)} tables, {lake.num_attributes} attributes")
+    print(f"graph: {graph.num_values} candidate values, "
+          f"{graph.num_attributes} attributes, {graph.num_edges} edges")
     print(f"measure: {args.measure} "
           f"({'exact' if sample is None else f'{sample} samples'}) "
-          f"in {result.measure_seconds:.1f}s\n")
+          f"in {response.measure_seconds:.1f}s\n")
 
-    top = result.ranking.top(args.top)
+    top = response.ranking.top(args.top)
     verdicts = {}
     if args.errors:
-        verdicts = classify_homographs(
-            lake, [e.value for e in top], graph=build_unpruned(lake)
-        )
+        verdicts = index.classify_errors([e.value for e in top])
 
     for entry in top:
         line = f"{entry.rank:>4}. {entry.score:.6f}  {entry.value!r}"
         if args.meanings:
-            estimate = estimate_meanings(graph, entry.value)
+            estimate = index.estimate_meanings(entry.value)
             line += f"  [{estimate.num_meanings} meaning(s)]"
         verdict = verdicts.get(entry.value)
         if verdict is not None:
             line += f"  [{verdict.kind}]"
         print(line)
     return 0
-
-
-def build_unpruned(lake):
-    from .core.builder import build_graph
-
-    return build_graph(lake)
 
 
 def _cmd_stats(args) -> int:

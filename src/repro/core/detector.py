@@ -1,39 +1,39 @@
-"""End-to-end homograph detection: the three-step pipeline of Figure 4.
+"""Legacy one-shot detection surface (deprecated shim).
 
-1. **Construct** the DomainNet bipartite graph from the lake (values in
-   fewer than two attributes are pruned — they cannot be homographs).
-2. **Compute** a centrality measure for every value node (betweenness by
-   default; LCC available).
-3. **Rank** values by the measure and surface the top candidates.
+The three-step pipeline of Figure 4 now lives behind the stateful
+:class:`repro.api.HomographIndex`, which adds score caching, incremental
+lake updates, a pluggable measure registry, and serializable results::
 
-:class:`DomainNet` is the library's main entry point::
-
-    from repro import DomainNet
-    detector = DomainNet.from_lake(lake)
-    result = detector.detect(measure="betweenness", sample_size=1000, seed=7)
-    for entry in result.ranking.top(10):
+    from repro import HomographIndex
+    index = HomographIndex(lake)
+    response = index.detect(measure="betweenness", sample_size=1000, seed=7)
+    for entry in response.ranking.top(10):
         print(entry.rank, entry.value, entry.score)
+
+:class:`DomainNet` and :class:`DetectionResult` are kept as thin shims
+so existing callers keep working: ``DomainNet`` delegates measure
+dispatch to the registry (so third-party measures registered via
+``repro.api.register_measure`` work here too), and ``DetectionResult``
+mirrors the fields of :class:`repro.api.DetectResponse`.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 from ..datalake.lake import DataLake
-from .betweenness import betweenness_score_map
-from .builder import build_graph
 from .graph import BipartiteGraph
-from .lcc import lcc_score_map
-from .ranking import HomographRanking, rank_by_betweenness, rank_by_lcc
+from .ranking import HomographRanking
 
-_MEASURES = ("betweenness", "lcc")
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from ..api.requests import DetectResponse
 
 
 @dataclass
 class DetectionResult:
-    """Outcome of one detection run."""
+    """Outcome of one detection run (legacy mirror of ``DetectResponse``)."""
 
     measure: str
     ranking: HomographRanking
@@ -45,9 +45,24 @@ class DetectionResult:
     def top_values(self, k: int):
         return self.ranking.top_values(k)
 
+    @classmethod
+    def from_response(cls, response: "DetectResponse") -> "DetectionResult":
+        """Downgrade a new-style response to the legacy shape."""
+        return cls(
+            measure=response.measure,
+            ranking=response.ranking,
+            scores=dict(response.scores),
+            graph_seconds=response.graph_seconds,
+            measure_seconds=response.measure_seconds,
+            parameters=dict(response.parameters),
+        )
+
 
 class DomainNet:
-    """Homograph detector over a data lake.
+    """Deprecated one-shot homograph detector over a data lake.
+
+    Prefer :class:`repro.api.HomographIndex`; this shim rebuilds and
+    rescores from scratch on every call.
 
     Parameters
     ----------
@@ -78,12 +93,16 @@ class DomainNet:
         ``False`` to keep every value node (used when reproducing
         Example 3.6).
         """
-        start = time.perf_counter()
-        graph = build_graph(
-            lake, min_occurrences=2 if prune_candidates else 1
+        warnings.warn(
+            "DomainNet is deprecated; use repro.HomographIndex for "
+            "cached, incremental detection",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        elapsed = time.perf_counter() - start
-        return cls(graph, graph_seconds=elapsed)
+        from ..api.index import HomographIndex
+
+        index = HomographIndex(lake, prune_candidates=prune_candidates)
+        return cls(index.graph, graph_seconds=index.graph_seconds)
 
     def detect(
         self,
@@ -95,53 +114,20 @@ class DomainNet:
     ) -> DetectionResult:
         """Steps 2 + 3: score every value node and rank.
 
-        Parameters
-        ----------
-        measure:
-            ``"betweenness"`` (default, Hypothesis 3.5) or ``"lcc"``
-            (Hypothesis 3.4).
-        sample_size:
-            For betweenness only: number of sampled sources for the
-            approximate algorithm; ``None`` computes exactly.  The paper
-            finds ~1% of nodes sufficient (§5.4).
-        seed:
-            RNG seed for the sampled approximation.
-        lcc_variant:
-            For LCC only: ``"attribute-jaccard"`` (paper implementation)
-            or ``"value-neighbors"`` (literal Eq. 1).
-        endpoints:
-            For betweenness only: ``"all"`` (paper) or ``"values"``
-            (footnote-2 variant).
+        Dispatches through the measure registry; see
+        :class:`repro.api.DetectRequest` for the parameter semantics.
         """
-        if measure not in _MEASURES:
-            raise ValueError(
-                f"unknown measure {measure!r}; expected one of {_MEASURES}"
-            )
-        start = time.perf_counter()
-        if measure == "betweenness":
-            scores = betweenness_score_map(
-                self.graph,
-                sample_size=sample_size,
-                seed=seed,
-                endpoints=endpoints,
-            )
-            ranking = rank_by_betweenness(scores)
-            parameters: Dict[str, object] = {
-                "sample_size": sample_size,
-                "seed": seed,
-                "endpoints": endpoints,
-            }
-        else:
-            scores = lcc_score_map(self.graph, variant=lcc_variant)
-            ranking = rank_by_lcc(scores)
-            parameters = {"variant": lcc_variant}
-        elapsed = time.perf_counter() - start
+        from ..api.index import execute_request
+        from ..api.requests import DetectRequest
 
-        return DetectionResult(
+        request = DetectRequest(
             measure=measure,
-            ranking=ranking,
-            scores=scores,
-            graph_seconds=self._graph_seconds,
-            measure_seconds=elapsed,
-            parameters=parameters,
+            sample_size=sample_size,
+            seed=seed,
+            lcc_variant=lcc_variant,
+            endpoints=endpoints,
         )
+        response = execute_request(
+            self.graph, request, graph_seconds=self._graph_seconds
+        )
+        return DetectionResult.from_response(response)

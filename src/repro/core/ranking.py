@@ -48,6 +48,66 @@ class HomographRanking:
             entry.value: entry for entry in self._entries
         }
 
+    @classmethod
+    def from_entries(
+        cls,
+        entries: Sequence[RankedValue],
+        descending: bool,
+        measure: str,
+    ) -> "HomographRanking":
+        """Rebuild a ranking from already-ordered entries.
+
+        Used by deserialization: the stored order is authoritative, so
+        no re-sort happens (scores serialized from an approximate run
+        must not be re-ranked differently on load).
+        """
+        ranking = cls.__new__(cls)
+        ranking.measure = measure
+        ranking.descending = descending
+        ranking._entries = list(entries)
+        ranking._by_value = {entry.value: entry for entry in ranking._entries}
+        return ranking
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation; inverse of :meth:`from_dict`."""
+        return {
+            "measure": self.measure,
+            "descending": self.descending,
+            "entries": [
+                {"rank": e.rank, "value": e.value, "score": e.score}
+                for e in self._entries
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "HomographRanking":
+        """Rebuild a ranking serialized by :meth:`to_dict`."""
+        entries = [
+            RankedValue(
+                rank=int(e["rank"]),
+                value=str(e["value"]),
+                score=float(e["score"]),
+            )
+            for e in payload["entries"]
+        ]
+        return cls.from_entries(
+            entries,
+            descending=bool(payload["descending"]),
+            measure=str(payload["measure"]),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HomographRanking):
+            return NotImplemented
+        return (
+            self.measure == other.measure
+            and self.descending == other.descending
+            and self._entries == other._entries
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.measure, self.descending, tuple(self._entries)))
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -28,8 +28,8 @@ from ..bench.injection import (
 from ..bench.scale import ScaleConfig, extract_subgraphs, generate_scale_lake
 from ..bench.synthetic import SBConfig, SBDataset, generate_sb
 from ..bench.tus import TUSConfig, TUSDataset, generate_tus
+from ..api import HomographIndex
 from ..core.betweenness import betweenness_scores
-from ..core.detector import DomainNet
 from ..core.ranking import rank_by_betweenness
 from ..datalake.catalog import compute_statistics, format_statistics_table
 from ..domains.d4 import D4Config, run_d4
@@ -101,8 +101,8 @@ def experiment_sb_top55(
 ) -> Top55Result:
     """Figure 5 (measure='lcc') / Figure 6 (measure='betweenness')."""
     sb = sb or generate_sb()
-    detector = DomainNet.from_lake(sb.lake)
-    result = detector.detect(measure=measure)
+    index = HomographIndex(sb.lake)
+    result = index.detect(measure=measure)
     entries = [
         (e.value, e.score, e.value in sb.homographs)
         for e in result.ranking.top(k)
@@ -148,8 +148,8 @@ def experiment_sb_baseline(
     d4 = run_d4(sb.lake)
     d4_pr = precision_recall_at_k(d4.ranked_homographs(), sb.homographs, k)
 
-    detector = DomainNet.from_lake(sb.lake)
-    bc = detector.detect(measure="betweenness")
+    index = HomographIndex(sb.lake)
+    bc = index.detect(measure="betweenness")
     bc_pr = precision_recall_at_k(bc.ranking.values, sb.homographs, k)
 
     # Paper convention: quote hits/k so that precision = recall even
@@ -238,8 +238,8 @@ def experiment_injection_meanings(
 
 def _one_injection_run(clean, groups, config, sample_size) -> float:
     injected = inject_homographs(clean, groups, config)
-    detector = DomainNet.from_lake(injected.lake)
-    result = detector.detect(
+    index = HomographIndex(injected.lake)
+    result = index.detect(
         measure="betweenness", sample_size=sample_size, seed=config.seed
     )
     return injection_recovery(injected, result.ranking.values)
@@ -291,8 +291,8 @@ def experiment_tus_topk(
     """Figure 7 + the §5.3 top-10 listing, in one detection run."""
     tus = tus or generate_tus()
     homographs = tus.homographs
-    detector = DomainNet.from_lake(tus.lake)
-    result = detector.detect(
+    index = HomographIndex(tus.lake)
+    result = index.detect(
         measure="betweenness", sample_size=sample_size, seed=seed
     )
     ranked = result.ranking.values
@@ -357,8 +357,8 @@ def experiment_sample_size_sweep(
     """Figure 8: the sampling-quality trade-off of approximate BC."""
     tus = tus or generate_tus()
     homographs = tus.homographs
-    detector = DomainNet.from_lake(tus.lake)
-    graph = detector.graph
+    index = HomographIndex(tus.lake)
+    graph = index.graph
     k = len(homographs)
 
     rows = []
@@ -433,9 +433,9 @@ def experiment_runtime_scaling(
 ) -> RuntimeScalingResult:
     """Figure 9: linear scaling of sampled BC over random subgraphs."""
     lake = generate_scale_lake(config)
-    detector = DomainNet.from_lake(lake)
+    index = HomographIndex(lake)
     subgraphs = extract_subgraphs(
-        detector.graph, list(edge_targets), seed=seed
+        index.graph, list(edge_targets), seed=seed
     )
 
     rows = []

@@ -48,6 +48,45 @@ class TestScan:
         assert main(["scan", str(tmp_path)]) == 1
 
 
+class TestScanJson:
+    def test_json_payload_parses_as_response(self, csv_lake, capsys):
+        import json
+
+        from repro import DetectResponse
+
+        assert main(["scan", str(csv_lake), "--json", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["measure"] == "betweenness"
+        assert len(payload["ranking"]) <= 3
+        response = DetectResponse.from_json(out)
+        assert "JAGUAR" in response.scores
+
+    def test_json_suppresses_human_output(self, csv_lake, capsys):
+        assert main(["scan", str(csv_lake), "--json"]) == 0
+        out = capsys.readouterr().out
+        assert "graph:" not in out
+
+    def test_json_rejects_meanings_and_errors(self, csv_lake, capsys):
+        assert main(["scan", str(csv_lake), "--json", "--meanings"]) == 2
+        assert main(["scan", str(csv_lake), "--json", "--errors"]) == 2
+        err = capsys.readouterr().err
+        assert "--json" in err
+
+    def test_no_prune_keeps_singletons(self, csv_lake, capsys):
+        import json
+
+        assert main(["scan", str(csv_lake), "--json", "--top", "100",
+                     "--no-prune"]) == 0
+        pruned_free = json.loads(capsys.readouterr().out)
+        assert main(["scan", str(csv_lake), "--json", "--top", "100"]) == 0
+        pruned = json.loads(capsys.readouterr().out)
+        # "OTTER" occurs once in the lake: only --no-prune keeps it.
+        values = {e["value"] for e in pruned_free["ranking"]}
+        assert "OTTER" in values
+        assert len(pruned_free["ranking"]) > len(pruned["ranking"])
+
+
 class TestStats:
     def test_stats_table(self, csv_lake, capsys):
         assert main(["stats", str(csv_lake)]) == 0
