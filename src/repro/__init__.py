@@ -33,6 +33,9 @@ Sub-packages
     request/response objects with JSON serialization.
 ``repro.core``
     Bipartite graph, LCC / betweenness measures, detection pipeline.
+``repro.perf``
+    Parallel compute engine: execution backends (serial /
+    shared-memory multi-process), chunking, tree reductions.
 ``repro.datalake``
     Tables, lakes, CSV I/O, profiling, catalog statistics.
 ``repro.domains``
@@ -80,8 +83,16 @@ from .api import (
     register_measure,
     unregister_measure,
 )
+from .perf import (
+    ExecutionBackend,
+    ExecutionConfig,
+    ProcessBackend,
+    SerialBackend,
+    available_cores,
+    resolve_backend,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "BipartiteGraph",
@@ -93,14 +104,19 @@ __all__ = [
     "DetectionResult",
     "DomainNet",
     "DuplicateMeasureError",
+    "ExecutionBackend",
+    "ExecutionConfig",
     "HomographIndex",
     "HomographRanking",
     "Measure",
     "MeasureError",
     "MeasureOutput",
+    "ProcessBackend",
     "RankedValue",
+    "SerialBackend",
     "Table",
     "UnknownMeasureError",
+    "available_cores",
     "available_measures",
     "betweenness_score_map",
     "betweenness_scores",
@@ -113,6 +129,7 @@ __all__ = [
     "normalize_value",
     "read_table",
     "register_measure",
+    "resolve_backend",
     "unregister_measure",
     "write_table",
     "__version__",

@@ -34,6 +34,7 @@ from ..core.graph import BipartiteGraph
 from ..core.ranking import HomographRanking
 from ..datalake.lake import DataLake
 from ..datalake.table import Table
+from ..perf.config import ExecutionConfig
 from .measures import run_measure
 from .requests import DetectRequest, DetectResponse
 
@@ -90,15 +91,24 @@ class HomographIndex:
         ``True`` (default) applies the paper's preprocessing — drop
         values occurring only once in the whole lake.  ``False`` keeps
         every value node (Example 3.6 reproduction).
+    execution:
+        Default :class:`~repro.perf.ExecutionConfig` applied to every
+        :meth:`detect` call whose request does not carry its own.
+        ``None`` (default) scores serially; pass e.g.
+        ``ExecutionConfig(n_jobs=4)`` to fan score computations across
+        worker processes.  Execution never changes scores, so it does
+        not participate in the score-cache key.
     """
 
     def __init__(
         self,
         lake: Optional[DataLake] = None,
         prune_candidates: bool = True,
+        execution: Optional[ExecutionConfig] = None,
     ) -> None:
         self._lake = lake if lake is not None else DataLake()
         self._prune_candidates = prune_candidates
+        self._execution = execution
         self._graph: Optional[BipartiteGraph] = None
         self._graph_seconds = 0.0
         self._unpruned_graph: Optional[BipartiteGraph] = None
@@ -135,6 +145,11 @@ class HomographIndex:
     @property
     def prune_candidates(self) -> bool:
         return self._prune_candidates
+
+    @property
+    def execution(self) -> Optional[ExecutionConfig]:
+        """The index-level default execution configuration."""
+        return self._execution
 
     @property
     def graph(self) -> BipartiteGraph:
@@ -213,6 +228,8 @@ class HomographIndex:
             request = DetectRequest(**overrides)
         elif overrides:
             request = request.with_overrides(**overrides)
+        if request.execution is None and self._execution is not None:
+            request = request.with_overrides(execution=self._execution)
 
         key = request.cache_key
         hit = self._score_cache.get(key)

@@ -170,6 +170,7 @@ def _betweenness_measure(
         sample_size=request.sample_size,
         seed=request.seed,
         endpoints=request.endpoints,
+        execution=request.execution,
     )
     return MeasureOutput(
         scores=scores,
@@ -187,7 +188,9 @@ def _lcc_measure(
     graph: BipartiteGraph, request: "DetectRequest"
 ) -> MeasureOutput:
     """Local clustering coefficient (Hypothesis 3.4): homographs score LOW."""
-    scores = lcc_score_map(graph, variant=request.lcc_variant)
+    scores = lcc_score_map(
+        graph, variant=request.lcc_variant, execution=request.execution
+    )
     return MeasureOutput(
         scores=scores,
         descending=False,

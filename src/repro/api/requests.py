@@ -21,6 +21,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..core.ranking import HomographRanking, RankedValue
+from ..perf.config import ExecutionConfig
 
 #: Serialization schema version, bumped on incompatible layout changes.
 SCHEMA_VERSION = 1
@@ -69,6 +70,13 @@ class DetectRequest:
         Free-form extra knobs for custom measures, stored as a sorted
         tuple of ``(name, value)`` pairs so the request stays hashable.
         A mapping passed here is normalized automatically.
+    execution:
+        Optional :class:`~repro.perf.ExecutionConfig` choosing the
+        execution backend (serial / multi-process) for the built-in
+        measures.  Execution changes *how* scores are computed, never
+        *what* they are, so it is deliberately excluded from
+        :attr:`cache_key` — a parallel run can be served from a cached
+        serial result and vice versa.
     """
 
     measure: str = "betweenness"
@@ -77,6 +85,7 @@ class DetectRequest:
     lcc_variant: str = "attribute-jaccard"
     endpoints: str = "all"
     options: Tuple[Tuple[str, object], ...] = ()
+    execution: Optional[ExecutionConfig] = None
 
     def __post_init__(self) -> None:
         pairs = (
@@ -88,6 +97,10 @@ class DetectRequest:
             sorted((str(k), _hashable_option(v)) for k, v in pairs)
         )
         object.__setattr__(self, "options", normalized)
+        if isinstance(self.execution, Mapping):
+            object.__setattr__(
+                self, "execution", ExecutionConfig.from_dict(self.execution)
+            )
 
     def option(self, name: str, default: object = None) -> object:
         """Value of an extra knob, for custom measures."""
@@ -120,10 +133,14 @@ class DetectRequest:
             "lcc_variant": self.lcc_variant,
             "endpoints": self.endpoints,
             "options": dict(self.options),
+            "execution": (
+                self.execution.to_dict() if self.execution else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "DetectRequest":
+        execution = payload.get("execution")
         return cls(
             measure=str(payload.get("measure", "betweenness")),
             sample_size=payload.get("sample_size"),
@@ -131,6 +148,9 @@ class DetectRequest:
             lcc_variant=str(payload.get("lcc_variant", "attribute-jaccard")),
             endpoints=str(payload.get("endpoints", "all")),
             options=payload.get("options") or (),
+            execution=(
+                ExecutionConfig.from_dict(execution) if execution else None
+            ),
         )
 
 

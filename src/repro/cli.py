@@ -7,6 +7,7 @@ Installed as the ``domainnet`` console script::
     domainnet scan path/to/csvs --json > result.json
     domainnet scan path/to/csvs --meanings --errors
     domainnet scan path/to/csvs --no-prune
+    domainnet scan path/to/csvs --jobs 4
     domainnet stats path/to/csvs
     domainnet generate sb out/dir
     domainnet generate tus out/dir --seed 7
@@ -27,6 +28,7 @@ from typing import List, Optional
 from .api import HomographIndex, available_measures
 from .datalake.catalog import compute_statistics, format_statistics_table
 from .datalake.csv_io import dump_lake, load_lake
+from .perf import BACKEND_NAMES, ExecutionConfig
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +60,16 @@ def build_parser() -> argparse.ArgumentParser:
                       help="estimate the number of meanings per candidate")
     scan.add_argument("--errors", action="store_true",
                       help="flag homographs that look like data errors")
+    scan.add_argument("--jobs", type=int, default=None,
+                      help="worker processes for scoring (default: serial; "
+                           ">1 fans Brandes sources / LCC chunks across "
+                           "cores via shared memory)")
+    scan.add_argument("--backend", choices=BACKEND_NAMES, default="auto",
+                      help="execution backend (default auto: process when "
+                           "--jobs > 1, serial otherwise)")
+    scan.add_argument("--chunk-size", type=int, default=None,
+                      help="work items per parallel task (default: derived "
+                           "from the job count)")
 
     stats = commands.add_parser(
         "stats", help="print catalog statistics for a CSV lake"
@@ -92,7 +104,21 @@ def _cmd_scan(args) -> int:
     if len(lake) == 0:
         print("no CSV tables found", file=sys.stderr)
         return 1
-    index = HomographIndex(lake, prune_candidates=not args.no_prune)
+    execution = None
+    if args.jobs is not None or args.backend != "auto" \
+            or args.chunk_size is not None:
+        try:
+            execution = ExecutionConfig(
+                backend=args.backend,
+                n_jobs=args.jobs,
+                chunk_size=args.chunk_size,
+            )
+        except ValueError as error:
+            print(f"invalid execution options: {error}", file=sys.stderr)
+            return 2
+    index = HomographIndex(
+        lake, prune_candidates=not args.no_prune, execution=execution
+    )
     graph = index.graph
 
     sample = args.sample

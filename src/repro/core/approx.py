@@ -23,11 +23,14 @@ directly comparable.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
-from .graph import BipartiteGraph
+from .graph import BipartiteGraph, frontier_edges
+
+if TYPE_CHECKING:  # pragma: no cover - hints only, avoids import cycle
+    from ..perf.config import ExecutionConfig
 
 
 def riondato_kornaropoulos_bc(
@@ -37,6 +40,7 @@ def riondato_kornaropoulos_bc(
     c: float = 0.5,
     seed: Optional[int] = None,
     max_samples: Optional[int] = None,
+    execution: Optional["ExecutionConfig"] = None,
 ) -> np.ndarray:
     """Estimate betweenness for every node by shortest-path sampling.
 
@@ -55,6 +59,13 @@ def riondato_kornaropoulos_bc(
     max_samples:
         Optional cap on the sample size (useful in tests; the guarantee
         no longer holds when the cap binds).
+    execution:
+        Optional :class:`~repro.perf.ExecutionConfig`.  Samples are
+        embarrassingly parallel; each carries its own spawned
+        :class:`numpy.random.SeedSequence`, so a given ``seed`` walks
+        the same sampled paths however the samples are chunked across
+        workers.  Scores agree to float-association tolerance across
+        chunkings, and bit-identically with a pinned ``chunk_size``.
 
     Returns
     -------
@@ -76,18 +87,27 @@ def riondato_kornaropoulos_bc(
     r = sample_size_bound(epsilon, delta, diameter, c=c)
     if max_samples is not None:
         r = min(r, max_samples)
+    if r <= 0:
+        return scores
 
-    indptr, indices = graph.indptr, graph.indices
-    for _ in range(r):
-        u = int(rng.integers(0, n))
-        v = int(rng.integers(0, n))
-        if u == v:
-            continue
-        path = _sample_shortest_path(u, v, indptr, indices, n, rng)
-        if path is None:
-            continue
-        for node in path:
-            scores[node] += 1.0 / r
+    # Draw every (u, v) pair up front and give each sample its own
+    # spawned SeedSequence for the path walk: the sampled paths then
+    # depend only on (graph, seed, r), never on how samples are chunked
+    # across workers — serial and process backends agree
+    # sample-for-sample (score totals to summation-order tolerance).
+    pairs = rng.integers(0, n, size=(r, 2))
+    walk_seeds = np.random.SeedSequence(seed).spawn(r)
+
+    from ..perf.backends import resolve_backend, tree_sum
+
+    backend = resolve_backend(execution)
+    spans = backend.spans(r)
+    payloads = [
+        (pairs[lo:hi], walk_seeds[lo:hi]) for lo, hi in spans
+    ]
+    partials = backend.map_chunks(graph, "rk", payloads, {"inv_r": 1.0 / r})
+    if partials:
+        scores = tree_sum(partials)
 
     # The estimate approximates BC(w) / (n (n-1)) in the unordered-pair
     # convention the sampler uses; rescale onto the exact scores' scale
@@ -133,13 +153,11 @@ def _bfs_farthest(
     frontier = np.array([source], dtype=np.int64)
     last, depth = source, 0
     while frontier.size:
-        neighbor_chunks = [
-            indices[indptr[u]:indptr[u + 1]] for u in frontier
-        ]
-        candidates = np.unique(np.concatenate(neighbor_chunks)) \
-            if neighbor_chunks else np.empty(0, dtype=np.int64)
-        fresh = candidates[dist[candidates] < 0] if candidates.size else \
-            np.empty(0, dtype=np.int64)
+        _src, neighbors = frontier_edges(frontier, indptr, indices)
+        if neighbors.size == 0:
+            break
+        candidates = np.unique(neighbors)
+        fresh = candidates[dist[candidates] < 0]
         if fresh.size == 0:
             break
         depth += 1
@@ -170,25 +188,18 @@ def _sample_shortest_path(
     dist[u] = 0
     sigma[u] = 1.0
     frontier = np.array([u], dtype=np.int64)
+    level = 0
 
     while frontier.size and dist[v] < 0:
-        next_level: Dict[int, None] = {}
-        level = dist[frontier[0]]
-        for node in frontier:
-            for nb in indices[indptr[node]:indptr[node + 1]]:
-                nb = int(nb)
-                if dist[nb] < 0:
-                    next_level[nb] = None
-        if not next_level:
+        src, dst = frontier_edges(frontier, indptr, indices)
+        mask = dist[dst] < 0
+        src, dst = src[mask], dst[mask]
+        if dst.size == 0:
             break
-        fresh = np.fromiter(next_level, dtype=np.int64)
-        dist[fresh] = level + 1
-        for node in frontier:
-            for nb in indices[indptr[node]:indptr[node + 1]]:
-                nb = int(nb)
-                if dist[nb] == level + 1:
-                    sigma[nb] += sigma[node]
-        frontier = fresh
+        level += 1
+        dist[dst] = level
+        frontier = np.flatnonzero(dist == level)
+        sigma += np.bincount(dst, weights=sigma[src], minlength=n)
 
     if dist[v] < 0 or dist[v] <= 1:
         return None
@@ -196,12 +207,9 @@ def _sample_shortest_path(
     path = []
     current = v
     while dist[current] > 1:
-        predecessors = [
-            int(nb)
-            for nb in indices[indptr[current]:indptr[current + 1]]
-            if dist[int(nb)] == dist[current] - 1
-        ]
-        weights = np.array([sigma[p] for p in predecessors])
+        neighbors = indices[indptr[current]:indptr[current + 1]]
+        predecessors = neighbors[dist[neighbors] == dist[current] - 1]
+        weights = sigma[predecessors]
         weights = weights / weights.sum()
         current = int(rng.choice(predecessors, p=weights))
         path.append(current)

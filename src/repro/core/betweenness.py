@@ -22,11 +22,14 @@ restricts endpoints to value nodes is available via ``endpoints=
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .graph import BipartiteGraph
+from .graph import BipartiteGraph, frontier_edges
+
+if TYPE_CHECKING:  # pragma: no cover - hints only, avoids import cycle
+    from ..perf.config import ExecutionConfig
 
 _ENDPOINT_MODES = ("all", "values")
 
@@ -38,6 +41,7 @@ def betweenness_scores(
     normalized: bool = True,
     endpoints: str = "all",
     strategy: str = "uniform",
+    execution: Optional["ExecutionConfig"] = None,
 ) -> np.ndarray:
     """Betweenness centrality of every node, indexed by node id.
 
@@ -64,6 +68,12 @@ def betweenness_scores(
         probability proportional to their degree (with replacement)
         and importance-weighted — the §3.3 observation that high-degree
         nodes are more likely to lie on shortest paths.
+    execution:
+        Optional :class:`~repro.perf.ExecutionConfig` selecting the
+        execution backend.  ``None`` (default) runs serially in
+        process; a process backend fans the per-source dependency
+        accumulations across cores.  Results agree with serial to
+        float tolerance (bit-exactly when ``chunk_size`` is pinned).
 
     Returns
     -------
@@ -89,11 +99,8 @@ def betweenness_scores(
 
     if endpoints == "all":
         eligible = np.arange(n, dtype=np.int64)
-        target_weight = np.ones(n, dtype=np.float64)
     else:
         eligible = np.arange(graph.num_values, dtype=np.int64)
-        target_weight = np.zeros(n, dtype=np.float64)
-        target_weight[: graph.num_values] = 1.0
 
     if sample_size is None or (
         strategy == "uniform" and sample_size >= eligible.size
@@ -124,11 +131,21 @@ def betweenness_scores(
             # 1 / (r * p_s), keeping the estimator unbiased.
             source_weights = 1.0 / (sample_size * probabilities[picks])
 
-    indptr, indices = graph.indptr, graph.indices
-    for s, weight in zip(sources, source_weights):
-        scores += weight * _single_source_dependency(
-            int(s), indptr, indices, n, target_weight
-        )
+    # Fan the per-source dependency accumulations across the execution
+    # backend: each chunk of sources yields one partial score vector,
+    # reduced with a deterministic tree-sum.
+    from ..perf.backends import resolve_backend, tree_sum
+
+    backend = resolve_backend(execution)
+    spans = backend.spans(sources.size)
+    payloads = [
+        (sources[lo:hi], source_weights[lo:hi]) for lo, hi in spans
+    ]
+    partials = backend.map_chunks(
+        graph, "brandes", payloads, {"endpoints": endpoints}
+    )
+    if partials:
+        scores = tree_sum(partials)
 
     # Raw accumulation counts each unordered pair twice (once per
     # direction); normalize by ordered endpoint pairs, or halve.
@@ -156,6 +173,13 @@ def _single_source_dependency(
     push dependencies up the DAG.  ``target_weight[w]`` generalizes the
     textbook ``1``: a node only contributes as a *target* when its
     weight is 1, which implements the values-only endpoint mode.
+
+    Scatter-adds run through ``np.bincount`` rather than ``np.add.at``
+    (whose buffered-ufunc path is far slower on large frontiers), and
+    the next frontier comes from an idempotent distance write plus one
+    ``np.flatnonzero`` scan — O(E + n) per level — instead of sorting
+    the discovered endpoints with ``np.unique``, which dominated the
+    profile on lake-scale graphs.
     """
     dist = np.full(num_nodes, -1, dtype=np.int64)
     sigma = np.zeros(num_nodes, dtype=np.float64)
@@ -163,49 +187,31 @@ def _single_source_dependency(
     sigma[source] = 1.0
 
     frontier = np.array([source], dtype=np.int64)
+    level = 0
     level_edges: List[Tuple[np.ndarray, np.ndarray]] = []
 
     while frontier.size:
-        src, dst = _frontier_edges(frontier, indptr, indices)
-        undiscovered = dst[dist[dst] < 0]
-        if undiscovered.size:
-            next_frontier = np.unique(undiscovered)
-            dist[next_frontier] = dist[frontier[0]] + 1
-        else:
-            next_frontier = np.empty(0, dtype=np.int64)
-        mask = dist[dst] == dist[frontier[0]] + 1
+        src, dst = frontier_edges(frontier, indptr, indices)
+        # Edges to undiscovered endpoints are exactly the DAG edges of
+        # this level: the gather happens before any distance write, so
+        # nothing can look discovered early.
+        mask = dist[dst] < 0
         src, dst = src[mask], dst[mask]
-        if src.size:
-            np.add.at(sigma, dst, sigma[src])
-            level_edges.append((src, dst))
-        frontier = next_frontier
+        if dst.size == 0:
+            break
+        level += 1
+        dist[dst] = level
+        frontier = np.flatnonzero(dist == level)
+        sigma += np.bincount(dst, weights=sigma[src], minlength=num_nodes)
+        level_edges.append((src, dst))
 
     delta = np.zeros(num_nodes, dtype=np.float64)
     for src, dst in reversed(level_edges):
         contrib = sigma[src] / sigma[dst] * (target_weight[dst] + delta[dst])
-        np.add.at(delta, src, contrib)
+        delta += np.bincount(src, weights=contrib, minlength=num_nodes)
 
     delta[source] = 0.0
     return delta
-
-
-def _frontier_edges(
-    frontier: np.ndarray, indptr: np.ndarray, indices: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray]:
-    """All (u, neighbor) pairs for u in the frontier, as flat arrays."""
-    starts = indptr[frontier]
-    counts = indptr[frontier + 1] - starts
-    total = int(counts.sum())
-    if total == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return empty, empty
-    # Flat positions into `indices`: for each frontier node, the run
-    # [start, start+count); built without a Python loop.
-    run_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    offsets = np.arange(total) - np.repeat(run_starts, counts)
-    flat = np.repeat(starts, counts) + offsets
-    src = np.repeat(frontier, counts)
-    return src, indices[flat]
 
 
 def betweenness_score_map(
@@ -214,6 +220,7 @@ def betweenness_score_map(
     seed: Optional[int] = None,
     normalized: bool = True,
     endpoints: str = "all",
+    execution: Optional["ExecutionConfig"] = None,
 ) -> Dict[str, float]:
     """Betweenness of *value* nodes keyed by value name."""
     scores = betweenness_scores(
@@ -222,6 +229,7 @@ def betweenness_score_map(
         seed=seed,
         normalized=normalized,
         endpoints=endpoints,
+        execution=execution,
     )
     return {
         graph.value_name(v): float(scores[v])

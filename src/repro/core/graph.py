@@ -26,6 +26,50 @@ class GraphError(ValueError):
     """Raised on invalid graph construction or queries."""
 
 
+def frontier_edges(
+    frontier: np.ndarray, indptr: np.ndarray, indices: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All ``(u, neighbor)`` pairs for ``u`` in the frontier, flat.
+
+    The shared frontier-expansion step of every level-synchronous BFS
+    in the codebase (Brandes, vertex-diameter probes, connected
+    components): gathers each frontier node's CSR adjacency run into
+    two aligned arrays without a Python loop over nodes.
+    """
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    # Flat positions into `indices`: for each frontier node, the run
+    # [start, start+count); built without a Python loop.
+    run_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    offsets = np.arange(total) - np.repeat(run_starts, counts)
+    flat = np.repeat(starts, counts) + offsets
+    src = np.repeat(frontier, counts)
+    return src, indices[flat]
+
+
+def value_neighbors_csr(
+    indptr: np.ndarray, indices: np.ndarray, value_node: int
+) -> np.ndarray:
+    """The paper's ``N(v)`` computed on raw CSR arrays.
+
+    Union of the value sets of the attributes containing ``value_node``,
+    minus the value itself; sorted.  Shared by
+    :meth:`BipartiteGraph.value_neighbors` and the perf kernels (which
+    hold only the arrays, not a graph object) so the neighbor
+    semantics live in exactly one place.
+    """
+    attrs = indices[indptr[value_node]:indptr[value_node + 1]]
+    if attrs.size == 0:
+        return np.empty(0, dtype=np.int64)
+    pieces = [indices[indptr[a]:indptr[a + 1]] for a in attrs]
+    union = np.unique(np.concatenate(pieces))
+    return union[union != value_node]
+
+
 class BipartiteGraph:
     """Immutable CSR bipartite graph over value and attribute nodes."""
 
@@ -53,7 +97,10 @@ class BipartiteGraph:
         n_attr = len(self._attribute_names)
         n = n_val + n_attr
 
-        edge_array = np.asarray(list(edges), dtype=np.int64)
+        if isinstance(edges, np.ndarray):
+            edge_array = np.asarray(edges, dtype=np.int64)
+        else:
+            edge_array = np.asarray(list(edges), dtype=np.int64)
         if edge_array.size == 0:
             edge_array = edge_array.reshape(0, 2)
         if edge_array.ndim != 2 or edge_array.shape[1] != 2:
@@ -76,17 +123,19 @@ class BipartiteGraph:
 
         src = np.concatenate([values, attrs])
         dst = np.concatenate([attrs, values])
-        order = np.argsort(src, kind="stable")
+        # One lexsort orders by source node and, within each adjacency
+        # run, by neighbor id — every adjacency list comes out sorted
+        # without a per-node Python sort loop.
+        order = np.lexsort((dst, src))
         src, dst = src[order], dst[order]
 
         self._indptr = np.zeros(n + 1, dtype=np.int64)
-        np.add.at(self._indptr, src + 1, 1)
-        np.cumsum(self._indptr, out=self._indptr)
-        self._indices = dst.copy()
-        # Sort each adjacency list for fast set ops (intersect1d etc.).
-        for node in range(n):
-            lo, hi = self._indptr[node], self._indptr[node + 1]
-            self._indices[lo:hi].sort()
+        self._indptr[1:] = np.cumsum(np.bincount(src, minlength=n))
+        self._indices = np.ascontiguousarray(dst)
+        # The CSR arrays are shared across worker processes and exposed
+        # through read-only properties; freeze them for real.
+        self._indptr.flags.writeable = False
+        self._indices.flags.writeable = False
 
         self._value_ids: Dict[str, int] = {
             name: i for i, name in enumerate(self._value_names)
@@ -116,12 +165,12 @@ class BipartiteGraph:
 
     @property
     def indptr(self) -> np.ndarray:
-        """CSR row pointers (read-only view)."""
+        """CSR row pointers (frozen: ``writeable=False`` is enforced)."""
         return self._indptr
 
     @property
     def indices(self) -> np.ndarray:
-        """CSR column indices (read-only view)."""
+        """CSR column indices (frozen: ``writeable=False`` is enforced)."""
         return self._indices
 
     def is_value_node(self, node: int) -> bool:
@@ -198,12 +247,9 @@ class BipartiteGraph:
         Computed as the union of the value sets of the attributes that
         contain the value, minus the value itself.  Sorted array.
         """
-        attrs = self.value_attributes(value_node)
-        if attrs.size == 0:
-            return np.empty(0, dtype=np.int64)
-        pieces = [self.neighbors(a) for a in attrs]
-        union = np.unique(np.concatenate(pieces))
-        return union[union != value_node]
+        if not self.is_value_node(value_node):
+            raise GraphError(f"node {value_node} is not a value node")
+        return value_neighbors_csr(self._indptr, self._indices, value_node)
 
     def value_cardinality(self, value_node: int) -> int:
         """``|N(v)|`` — the paper's cardinality of a value node."""
@@ -220,22 +266,27 @@ class BipartiteGraph:
         keep only homograph *candidates* (values in ≥ 2 attributes) as
         value nodes.  Attribute nodes always survive, even if emptied.
         """
-        keep = [
-            v for v in range(self.num_values) if self.degree(v) >= min_degree
-        ]
+        value_degrees = np.diff(self._indptr[: self.num_values + 1])
+        keep = np.flatnonzero(value_degrees >= min_degree)
         return self.subgraph_from_values(keep)
 
     def subgraph_from_values(
         self, value_nodes: Sequence[int]
     ) -> "BipartiteGraph":
         """Induced subgraph on the given value nodes (all attributes kept)."""
-        keep = sorted(set(value_nodes))
-        names = [self._value_names[v] for v in keep]
-        remap = {old: new for new, old in enumerate(keep)}
-        edges = []
-        for old in keep:
-            for attr in self.value_attributes(old):
-                edges.append((remap[old], int(attr) - self.num_values))
+        if not isinstance(value_nodes, np.ndarray):
+            value_nodes = list(value_nodes)
+        keep = np.unique(np.asarray(value_nodes, dtype=np.int64))
+        if keep.size and (keep[0] < 0 or keep[-1] >= self.num_values):
+            bad = keep[0] if keep[0] < 0 else keep[-1]
+            raise GraphError(f"node {int(bad)} is not a value node")
+        names = [self._value_names[int(v)] for v in keep]
+        # Every edge incident to a kept value, in one frontier expansion;
+        # new value ids are positions in the sorted ``keep`` array.
+        src, attrs = frontier_edges(keep, self._indptr, self._indices)
+        edges = np.column_stack(
+            [np.searchsorted(keep, src), attrs - self.num_values]
+        )
         return BipartiteGraph(names, self._attribute_names, edges)
 
     def subgraph_from_attributes(
@@ -247,22 +298,21 @@ class BipartiteGraph:
         scalability sweep: pick attribute nodes, pull in all their value
         nodes.  Value nodes that end up isolated are dropped.
         """
-        attrs = sorted(set(attribute_nodes))
-        for a in attrs:
-            if not self.is_attribute_node(a):
-                raise GraphError(f"node {a} is not an attribute node")
-        value_set: Set[int] = set()
-        for a in attrs:
-            value_set.update(int(v) for v in self.attribute_values(a))
-        values = sorted(value_set)
-        value_remap = {old: new for new, old in enumerate(values)}
-        attr_remap = {old: new for new, old in enumerate(attrs)}
-        value_names = [self._value_names[v] for v in values]
-        attr_names = [self.attribute_name(a) for a in attrs]
-        edges = []
-        for old_attr in attrs:
-            for v in self.attribute_values(old_attr):
-                edges.append((value_remap[int(v)], attr_remap[old_attr]))
+        if not isinstance(attribute_nodes, np.ndarray):
+            attribute_nodes = list(attribute_nodes)
+        attrs = np.unique(np.asarray(attribute_nodes, dtype=np.int64))
+        if attrs.size and not (
+            self.num_values <= attrs[0] and attrs[-1] < self.num_nodes
+        ):
+            bad = attrs[0] if attrs[0] < self.num_values else attrs[-1]
+            raise GraphError(f"node {int(bad)} is not an attribute node")
+        src_attr, vals = frontier_edges(attrs, self._indptr, self._indices)
+        values = np.unique(vals)
+        value_names = [self._value_names[int(v)] for v in values]
+        attr_names = [self.attribute_name(int(a)) for a in attrs]
+        edges = np.column_stack(
+            [np.searchsorted(values, vals), np.searchsorted(attrs, src_attr)]
+        )
         return BipartiteGraph(value_names, attr_names, edges)
 
     # ------------------------------------------------------------------
@@ -300,8 +350,12 @@ class BipartiteGraph:
             frontier = np.array([start], dtype=np.int64)
             labels[start] = current
             while frontier.size:
-                neighbor_chunks = [self.neighbors(int(u)) for u in frontier]
-                candidates = np.unique(np.concatenate(neighbor_chunks))
+                _src, neighbors = frontier_edges(
+                    frontier, self._indptr, self._indices
+                )
+                if neighbors.size == 0:
+                    break
+                candidates = np.unique(neighbors)
                 fresh = candidates[labels[candidates] < 0]
                 labels[fresh] = current
                 frontier = fresh

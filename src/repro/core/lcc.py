@@ -25,11 +25,14 @@ so rankings sort ascending.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
-from .graph import BipartiteGraph
+from .graph import BipartiteGraph, value_neighbors_csr
+
+if TYPE_CHECKING:  # pragma: no cover - hints only, avoids import cycle
+    from ..perf.config import ExecutionConfig
 
 _VARIANTS = ("attribute-jaccard", "value-neighbors")
 
@@ -37,23 +40,38 @@ _VARIANTS = ("attribute-jaccard", "value-neighbors")
 def lcc_scores(
     graph: BipartiteGraph,
     variant: str = "attribute-jaccard",
+    execution: Optional["ExecutionConfig"] = None,
 ) -> np.ndarray:
     """LCC score for every value node, indexed by value node id.
 
     Isolated values (no value neighbors) score 0.0 — they have no
     community to cohere with, and they cannot be homographs anyway.
+
+    ``execution`` selects the backend: per-value scores are
+    independent, so contiguous chunks of value nodes fan across worker
+    processes and stitch back deterministically (bit-exact for every
+    backend and chunking).
     """
     if variant not in _VARIANTS:
         raise ValueError(
             f"unknown LCC variant {variant!r}; expected one of {_VARIANTS}"
         )
-    if variant == "attribute-jaccard":
-        return _lcc_attribute_jaccard(graph)
-    return _lcc_value_neighbors(graph)
+    from ..perf.backends import resolve_backend
+
+    backend = resolve_backend(execution)
+    scores = np.zeros(graph.num_values, dtype=np.float64)
+    partials = backend.map_chunks(
+        graph, "lcc", backend.spans(graph.num_values), {"variant": variant}
+    )
+    for lo, hi, segment in partials:
+        scores[lo:hi] = segment
+    return scores
 
 
-def _lcc_attribute_jaccard(graph: BipartiteGraph) -> np.ndarray:
-    """Vectorized attribute-set Jaccard averaging.
+def _lcc_attribute_jaccard_range(
+    indptr: np.ndarray, indices: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Vectorized attribute-set Jaccard averaging for values ``[lo, hi)``.
 
     For a value ``u``, concatenating the value lists of every attribute
     in ``A(u)`` yields each co-occurring value ``v`` exactly
@@ -62,11 +80,10 @@ def _lcc_attribute_jaccard(graph: BipartiteGraph) -> np.ndarray:
     from the value degrees.  Cost is linear in the total size of ``u``'s
     attributes rather than quadratic in ``|N(u)|``.
     """
-    scores = np.zeros(graph.num_values, dtype=np.float64)
-    degrees = graph.degrees()
-    indptr, indices = graph.indptr, graph.indices
+    scores = np.zeros(hi - lo, dtype=np.float64)
+    degrees = np.diff(indptr)
 
-    for u in range(graph.num_values):
+    for u in range(lo, hi):
         attrs = indices[indptr[u]:indptr[u + 1]]
         if attrs.size == 0:
             continue
@@ -78,27 +95,31 @@ def _lcc_attribute_jaccard(graph: BipartiteGraph) -> np.ndarray:
         if neighbors.size == 0:
             continue
         union = degrees[u] + degrees[neighbors] - inter
-        scores[u] = float(np.mean(inter / union))
+        scores[u - lo] = float(np.mean(inter / union))
     return scores
 
 
-def _lcc_value_neighbors(graph: BipartiteGraph) -> np.ndarray:
-    """Literal Eq. 1: Jaccard over value-neighbor sets ``N(·)``.
+def _lcc_value_neighbors_range(
+    indptr: np.ndarray, indices: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Literal Eq. 1 over ``[lo, hi)``: Jaccard on value-neighbor sets.
 
     ``N(v)`` arrays are cached across the loop since neighbors share
-    attributes heavily.  O(|N(u)|^2)-ish per node — ablation use only.
+    attributes heavily (the cache is per chunk, so chunking trades a
+    little recomputation for parallelism).  O(|N(u)|^2)-ish per node —
+    ablation use only.
     """
-    scores = np.zeros(graph.num_values, dtype=np.float64)
+    scores = np.zeros(hi - lo, dtype=np.float64)
     cache: Dict[int, np.ndarray] = {}
 
     def neighbor_set(v: int) -> np.ndarray:
         cached = cache.get(v)
         if cached is None:
-            cached = graph.value_neighbors(v)
+            cached = value_neighbors_csr(indptr, indices, v)
             cache[v] = cached
         return cached
 
-    for u in range(graph.num_values):
+    for u in range(lo, hi):
         n_u = neighbor_set(u)
         if n_u.size == 0:
             continue
@@ -109,14 +130,15 @@ def _lcc_value_neighbors(graph: BipartiteGraph) -> np.ndarray:
             inter = np.intersect1d(n_u, n_v, assume_unique=True).size
             union = size_u + n_v.size - inter
             total += inter / union if union else 0.0
-        scores[u] = total / size_u
+        scores[u - lo] = total / size_u
     return scores
 
 
 def lcc_score_map(
     graph: BipartiteGraph,
     variant: str = "attribute-jaccard",
+    execution: Optional["ExecutionConfig"] = None,
 ) -> Dict[str, float]:
     """LCC scores keyed by value name."""
-    scores = lcc_scores(graph, variant=variant)
+    scores = lcc_scores(graph, variant=variant, execution=execution)
     return {graph.value_name(v): float(scores[v]) for v in range(graph.num_values)}

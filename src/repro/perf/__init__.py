@@ -1,0 +1,51 @@
+"""Parallel compute engine: pluggable execution backends for the hot paths.
+
+The core measures (exact/sampled Brandes betweenness, the Riondato–
+Kornaropoulos sampler, the LCC) express their work as chunkable lists
+— sources, path samples, value ranges — and dispatch them through an
+:class:`ExecutionBackend`:
+
+* :class:`SerialBackend` (default) runs chunks in-process, bit-exact
+  with the historical implementation;
+* :class:`ProcessBackend` ships the CSR arrays to a worker pool once
+  via ``multiprocessing.shared_memory`` and fans chunks across cores,
+  reducing partial score vectors with :func:`tree_sum`.
+
+Selection threads through the public API as an
+:class:`ExecutionConfig` (``DetectRequest(execution=...)``,
+``HomographIndex(execution=...)``, CLI ``--jobs``)::
+
+    from repro import ExecutionConfig, HomographIndex
+
+    index = HomographIndex(lake, execution=ExecutionConfig(n_jobs=4))
+    index.detect(measure="betweenness")          # scored on 4 cores
+
+Parallel results match serial to float tolerance always, and exactly
+when ``chunk_size`` is pinned (see ``tests/test_perf_backends.py``).
+"""
+
+from .backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    chunk_spans,
+    resolve_backend,
+    tree_sum,
+)
+from .config import BACKEND_NAMES, ExecutionConfig, available_cores
+from .kernels import GraphContext, get_kernel, register_kernel
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "ExecutionConfig",
+    "GraphContext",
+    "ProcessBackend",
+    "SerialBackend",
+    "available_cores",
+    "chunk_spans",
+    "get_kernel",
+    "register_kernel",
+    "resolve_backend",
+    "tree_sum",
+]

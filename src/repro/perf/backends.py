@@ -1,0 +1,273 @@
+"""Execution backends: in-process serial and shared-memory multi-process.
+
+The contract is deliberately tiny — a backend maps a named kernel over
+a list of chunk payloads against one graph::
+
+    backend = resolve_backend(ExecutionConfig(n_jobs=4))
+    partials = backend.map_chunks(graph, "brandes", payloads, common)
+
+:class:`SerialBackend` runs the chunks in a plain loop and is the
+bit-exact reference.  :class:`ProcessBackend` copies the graph's CSR
+arrays (``indptr``/``indices``) into
+:mod:`multiprocessing.shared_memory` segments *once*, forks a worker
+pool whose initializer attaches them zero-copy, and maps the chunk
+tasks across the pool.  Only the small per-chunk payloads (source ids,
+sample seeds, value ranges) cross the pipe; score vectors come back
+once per chunk and are reduced caller-side with :func:`tree_sum`.
+
+Determinism: chunk spans depend only on the work-list length, the job
+count, and the configured ``chunk_size`` — never on scheduling — so a
+given configuration always produces the same chunking, and pinning
+``chunk_size`` makes serial and process results bit-identical.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .config import ExecutionConfig, available_cores
+from .kernels import GraphContext, get_kernel
+
+#: Tasks per worker when ``chunk_size`` is not pinned: enough slack
+#: for load balancing without drowning the queue in tiny messages.
+_CHUNKS_PER_JOB = 4
+
+
+def chunk_spans(
+    num_items: int, jobs: int, chunk_size: Optional[int] = None
+) -> List[Tuple[int, int]]:
+    """Deterministic ``[lo, hi)`` spans covering ``range(num_items)``.
+
+    With ``chunk_size=None`` a serial run gets one span (no overhead)
+    and a parallel run gets ``~4 * jobs`` spans for load balancing.
+    """
+    if num_items <= 0:
+        return []
+    if chunk_size is None:
+        if jobs <= 1:
+            chunk_size = num_items
+        else:
+            chunk_size = max(1, -(-num_items // (_CHUNKS_PER_JOB * jobs)))
+    return [
+        (lo, min(lo + chunk_size, num_items))
+        for lo in range(0, num_items, chunk_size)
+    ]
+
+
+def tree_sum(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Pairwise (tree) reduction of partial score vectors.
+
+    Associates the sum as a balanced tree, which keeps float error
+    growth logarithmic in the chunk count and — more importantly —
+    makes the reduction order a function of the chunk list alone, so
+    equal chunkings give bit-identical totals on every backend.
+    """
+    items = list(arrays)
+    if not items:
+        raise ValueError("tree_sum of no arrays")
+    while len(items) > 1:
+        paired = [
+            items[i] + items[i + 1]
+            for i in range(0, len(items) - 1, 2)
+        ]
+        if len(items) % 2:
+            paired.append(items[-1])
+        items = paired
+    return items[0]
+
+
+class ExecutionBackend(abc.ABC):
+    """Maps kernels over chunk payloads; see the module docstring."""
+
+    #: Effective worker count (1 for serial).
+    jobs: int = 1
+    #: Pinned chunk size, or ``None`` for the derived default.
+    chunk_size: Optional[int] = None
+
+    def spans(self, num_items: int) -> List[Tuple[int, int]]:
+        """Chunk spans this backend uses for ``num_items`` work items."""
+        return chunk_spans(num_items, self.jobs, self.chunk_size)
+
+    @abc.abstractmethod
+    def map_chunks(
+        self,
+        graph,
+        kernel: str,
+        payloads: Sequence,
+        common: Mapping,
+    ) -> List:
+        """Run ``kernel`` over every payload, in payload order."""
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution — the bit-exact reference backend."""
+
+    name = "serial"
+
+    def __init__(self, chunk_size: Optional[int] = None) -> None:
+        self.jobs = 1
+        self.chunk_size = chunk_size
+
+    def map_chunks(self, graph, kernel, payloads, common):
+        fn = get_kernel(kernel)
+        ctx = GraphContext.from_graph(graph)
+        return [fn(ctx, payload, common) for payload in payloads]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SerialBackend(chunk_size={self.chunk_size})"
+
+
+# ---------------------------------------------------------------------
+# Process backend: worker-side state
+# ---------------------------------------------------------------------
+# Set by the pool initializer in each worker; maps nothing in the
+# parent.  ``_WORKER_SHM`` keeps the SharedMemory objects alive for the
+# worker's lifetime (dropping them would invalidate the array views).
+_WORKER_CTX: Optional[GraphContext] = None
+_WORKER_SHM: List = []
+
+
+def _attach_shared_array(spec) -> np.ndarray:
+    from multiprocessing import shared_memory
+
+    name, shape, dtype = spec
+    # Attaching registers the segment with the resource tracker as if
+    # this worker owned it; it does not — the parent unlinks once the
+    # pool drains — and the duplicate registration makes the tracker
+    # spew KeyError noise at exit (bpo-39959).  Suppress registration
+    # for the attach only.
+    try:
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+    except Exception:  # pragma: no cover - tracker is a CPython detail
+        resource_tracker = None
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    finally:
+        if resource_tracker is not None:
+            resource_tracker.register = original_register
+    _WORKER_SHM.append(shm)
+    array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+    array.flags.writeable = False
+    return array
+
+
+def _worker_init(indptr_spec, indices_spec, num_nodes, num_values) -> None:
+    global _WORKER_CTX
+    _WORKER_CTX = GraphContext(
+        indptr=_attach_shared_array(indptr_spec),
+        indices=_attach_shared_array(indices_spec),
+        num_nodes=num_nodes,
+        num_values=num_values,
+    )
+
+
+def _worker_task(task):
+    kernel, payload, common = task
+    return get_kernel(kernel)(_WORKER_CTX, payload, common)
+
+
+def _export_shared_array(array: np.ndarray):
+    """Copy an array into a fresh shared-memory segment.
+
+    Returns ``(shm, spec)`` where ``spec`` is the picklable
+    ``(name, shape, dtype)`` triple workers attach with.
+    """
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(
+        create=True, size=max(1, array.nbytes)
+    )
+    view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+    view[...] = array
+    return shm, (shm.name, array.shape, array.dtype.str)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Multi-core execution over a shared-memory worker pool.
+
+    The CSR arrays are shipped to workers once per :meth:`map_chunks`
+    call via :mod:`multiprocessing.shared_memory`; per-chunk traffic is
+    limited to the payloads and the returned partials.  Prefers the
+    ``fork`` start method (cheap on Linux) and falls back to the
+    platform default elsewhere.
+    """
+
+    name = "process"
+
+    def __init__(
+        self,
+        n_jobs: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        self.jobs = max(1, n_jobs if n_jobs is not None else available_cores())
+        self.chunk_size = chunk_size
+
+    @staticmethod
+    def _context():
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return multiprocessing.get_context()
+
+    def map_chunks(self, graph, kernel, payloads, common):
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        get_kernel(kernel)  # fail fast in the parent on unknown names
+        workers = min(self.jobs, len(payloads))
+        segments = []
+        try:
+            indptr_shm, indptr_spec = _export_shared_array(graph.indptr)
+            segments.append(indptr_shm)
+            indices_shm, indices_spec = _export_shared_array(graph.indices)
+            segments.append(indices_shm)
+            ctx = self._context()
+            with ctx.Pool(
+                processes=workers,
+                initializer=_worker_init,
+                initargs=(
+                    indptr_spec,
+                    indices_spec,
+                    graph.num_nodes,
+                    graph.num_values,
+                ),
+            ) as pool:
+                tasks = [(kernel, payload, common) for payload in payloads]
+                return pool.map(_worker_task, tasks, chunksize=1)
+        finally:
+            for shm in segments:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProcessBackend(n_jobs={self.jobs}, "
+            f"chunk_size={self.chunk_size})"
+        )
+
+
+def resolve_backend(
+    execution: Optional[ExecutionConfig],
+) -> ExecutionBackend:
+    """Turn an (optional) :class:`ExecutionConfig` into a backend.
+
+    ``None`` — the default everywhere — is the serial reference path.
+    """
+    if execution is None:
+        return SerialBackend()
+    if execution.resolved_backend == "process":
+        return ProcessBackend(
+            n_jobs=execution.effective_jobs,
+            chunk_size=execution.chunk_size,
+        )
+    return SerialBackend(chunk_size=execution.chunk_size)

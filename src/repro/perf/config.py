@@ -1,0 +1,107 @@
+"""Execution configuration for the parallel compute engine.
+
+One small value object, :class:`ExecutionConfig`, describes *how* a
+score computation should run — which backend, how many worker
+processes, how finely the work is chunked — without saying anything
+about *what* is computed.  It threads from the public API
+(``DetectRequest(execution=...)``, the CLI ``--jobs`` flag) down to the
+core measures, which hand their per-source / per-sample / per-value
+work lists to the resolved backend.
+
+Execution choice never changes results beyond floating-point
+summation order: the serial backend remains the bit-exact reference,
+and the process backend is required (and tested) to match it to tight
+tolerance — identically, when the chunking is pinned.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Mapping, Optional
+
+#: Recognized backend names.  ``auto`` picks ``process`` when more
+#: than one worker is requested and ``serial`` otherwise.
+BACKEND_NAMES = ("auto", "serial", "process")
+
+
+def available_cores() -> int:
+    """CPUs usable by this process (cgroup/affinity aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How a score computation is executed.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` runs everything in-process (the bit-exact
+        default), ``"process"`` fans chunks across a worker pool fed
+        through shared memory, and ``"auto"`` (default) resolves to
+        ``process`` exactly when the effective job count exceeds one.
+    n_jobs:
+        Worker processes.  ``None`` means *one* under ``auto``/
+        ``serial`` (conservative default) and *all available cores*
+        under ``process``.
+    chunk_size:
+        Work items (Brandes sources, RK samples, LCC values) per task.
+        ``None`` derives a size from the job count; pin it explicitly
+        when bit-identical results across backends are required.
+    """
+
+    backend: str = "auto"
+    n_jobs: Optional[int] = None
+    chunk_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown execution backend {self.backend!r}; "
+                f"expected one of {BACKEND_NAMES}"
+            )
+        if self.n_jobs is not None and self.n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+
+    @property
+    def effective_jobs(self) -> int:
+        """The concrete worker count this configuration asks for."""
+        if self.backend == "serial":
+            return 1
+        if self.n_jobs is not None:
+            return self.n_jobs
+        return available_cores() if self.backend == "process" else 1
+
+    @property
+    def resolved_backend(self) -> str:
+        """``auto`` collapsed to a concrete backend name."""
+        if self.backend == "auto":
+            return "process" if self.effective_jobs > 1 else "serial"
+        return self.backend
+
+    def with_overrides(self, **overrides) -> "ExecutionConfig":
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # Serialization (rides inside DetectRequest.to_dict / from_dict)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "n_jobs": self.n_jobs,
+            "chunk_size": self.chunk_size,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "ExecutionConfig":
+        return cls(
+            backend=str(payload.get("backend", "auto")),
+            n_jobs=payload.get("n_jobs"),
+            chunk_size=payload.get("chunk_size"),
+        )

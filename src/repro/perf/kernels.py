@@ -1,0 +1,144 @@
+"""Compute kernels the execution backends fan out over chunks.
+
+A *kernel* is a pure function ``(ctx, payload, common) -> partial``
+where ``ctx`` is a :class:`GraphContext` (the CSR arrays plus sizes),
+``payload`` is one chunk of the work list, and ``common`` carries the
+chunk-independent knobs.  Kernels are registered by name so a task can
+be shipped to a worker process as ``(name, payload, common)`` without
+pickling code objects.
+
+Three kernels cover the paper's hot paths:
+
+* ``"brandes"`` — per-source Brandes dependency accumulations
+  (exact or source-sampled betweenness); partial = weighted score
+  vector over all nodes, reduced by :func:`repro.perf.tree_sum`.
+* ``"rk"`` — Riondato–Kornaropoulos shortest-path samples; each sample
+  carries its own :class:`numpy.random.SeedSequence` so results are
+  independent of how samples are chunked across workers.
+* ``"lcc"`` — local clustering coefficients for one contiguous range
+  of value nodes; partial = ``(lo, hi, segment)``, stitched by the
+  caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Tuple
+
+import numpy as np
+
+from ..core.approx import _sample_shortest_path
+from ..core.betweenness import _single_source_dependency
+from ..core.lcc import _lcc_attribute_jaccard_range, _lcc_value_neighbors_range
+
+
+@dataclass(frozen=True)
+class GraphContext:
+    """The slice of a graph a kernel needs: CSR arrays and sizes.
+
+    Workers rebuild this from shared memory; in-process execution just
+    wraps the graph's own (read-only) arrays.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    num_nodes: int
+    num_values: int
+
+    @classmethod
+    def from_graph(cls, graph) -> "GraphContext":
+        return cls(
+            indptr=graph.indptr,
+            indices=graph.indices,
+            num_nodes=graph.num_nodes,
+            num_values=graph.num_values,
+        )
+
+
+Kernel = Callable[[GraphContext, object, Mapping], object]
+
+_KERNELS: Dict[str, Kernel] = {}
+
+
+def register_kernel(name: str) -> Callable[[Kernel], Kernel]:
+    def _register(fn: Kernel) -> Kernel:
+        _KERNELS[name] = fn
+        return fn
+
+    return _register
+
+
+def get_kernel(name: str) -> Kernel:
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {name!r}; registered: {sorted(_KERNELS)}"
+        ) from None
+
+
+def _target_weight(endpoints: str, ctx: GraphContext) -> np.ndarray:
+    """Per-node target weights for the chosen endpoint mode."""
+    if endpoints == "all":
+        return np.ones(ctx.num_nodes, dtype=np.float64)
+    weight = np.zeros(ctx.num_nodes, dtype=np.float64)
+    weight[: ctx.num_values] = 1.0
+    return weight
+
+
+@register_kernel("brandes")
+def brandes_kernel(
+    ctx: GraphContext,
+    payload: Tuple[np.ndarray, np.ndarray],
+    common: Mapping,
+) -> np.ndarray:
+    """Weighted sum of single-source dependency vectors for one chunk."""
+    sources, weights = payload
+    target_weight = _target_weight(common["endpoints"], ctx)
+    acc = np.zeros(ctx.num_nodes, dtype=np.float64)
+    for source, weight in zip(sources, weights):
+        acc += weight * _single_source_dependency(
+            int(source), ctx.indptr, ctx.indices, ctx.num_nodes,
+            target_weight,
+        )
+    return acc
+
+
+@register_kernel("rk")
+def rk_kernel(
+    ctx: GraphContext,
+    payload: Tuple[np.ndarray, list],
+    common: Mapping,
+) -> np.ndarray:
+    """Path-sample accumulation for one chunk of (u, v, seed) draws."""
+    pairs, seeds = payload
+    inv_r = common["inv_r"]
+    acc = np.zeros(ctx.num_nodes, dtype=np.float64)
+    for (u, v), seed_seq in zip(pairs, seeds):
+        u, v = int(u), int(v)
+        if u == v:
+            continue
+        rng = np.random.default_rng(seed_seq)
+        path = _sample_shortest_path(
+            u, v, ctx.indptr, ctx.indices, ctx.num_nodes, rng
+        )
+        if path:
+            acc[path] += inv_r
+    return acc
+
+
+@register_kernel("lcc")
+def lcc_kernel(
+    ctx: GraphContext,
+    payload: Tuple[int, int],
+    common: Mapping,
+) -> Tuple[int, int, np.ndarray]:
+    """LCC scores for the value-node range ``[lo, hi)``."""
+    lo, hi = payload
+    if common["variant"] == "attribute-jaccard":
+        segment = _lcc_attribute_jaccard_range(
+            ctx.indptr, ctx.indices, lo, hi
+        )
+    else:
+        segment = _lcc_value_neighbors_range(ctx.indptr, ctx.indices, lo, hi)
+    return lo, hi, segment

@@ -1,0 +1,312 @@
+"""Backend parity: the process engine must reproduce serial scores.
+
+The contract (ISSUE 2): serial is the bit-exact reference; the process
+backend matches it to tight float tolerance always, and *identically*
+for the sampled paths given the same seed and a pinned (deterministic)
+chunking.  Covered across endpoint modes, sampling strategies, and LCC
+variants, plus the edge cases — empty graph, ``n_jobs`` larger than the
+work list, ``chunk_size=1``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.approx import riondato_kornaropoulos_bc
+from repro.core.betweenness import betweenness_scores
+from repro.core.builder import build_graph, build_graph_from_columns
+from repro.core.graph import BipartiteGraph
+from repro.core.lcc import lcc_scores
+from repro.perf import (
+    ExecutionConfig,
+    ProcessBackend,
+    SerialBackend,
+    available_cores,
+    chunk_spans,
+    resolve_backend,
+    tree_sum,
+)
+
+PROCESS_2 = ExecutionConfig(backend="process", n_jobs=2)
+
+
+@pytest.fixture(scope="module")
+def random_graph():
+    rng = np.random.default_rng(11)
+    columns = {
+        f"A{j}": [f"v{rng.integers(0, 60)}" for _ in range(25)]
+        for j in range(14)
+    }
+    return build_graph_from_columns(columns)
+
+
+class TestExecutionConfig:
+    def test_defaults_are_serial(self):
+        config = ExecutionConfig()
+        assert config.resolved_backend == "serial"
+        assert config.effective_jobs == 1
+        assert isinstance(resolve_backend(config), SerialBackend)
+        assert isinstance(resolve_backend(None), SerialBackend)
+
+    def test_jobs_imply_process(self):
+        config = ExecutionConfig(n_jobs=2)
+        assert config.resolved_backend == "process"
+        assert isinstance(resolve_backend(config), ProcessBackend)
+
+    def test_process_defaults_to_all_cores(self):
+        config = ExecutionConfig(backend="process")
+        assert config.effective_jobs == available_cores()
+
+    def test_serial_backend_forces_one_job(self):
+        assert ExecutionConfig(backend="serial", n_jobs=8).effective_jobs == 1
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(backend="gpu")
+        with pytest.raises(ValueError):
+            ExecutionConfig(n_jobs=0)
+        with pytest.raises(ValueError):
+            ExecutionConfig(chunk_size=0)
+
+    def test_round_trip(self):
+        config = ExecutionConfig(backend="process", n_jobs=3, chunk_size=7)
+        assert ExecutionConfig.from_dict(config.to_dict()) == config
+
+
+class TestChunkingPrimitives:
+    def test_spans_cover_range_without_overlap(self):
+        for items, jobs, size in [(10, 1, None), (10, 4, None),
+                                  (7, 3, 2), (5, 8, 1), (100, 2, 33)]:
+            spans = chunk_spans(items, jobs, size)
+            flat = [i for lo, hi in spans for i in range(lo, hi)]
+            assert flat == list(range(items))
+
+    def test_serial_default_is_one_span(self):
+        assert chunk_spans(100, 1, None) == [(0, 100)]
+
+    def test_empty_work_list(self):
+        assert chunk_spans(0, 4, None) == []
+
+    def test_tree_sum_matches_plain_sum(self):
+        rng = np.random.default_rng(0)
+        arrays = [rng.normal(size=17) for _ in range(9)]
+        np.testing.assert_allclose(
+            tree_sum(arrays), np.sum(arrays, axis=0), atol=1e-12
+        )
+
+    def test_tree_sum_single(self):
+        one = np.arange(4.0)
+        np.testing.assert_array_equal(tree_sum([one]), one)
+
+    def test_tree_sum_empty_rejected(self):
+        with pytest.raises(ValueError):
+            tree_sum([])
+
+
+class TestExactBetweennessParity:
+    @pytest.mark.parametrize("endpoints", ["all", "values"])
+    def test_endpoint_modes(self, figure1_lake, endpoints):
+        graph = build_graph(figure1_lake)
+        serial = betweenness_scores(graph, endpoints=endpoints)
+        parallel = betweenness_scores(
+            graph, endpoints=endpoints, execution=PROCESS_2
+        )
+        np.testing.assert_allclose(serial, parallel, atol=1e-14)
+
+    def test_random_graph_rankings_identical(self, random_graph):
+        serial = betweenness_scores(random_graph)
+        parallel = betweenness_scores(random_graph, execution=PROCESS_2)
+        np.testing.assert_allclose(serial, parallel, atol=1e-14)
+        assert np.array_equal(
+            np.argsort(-serial, kind="stable"),
+            np.argsort(-parallel, kind="stable"),
+        )
+
+    def test_unnormalized(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        np.testing.assert_allclose(
+            betweenness_scores(graph, normalized=False),
+            betweenness_scores(
+                graph, normalized=False, execution=PROCESS_2
+            ),
+            atol=1e-12,
+        )
+
+
+class TestSampledBetweennessParity:
+    @pytest.mark.parametrize("strategy", ["uniform", "degree"])
+    def test_same_seed_pinned_chunking_bit_exact(
+        self, figure1_lake, strategy
+    ):
+        graph = build_graph(figure1_lake)
+        kwargs = dict(sample_size=12, seed=5, strategy=strategy)
+        serial = betweenness_scores(
+            graph,
+            execution=ExecutionConfig(backend="serial", chunk_size=4),
+            **kwargs,
+        )
+        parallel = betweenness_scores(
+            graph,
+            execution=ExecutionConfig(
+                backend="process", n_jobs=2, chunk_size=4
+            ),
+            **kwargs,
+        )
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_unpinned_chunking_tolerance(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        serial = betweenness_scores(graph, sample_size=10, seed=2)
+        parallel = betweenness_scores(
+            graph, sample_size=10, seed=2, execution=PROCESS_2
+        )
+        np.testing.assert_allclose(serial, parallel, atol=1e-14)
+
+
+class TestRKParity:
+    def test_same_seed_identical_across_chunkings(self, random_graph):
+        serial = riondato_kornaropoulos_bc(
+            random_graph, seed=9, max_samples=60
+        )
+        for execution in [
+            PROCESS_2,
+            ExecutionConfig(backend="process", n_jobs=2, chunk_size=1),
+            ExecutionConfig(backend="serial", chunk_size=7),
+        ]:
+            parallel = riondato_kornaropoulos_bc(
+                random_graph, seed=9, max_samples=60, execution=execution
+            )
+            # Per-sample seed streams make the estimate independent of
+            # chunking; only the tree-sum association can differ.
+            np.testing.assert_allclose(serial, parallel, atol=1e-14)
+
+
+class TestLCCParity:
+    @pytest.mark.parametrize("variant", ["attribute-jaccard",
+                                         "value-neighbors"])
+    def test_variants_bit_exact(self, figure1_lake, variant):
+        graph = build_graph(figure1_lake)
+        serial = lcc_scores(graph, variant=variant)
+        parallel = lcc_scores(
+            graph, variant=variant, execution=PROCESS_2
+        )
+        np.testing.assert_array_equal(serial, parallel)
+
+    def test_chunk_size_one(self, random_graph):
+        serial = lcc_scores(random_graph)
+        parallel = lcc_scores(
+            random_graph,
+            execution=ExecutionConfig(
+                backend="process", n_jobs=2, chunk_size=64
+            ),
+        )
+        np.testing.assert_array_equal(serial, parallel)
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        graph = BipartiteGraph([], [], [])
+        assert betweenness_scores(graph, execution=PROCESS_2).size == 0
+        assert lcc_scores(graph, execution=PROCESS_2).size == 0
+
+    def test_jobs_exceed_sources(self):
+        graph = build_graph_from_columns({"A": ["x", "y"], "B": ["x"]})
+        serial = betweenness_scores(graph)
+        parallel = betweenness_scores(
+            graph,
+            execution=ExecutionConfig(
+                backend="process", n_jobs=8, chunk_size=1
+            ),
+        )
+        np.testing.assert_allclose(serial, parallel, atol=1e-14)
+
+    def test_chunk_size_one_exact_bc(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        serial = betweenness_scores(graph)
+        parallel = betweenness_scores(
+            graph,
+            execution=ExecutionConfig(
+                backend="process", n_jobs=2, chunk_size=1
+            ),
+        )
+        np.testing.assert_allclose(serial, parallel, atol=1e-14)
+
+    def test_single_worker_process_backend(self, figure1_lake):
+        # n_jobs=1 with an explicit process backend still exercises the
+        # shared-memory path (the CI smoke relies on this).
+        graph = build_graph(figure1_lake)
+        serial = betweenness_scores(graph)
+        parallel = betweenness_scores(
+            graph,
+            execution=ExecutionConfig(backend="process", n_jobs=1),
+        )
+        np.testing.assert_allclose(serial, parallel, atol=1e-14)
+
+
+class TestGraphArraysFrozen:
+    def test_csr_arrays_read_only(self, figure1_lake):
+        graph = build_graph(figure1_lake)
+        assert not graph.indptr.flags.writeable
+        assert not graph.indices.flags.writeable
+        with pytest.raises(ValueError):
+            graph.indptr[0] = 99
+        with pytest.raises(ValueError):
+            graph.indices[0] = 99
+
+
+class TestApiThreading:
+    def test_request_round_trips_execution(self):
+        from repro import DetectRequest
+
+        request = DetectRequest(
+            measure="lcc",
+            execution=ExecutionConfig(n_jobs=2, chunk_size=3),
+        )
+        clone = DetectRequest.from_dict(request.to_dict())
+        assert clone == request
+        assert clone.execution == request.execution
+
+    def test_request_accepts_execution_mapping(self):
+        from repro import DetectRequest
+
+        request = DetectRequest(execution={"backend": "process",
+                                           "n_jobs": 2})
+        assert request.execution == ExecutionConfig(
+            backend="process", n_jobs=2
+        )
+
+    def test_execution_excluded_from_cache_key(self):
+        from repro import DetectRequest
+
+        plain = DetectRequest(measure="betweenness")
+        parallel = plain.with_overrides(execution=PROCESS_2)
+        assert plain.cache_key == parallel.cache_key
+
+    def test_index_default_execution_matches_serial(self, figure1_lake):
+        from repro import HomographIndex
+
+        serial_index = HomographIndex(figure1_lake,
+                                      prune_candidates=False)
+        parallel_index = HomographIndex(
+            figure1_lake, prune_candidates=False, execution=PROCESS_2
+        )
+        a = serial_index.detect(measure="betweenness")
+        b = parallel_index.detect(measure="betweenness")
+        for value, score in a.scores.items():
+            assert b.scores[value] == pytest.approx(score, abs=1e-12)
+
+        # Rank order agrees once exact ties (equal scores, order decided
+        # by float association noise at ~1e-18) are broken by name.
+        def tie_broken(response):
+            return sorted(
+                response.scores,
+                key=lambda v: (-round(response.scores[v], 9), v),
+            )
+
+        assert tie_broken(a) == tie_broken(b)
+        # Execution does not fragment the cache: a request with its own
+        # config is served from the same cached entry.
+        cached = parallel_index.detect(
+            measure="betweenness",
+            execution=ExecutionConfig(backend="serial"),
+        )
+        assert cached.cached
