@@ -35,7 +35,11 @@ Sub-packages
     Bipartite graph, LCC / betweenness measures, detection pipeline.
 ``repro.perf``
     Parallel compute engine: execution backends (serial /
-    shared-memory multi-process), chunking, tree reductions.
+    shared-memory multi-process, per-call or persistent pools),
+    chunking, tree reductions.
+``repro.serving``
+    Serving primitives: single-flight request coalescing used by
+    :class:`HomographIndex` to serve concurrent traffic.
 ``repro.datalake``
     Tables, lakes, CSV I/O, profiling, catalog statistics.
 ``repro.domains``
@@ -90,9 +94,11 @@ from .perf import (
     SerialBackend,
     available_cores,
     resolve_backend,
+    use_backend,
 )
+from .serving import SingleFlight
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "BipartiteGraph",
@@ -114,6 +120,7 @@ __all__ = [
     "ProcessBackend",
     "RankedValue",
     "SerialBackend",
+    "SingleFlight",
     "Table",
     "UnknownMeasureError",
     "available_cores",
@@ -131,6 +138,7 @@ __all__ = [
     "register_measure",
     "resolve_backend",
     "unregister_measure",
+    "use_backend",
     "write_table",
     "__version__",
 ]

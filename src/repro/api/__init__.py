@@ -5,14 +5,18 @@ batch pipeline in :mod:`repro.core` with the three things a serving
 layer needs:
 
 * :class:`HomographIndex` — construct once from a lake, serve many
-  queries with per-``(measure, config)`` score caching and incremental
-  ``add_table``/``remove_table``;
+  queries with per-``(measure, config)`` score caching, single-flight
+  coalescing of concurrent duplicate requests, incremental
+  ``add_table``/``remove_table``, and an explicit ``close()`` /
+  context-manager lifecycle for the persistent worker pool;
 * a pluggable measure registry (:func:`register_measure`) with
   betweenness and LCC as built-ins;
 * typed :class:`DetectRequest`/:class:`DetectResponse` objects with
   ``to_json``/``from_json`` round-trip serialization.
 
 The legacy ``DomainNet`` class remains as a thin shim over this API.
+See ``docs/serving.md`` for the serving guide and ``docs/api.md`` for
+the full reference.
 """
 
 from .index import CacheInfo, HomographIndex, execute_request

@@ -19,13 +19,33 @@ caller to re-instantiate::
 Graph construction is deferred until a query (or the ``graph``
 property) needs it, so a burst of ``add_table`` calls costs one
 rebuild, not N.
+
+The index is a *serving* object: :meth:`detect` is thread-safe, and
+concurrent calls for the same ``(measure, config)`` are coalesced into
+one computation (single-flight) — the first caller computes, the rest
+block and share the result.  When constructed with a persistent
+execution config (``ExecutionConfig(n_jobs=4, persistent=True)``) the
+index owns one long-lived worker pool shared by every query, which
+must be released through the explicit lifecycle::
+
+    with HomographIndex(lake, execution=cfg) as index:
+        index.detect(measure="betweenness")   # forks the pool
+        index.detect(measure="lcc")           # reuses the warm pool
+    # pool and shared-memory export released here
+
+:meth:`asubmit` and :meth:`detect_many` queue requests onto that
+shared pool from background threads instead of spinning machinery per
+call.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.builder import build_graph
 from ..core.communities import MeaningEstimate, estimate_meanings
@@ -34,18 +54,32 @@ from ..core.graph import BipartiteGraph
 from ..core.ranking import HomographRanking
 from ..datalake.lake import DataLake
 from ..datalake.table import Table
+from ..perf.backends import ExecutionBackend, resolve_backend, use_backend
 from ..perf.config import ExecutionConfig
+from ..serving import SingleFlight
 from .measures import run_measure
 from .requests import DetectRequest, DetectResponse
+
+#: Threads used by :meth:`HomographIndex.asubmit`/``detect_many`` to
+#: drive requests concurrently.  Kernel work happens in the worker
+#: *processes*; these threads only orchestrate, so a small pool is
+#: plenty.
+_DISPATCH_THREADS = 4
 
 
 @dataclass(frozen=True)
 class CacheInfo:
-    """Score-cache statistics, in the spirit of ``functools.lru_cache``."""
+    """Score-cache statistics, in the spirit of ``functools.lru_cache``.
+
+    ``coalesced`` counts calls that joined another caller's in-flight
+    computation (single-flight followers); they are neither hits nor
+    misses — no cached entry existed yet, but nothing was recomputed.
+    """
 
     hits: int
     misses: int
     size: int
+    coalesced: int = 0
 
 
 def execute_request(
@@ -94,10 +128,21 @@ class HomographIndex:
     execution:
         Default :class:`~repro.perf.ExecutionConfig` applied to every
         :meth:`detect` call whose request does not carry its own.
-        ``None`` (default) scores serially; pass e.g.
-        ``ExecutionConfig(n_jobs=4)`` to fan score computations across
-        worker processes.  Execution never changes scores, so it does
-        not participate in the score-cache key.
+        ``None`` (default) scores serially.  ``ExecutionConfig(
+        n_jobs=4)`` fans score computations across worker processes
+        (one pool per call); add ``persistent=True`` and the index
+        keeps one warm pool plus the shared-memory graph export alive
+        across calls — release it with :meth:`close` or by using the
+        index as a context manager.  Execution never changes scores,
+        so it does not participate in the score-cache key.
+
+    Thread safety
+    -------------
+    :meth:`detect`, the mutation methods, and the cache accessors may
+    be called from multiple threads.  Concurrent ``detect`` calls with
+    the same cache key coalesce into a single computation; distinct
+    keys run independently (and share the persistent pool, when one is
+    configured).
     """
 
     def __init__(
@@ -115,6 +160,24 @@ class HomographIndex:
         self._score_cache: Dict[Tuple, DetectResponse] = {}
         self._cache_hits = 0
         self._cache_misses = 0
+        self._coalesced = 0
+        # Serving state: one reentrant lock guards every mutable field
+        # above; the single-flight group deduplicates concurrent
+        # computations; generation stamps detect() runs so a result
+        # computed against a lake that mutated mid-flight is served to
+        # its waiters but never stored.
+        self._lock = threading.RLock()
+        self._singleflight = SingleFlight()
+        self._generation = 0
+        self._backend: Optional[ExecutionBackend] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+        # Admission control: detect() calls that passed the closed
+        # check are counted here; close() rejects new calls, then
+        # waits on `_drained` for the admitted ones to finish before
+        # tearing the backend down under them.
+        self._active = 0
+        self._drained = threading.Condition(self._lock)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -140,10 +203,12 @@ class HomographIndex:
     # ------------------------------------------------------------------
     @property
     def lake(self) -> DataLake:
+        """The underlying data lake (held by reference)."""
         return self._lake
 
     @property
     def prune_candidates(self) -> bool:
+        """Whether the paper's min-occurrence pruning is applied."""
         return self._prune_candidates
 
     @property
@@ -154,14 +219,15 @@ class HomographIndex:
     @property
     def graph(self) -> BipartiteGraph:
         """The bipartite graph, built lazily on first access."""
-        if self._graph is None:
-            start = time.perf_counter()
-            self._graph = build_graph(
-                self._lake,
-                min_occurrences=2 if self._prune_candidates else 1,
-            )
-            self._graph_seconds = time.perf_counter() - start
-        return self._graph
+        with self._lock:
+            if self._graph is None:
+                start = time.perf_counter()
+                self._graph = build_graph(
+                    self._lake,
+                    min_occurrences=2 if self._prune_candidates else 1,
+                )
+                self._graph_seconds = time.perf_counter() - start
+            return self._graph
 
     @property
     def graph_seconds(self) -> float:
@@ -178,39 +244,149 @@ class HomographIndex:
         """
         if not self._prune_candidates:
             return self.graph
-        if self._unpruned_graph is None:
-            self._unpruned_graph = build_graph(self._lake)
-        return self._unpruned_graph
+        with self._lock:
+            if self._unpruned_graph is None:
+                self._unpruned_graph = build_graph(self._lake)
+            return self._unpruned_graph
 
     # ------------------------------------------------------------------
     # Incremental updates
     # ------------------------------------------------------------------
     def add_table(self, table: Table) -> None:
         """Add a table; graph and score caches are invalidated lazily."""
-        self._lake.add_table(table)
-        self.invalidate()
+        with self._lock:
+            self._lake.add_table(table)
+            self.invalidate()
 
     def remove_table(self, name: str) -> Table:
         """Remove and return a table, invalidating caches."""
-        table = self._lake.remove_table(name)
-        self.invalidate()
-        return table
+        with self._lock:
+            table = self._lake.remove_table(name)
+            self.invalidate()
+            return table
 
     def replace_table(self, table: Table) -> None:
         """Replace the same-named table, invalidating caches."""
-        self._lake.replace_table(table)
-        self.invalidate()
+        with self._lock:
+            self._lake.replace_table(table)
+            self.invalidate()
 
     def invalidate(self) -> None:
-        """Drop the graph and score caches (call after direct lake edits)."""
-        self._graph = None
-        self._graph_seconds = 0.0
-        self._unpruned_graph = None
-        self._score_cache.clear()
+        """Drop the graph and score caches (call after direct lake edits).
+
+        Also releases the persistent backend's shared-memory graph
+        export, if one is live — the worker pool itself stays warm and
+        re-attaches to the next build's export on the next query.
+        In-flight :meth:`detect` calls still return to their callers;
+        a result is cached only if the graph it scored is still
+        current when it lands.
+        """
+        with self._lock:
+            self._graph = None
+            self._graph_seconds = 0.0
+            self._unpruned_graph = None
+            self._score_cache.clear()
+            self._generation += 1
+            if self._backend is not None:
+                self._backend.invalidate_export()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release the serving resources this index owns (idempotent).
+
+        New :meth:`detect`/:meth:`asubmit` calls are rejected with
+        :class:`RuntimeError` immediately; calls already admitted
+        finish normally (close waits for them).  Queued
+        :meth:`asubmit` futures that have not started are cancelled —
+        one caught starting in the same instant fails with
+        :class:`RuntimeError` instead, so batch callers racing close
+        should expect either.  Then the dispatch threads and the
+        persistent worker pool shut down (unlinking the pool's
+        shared-memory segments).  Cached state and the lake itself
+        remain readable afterwards.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            executor, self._executor = self._executor, None
+        # Cancel queued futures before draining, so the dispatcher
+        # does not keep starting work that the closed flag would only
+        # reject one task at a time.  (A future the dispatcher picks
+        # up in the instant before cancellation lands fails with
+        # RuntimeError instead of CancelledError — see the docs.)
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+        with self._lock:
+            while self._active > 0:
+                self._drained.wait()
+            backend, self._backend = self._backend, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        if backend is not None:
+            backend.close()
+
+    def __enter__(self) -> "HomographIndex":
+        """Enter a ``with`` block; the index itself is the target."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Close the index (pool, dispatch threads) on block exit."""
+        self.close()
+
+    def _serving_backend(self) -> Optional[ExecutionBackend]:
+        """The long-lived backend for the index default config, if any.
+
+        Reached from admitted :meth:`detect` calls and the
+        :meth:`asubmit` warm-up; :meth:`close` waits for admitted
+        calls to drain before releasing the backend, and the guard
+        below rejects creation once that drain has completed.
+        """
+        if self._execution is None:
+            return None
+        with self._lock:
+            # Creating a backend is legal while admitted calls are
+            # draining (close() will still collect it at swap time),
+            # but after the drain completes close() has already taken
+            # the backend — creating one then would leak it.
+            if self._closed and self._active == 0:
+                raise RuntimeError("HomographIndex is closed")
+            if self._backend is None:
+                self._backend = resolve_backend(self._execution)
+            return self._backend
+
+    def _dispatcher(self) -> ThreadPoolExecutor:
+        """The lazy thread pool behind :meth:`asubmit`/``detect_many``."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("HomographIndex is closed")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=_DISPATCH_THREADS,
+                    thread_name_prefix="homograph-index",
+                )
+            return self._executor
 
     # ------------------------------------------------------------------
     # Detection
     # ------------------------------------------------------------------
+    def _coerce_request(
+        self, request: Optional[DetectRequest], overrides: Dict
+    ) -> DetectRequest:
+        """Normalize the ``detect`` calling conventions to one request."""
+        if request is None:
+            request = DetectRequest(**overrides)
+        elif overrides:
+            request = request.with_overrides(**overrides)
+        return request
+
     def detect(
         self,
         request: Optional[DetectRequest] = None,
@@ -223,25 +399,131 @@ class HomographIndex:
         Responses are cached per ``(measure, config)``: a repeat call
         with the same configuration returns the stored scores with
         ``cached=True`` and does not recompute.
+
+        Thread-safe with single-flight semantics: when several threads
+        request the same configuration concurrently, one computes and
+        the others block until it finishes, then share its result
+        (``cached=True`` for the coalesced callers).
         """
-        if request is None:
-            request = DetectRequest(**overrides)
-        elif overrides:
-            request = request.with_overrides(**overrides)
-        if request.execution is None and self._execution is not None:
+        request = self._coerce_request(request, overrides)
+        use_default = request.execution is None and self._execution is not None
+        if use_default:
             request = request.with_overrides(execution=self._execution)
 
-        key = request.cache_key
-        hit = self._score_cache.get(key)
-        if hit is not None:
-            self._cache_hits += 1
-            return self._serve(hit, cached=True)
-        self._cache_misses += 1
-        response = execute_request(
-            self.graph, request, graph_seconds=self._graph_seconds
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("HomographIndex is closed")
+            generation = self._generation
+            hit = self._score_cache.get(request.cache_key)
+            if hit is not None:
+                self._cache_hits += 1
+                return self._serve(hit, cached=True)
+            # Admitted: close() now waits for this call to finish
+            # instead of tearing the backend down underneath it.
+            self._active += 1
+
+        try:
+            return self._detect_admitted(request, generation, use_default)
+        finally:
+            with self._lock:
+                self._active -= 1
+                if self._active == 0:
+                    self._drained.notify_all()
+
+    def _detect_admitted(
+        self,
+        request: DetectRequest,
+        generation: int,
+        use_default: bool,
+    ) -> DetectResponse:
+        """The post-admission body of :meth:`detect`."""
+        served_from_cache = [False]
+
+        def compute() -> DetectResponse:
+            # The pre-flight cache check and singleflight.do are not
+            # atomic: a previous leader may have landed (and been
+            # forgotten) in between, so re-check before computing.
+            with self._lock:
+                hit = self._score_cache.get(request.cache_key)
+                if hit is not None:
+                    self._cache_hits += 1
+                    served_from_cache[0] = True
+                    return hit
+            with self._lock:
+                graph = self.graph  # built once, lazily
+                # Stamp the generation the graph was *built* under (a
+                # mutation between the pre-check and here gives us the
+                # fresh graph, whose result is perfectly cacheable).
+                built_generation = self._generation
+            backend = self._serving_backend() if use_default else None
+            scope = use_backend(backend) if backend is not None \
+                else nullcontext()
+            with scope:
+                response = execute_request(
+                    graph, request, graph_seconds=self._graph_seconds
+                )
+            with self._lock:
+                self._cache_misses += 1
+                # A mutation may have landed while we computed; serve
+                # the (then-stale) result but never cache it.
+                if self._generation == built_generation:
+                    self._score_cache[request.cache_key] = response
+            return response
+
+        response, leader = self._singleflight.do(
+            (generation, request.cache_key), compute
         )
-        self._score_cache[key] = response
-        return self._serve(response, cached=False)
+        if leader and not served_from_cache[0]:
+            return self._serve(response, cached=False)
+        if not leader:
+            with self._lock:
+                self._coalesced += 1
+        return self._serve(response, cached=True)
+
+    def asubmit(
+        self,
+        request: Optional[DetectRequest] = None,
+        **overrides,
+    ) -> "Future[DetectResponse]":
+        """Submit a detection asynchronously; returns a future.
+
+        The request is queued onto the index's dispatch threads and
+        executed through :meth:`detect`, so it participates in the
+        score cache, single-flight coalescing, and the shared
+        persistent pool.  Call ``.result()`` on the returned
+        :class:`concurrent.futures.Future` to wait for the response.
+        """
+        request = self._coerce_request(request, overrides)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("HomographIndex is closed")
+        if request.execution is None:
+            # This request will use the index pool: fork it (if
+            # persistent and not yet started) on *this* thread, before
+            # the dispatcher threads exist — forking from a thread
+            # pool risks cloning a sibling's held locks into the
+            # child.  A request carrying its own execution never
+            # touches the index pool, so don't fork one for it.
+            backend = self._serving_backend()
+            if backend is not None:
+                ensure = getattr(backend, "ensure_started", None)
+                if ensure is not None:
+                    ensure()
+        return self._dispatcher().submit(self.detect, request)
+
+    def detect_many(
+        self,
+        requests: Sequence[DetectRequest],
+    ) -> List[DetectResponse]:
+        """Run a batch of requests on the shared machinery.
+
+        Requests are dispatched concurrently (duplicates coalesce via
+        single-flight; distinct configurations queue onto the one
+        persistent pool when configured) and the responses come back
+        aligned with the input order.
+        """
+        futures = [self.asubmit(request) for request in requests]
+        return [future.result() for future in futures]
 
     @staticmethod
     def _serve(stored: DetectResponse, cached: bool) -> DetectResponse:
@@ -282,16 +564,19 @@ class HomographIndex:
     # Cache introspection
     # ------------------------------------------------------------------
     def cache_info(self) -> CacheInfo:
-        """Hit/miss counters (cumulative) and current cache size."""
-        return CacheInfo(
-            hits=self._cache_hits,
-            misses=self._cache_misses,
-            size=len(self._score_cache),
-        )
+        """Hit/miss/coalesce counters (cumulative) and cache size."""
+        with self._lock:
+            return CacheInfo(
+                hits=self._cache_hits,
+                misses=self._cache_misses,
+                size=len(self._score_cache),
+                coalesced=self._coalesced,
+            )
 
     def clear_cache(self) -> None:
         """Drop cached scores without touching the graph."""
-        self._score_cache.clear()
+        with self._lock:
+            self._score_cache.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         built = "unbuilt" if self._graph is None else repr(self._graph)

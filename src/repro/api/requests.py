@@ -72,11 +72,13 @@ class DetectRequest:
         A mapping passed here is normalized automatically.
     execution:
         Optional :class:`~repro.perf.ExecutionConfig` choosing the
-        execution backend (serial / multi-process) for the built-in
-        measures.  Execution changes *how* scores are computed, never
-        *what* they are, so it is deliberately excluded from
-        :attr:`cache_key` — a parallel run can be served from a cached
-        serial result and vice versa.
+        execution backend (serial / multi-process, per-call or
+        persistent pool) for the built-in measures.  Execution changes
+        *how* scores are computed, never *what* they are, so it is
+        deliberately excluded from :attr:`cache_key` — a parallel run
+        can be served from a cached serial result and vice versa, and
+        identical requests differing only in execution coalesce into
+        one in-flight computation on a serving index.
     """
 
     measure: str = "betweenness"
@@ -126,6 +128,7 @@ class DetectRequest:
         )
 
     def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation; inverse of :meth:`from_dict`."""
         return {
             "measure": self.measure,
             "sample_size": self.sample_size,
@@ -140,6 +143,7 @@ class DetectRequest:
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "DetectRequest":
+        """Rebuild a request from :meth:`to_dict` output."""
         execution = payload.get("execution")
         return cls(
             measure=str(payload.get("measure", "betweenness")),
@@ -175,9 +179,11 @@ class DetectResponse:
     request: Optional[DetectRequest] = None
 
     def top(self, k: int) -> List[RankedValue]:
+        """The best ``k`` ranked entries (rank, value, score)."""
         return self.ranking.top(k)
 
     def top_values(self, k: int) -> List[str]:
+        """The best ``k`` value names only."""
         return self.ranking.top_values(k)
 
     # ------------------------------------------------------------------
@@ -210,11 +216,17 @@ class DetectResponse:
 
     def to_json(self, indent: Optional[int] = None,
                 top: Optional[int] = None) -> str:
+        """Serialize :meth:`to_dict` as deterministic (sorted) JSON."""
         return json.dumps(self.to_dict(top=top), indent=indent,
                           sort_keys=True)
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "DetectResponse":
+        """Rebuild a response from :meth:`to_dict` output.
+
+        Rejects payloads whose ``schema`` does not match this build's
+        :data:`SCHEMA_VERSION`.
+        """
         schema = payload.get("schema")
         if schema != SCHEMA_VERSION:
             raise ValueError(
@@ -252,4 +264,5 @@ class DetectResponse:
 
     @classmethod
     def from_json(cls, text: str) -> "DetectResponse":
+        """Parse a :meth:`to_json` payload back into a response."""
         return cls.from_dict(json.loads(text))

@@ -8,6 +8,8 @@ Installed as the ``domainnet`` console script::
     domainnet scan path/to/csvs --meanings --errors
     domainnet scan path/to/csvs --no-prune
     domainnet scan path/to/csvs --jobs 4
+    domainnet scan path/to/csvs --jobs 4 --keep-pool
+    domainnet scan path/to/csvs --jobs 4 --serve-pool betweenness,lcc
     domainnet stats path/to/csvs
     domainnet generate sb out/dir
     domainnet generate tus out/dir --seed 7
@@ -70,6 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--chunk-size", type=int, default=None,
                       help="work items per parallel task (default: derived "
                            "from the job count)")
+    scan.add_argument("--keep-pool", action="store_true",
+                      help="keep one persistent worker pool (and the "
+                           "shared-memory graph export) warm across every "
+                           "scoring call of this scan; implies a process "
+                           "backend when --jobs/--backend leave it unset")
+    scan.add_argument("--serve-pool", metavar="MEASURES", default=None,
+                      help="comma-separated measures (e.g. "
+                           "'betweenness,lcc') scored as one batch on the "
+                           "shared pool via detect_many; implies "
+                           "--keep-pool and overrides --measure")
 
     stats = commands.add_parser(
         "stats", help="print catalog statistics for a CSV lake"
@@ -94,66 +106,136 @@ def main(argv: Optional[List[str]] = None) -> int:
     return _cmd_generate(args)
 
 
-def _cmd_scan(args) -> int:
-    if args.json and (args.meanings or args.errors):
-        print("--json cannot be combined with --meanings/--errors "
-              "(the DetectResponse payload does not carry them)",
-              file=sys.stderr)
-        return 2
-    lake = load_lake(args.directory)
-    if len(lake) == 0:
-        print("no CSV tables found", file=sys.stderr)
-        return 1
-    execution = None
-    if args.jobs is not None or args.backend != "auto" \
-            or args.chunk_size is not None:
-        try:
-            execution = ExecutionConfig(
-                backend=args.backend,
-                n_jobs=args.jobs,
-                chunk_size=args.chunk_size,
-            )
-        except ValueError as error:
-            print(f"invalid execution options: {error}", file=sys.stderr)
-            return 2
-    index = HomographIndex(
-        lake, prune_candidates=not args.no_prune, execution=execution
-    )
-    graph = index.graph
+def _scan_execution(args) -> Optional[ExecutionConfig]:
+    """Build the scan's ExecutionConfig from the CLI execution flags.
 
-    sample = args.sample
-    if sample is None and args.measure == "betweenness":
-        if graph.num_nodes > 20_000:
-            sample = max(1000, graph.num_nodes // 100)
-    response = index.detect(
-        measure=args.measure, sample_size=sample, seed=args.seed
+    ``--keep-pool`` (or ``--serve-pool``, which implies it) requests a
+    persistent worker pool; with ``--backend`` unset it forces the
+    process backend so a pool actually exists to keep — including
+    under ``--jobs 1``, where ``auto`` would silently fall back to
+    serial and ignore the flag.
+    """
+    keep_pool = args.keep_pool or args.serve_pool is not None
+    if not (keep_pool or args.jobs is not None or args.backend != "auto"
+            or args.chunk_size is not None):
+        return None
+    backend = args.backend
+    if keep_pool and backend == "auto":
+        backend = "process"
+    return ExecutionConfig(
+        backend=backend,
+        n_jobs=args.jobs,
+        chunk_size=args.chunk_size,
+        persistent=keep_pool,
     )
 
-    if args.json:
-        print(response.to_json(indent=2, top=args.top))
-        return 0
 
-    print(f"lake: {len(lake)} tables, {lake.num_attributes} attributes")
-    print(f"graph: {graph.num_values} candidate values, "
-          f"{graph.num_attributes} attributes, {graph.num_edges} edges")
-    print(f"measure: {args.measure} "
-          f"({'exact' if sample is None else f'{sample} samples'}) "
-          f"in {response.measure_seconds:.1f}s\n")
-
+def _print_listing(index, response, args, annotate: bool) -> None:
+    """Human listing of one response's top candidates."""
     top = response.ranking.top(args.top)
     verdicts = {}
-    if args.errors:
+    if annotate and args.errors:
         verdicts = index.classify_errors([e.value for e in top])
-
     for entry in top:
         line = f"{entry.rank:>4}. {entry.score:.6f}  {entry.value!r}"
-        if args.meanings:
+        if annotate and args.meanings:
             estimate = index.estimate_meanings(entry.value)
             line += f"  [{estimate.num_meanings} meaning(s)]"
         verdict = verdicts.get(entry.value)
         if verdict is not None:
             line += f"  [{verdict.kind}]"
         print(line)
+
+
+def _cmd_scan(args) -> int:
+    if args.json and (args.meanings or args.errors):
+        print("--json cannot be combined with --meanings/--errors "
+              "(the DetectResponse payload does not carry them)",
+              file=sys.stderr)
+        return 2
+    if args.serve_pool is not None and (args.meanings or args.errors):
+        print("--serve-pool cannot be combined with --meanings/--errors "
+              "(annotations apply to a single-measure listing)",
+              file=sys.stderr)
+        return 2
+    serve_measures = None
+    if args.serve_pool is not None:
+        serve_measures = [m.strip() for m in args.serve_pool.split(",")
+                          if m.strip()]
+        unknown = sorted(set(serve_measures) - set(available_measures()))
+        if not serve_measures or unknown:
+            print(f"--serve-pool expects a comma-separated subset of "
+                  f"{', '.join(available_measures())}", file=sys.stderr)
+            return 2
+    lake = load_lake(args.directory)
+    if len(lake) == 0:
+        print("no CSV tables found", file=sys.stderr)
+        return 1
+    try:
+        execution = _scan_execution(args)
+    except ValueError as error:
+        print(f"invalid execution options: {error}", file=sys.stderr)
+        return 2
+    # The `with` block releases the persistent pool (when --keep-pool /
+    # --serve-pool forked one) even if a measure fails mid-scan.
+    with HomographIndex(
+        lake, prune_candidates=not args.no_prune, execution=execution
+    ) as index:
+        graph = index.graph
+
+        sample = args.sample
+        if sample is None and args.measure == "betweenness":
+            if graph.num_nodes > 20_000:
+                sample = max(1000, graph.num_nodes // 100)
+
+        if serve_measures is not None:
+            return _scan_serve(index, serve_measures, sample, args)
+
+        response = index.detect(
+            measure=args.measure, sample_size=sample, seed=args.seed
+        )
+
+        if args.json:
+            print(response.to_json(indent=2, top=args.top))
+            return 0
+
+        print(f"lake: {len(lake)} tables, {lake.num_attributes} attributes")
+        print(f"graph: {graph.num_values} candidate values, "
+              f"{graph.num_attributes} attributes, {graph.num_edges} edges")
+        print(f"measure: {args.measure} "
+              f"({'exact' if sample is None else f'{sample} samples'}) "
+              f"in {response.measure_seconds:.1f}s\n")
+        _print_listing(index, response, args, annotate=True)
+    return 0
+
+
+def _scan_serve(index, measures: List[str], sample, args) -> int:
+    """Batch-score several measures on the index's shared pool."""
+    from .api import DetectRequest
+
+    requests = [
+        DetectRequest(
+            measure=measure,
+            sample_size=sample if measure == "betweenness" else None,
+            seed=args.seed,
+        )
+        for measure in measures
+    ]
+    responses = index.detect_many(requests)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(
+            [r.to_dict(top=args.top) for r in responses],
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    for measure, response in zip(measures, responses):
+        print(f"== {measure} "
+              f"({response.measure_seconds:.1f}s"
+              f"{', cached' if response.cached else ''}) ==")
+        _print_listing(index, response, args, annotate=False)
+        print()
     return 0
 
 

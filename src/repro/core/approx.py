@@ -98,14 +98,16 @@ def riondato_kornaropoulos_bc(
     pairs = rng.integers(0, n, size=(r, 2))
     walk_seeds = np.random.SeedSequence(seed).spawn(r)
 
-    from ..perf.backends import resolve_backend, tree_sum
+    from ..perf.backends import backend_scope, tree_sum
 
-    backend = resolve_backend(execution)
-    spans = backend.spans(r)
-    payloads = [
-        (pairs[lo:hi], walk_seeds[lo:hi]) for lo, hi in spans
-    ]
-    partials = backend.map_chunks(graph, "rk", payloads, {"inv_r": 1.0 / r})
+    with backend_scope(execution) as backend:
+        spans = backend.spans(r)
+        payloads = [
+            (pairs[lo:hi], walk_seeds[lo:hi]) for lo, hi in spans
+        ]
+        partials = backend.map_chunks(
+            graph, "rk", payloads, {"inv_r": 1.0 / r}
+        )
     if partials:
         scores = tree_sum(partials)
 

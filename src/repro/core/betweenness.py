@@ -134,16 +134,16 @@ def betweenness_scores(
     # Fan the per-source dependency accumulations across the execution
     # backend: each chunk of sources yields one partial score vector,
     # reduced with a deterministic tree-sum.
-    from ..perf.backends import resolve_backend, tree_sum
+    from ..perf.backends import backend_scope, tree_sum
 
-    backend = resolve_backend(execution)
-    spans = backend.spans(sources.size)
-    payloads = [
-        (sources[lo:hi], source_weights[lo:hi]) for lo, hi in spans
-    ]
-    partials = backend.map_chunks(
-        graph, "brandes", payloads, {"endpoints": endpoints}
-    )
+    with backend_scope(execution) as backend:
+        spans = backend.spans(sources.size)
+        payloads = [
+            (sources[lo:hi], source_weights[lo:hi]) for lo, hi in spans
+        ]
+        partials = backend.map_chunks(
+            graph, "brandes", payloads, {"endpoints": endpoints}
+        )
     if partials:
         scores = tree_sum(partials)
 

@@ -56,13 +56,14 @@ def lcc_scores(
         raise ValueError(
             f"unknown LCC variant {variant!r}; expected one of {_VARIANTS}"
         )
-    from ..perf.backends import resolve_backend
+    from ..perf.backends import backend_scope
 
-    backend = resolve_backend(execution)
     scores = np.zeros(graph.num_values, dtype=np.float64)
-    partials = backend.map_chunks(
-        graph, "lcc", backend.spans(graph.num_values), {"variant": variant}
-    )
+    with backend_scope(execution) as backend:
+        partials = backend.map_chunks(
+            graph, "lcc", backend.spans(graph.num_values),
+            {"variant": variant},
+        )
     for lo, hi, segment in partials:
         scores[lo:hi] = segment
     return scores

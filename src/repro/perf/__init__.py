@@ -22,6 +22,12 @@ Selection threads through the public API as an
 
 Parallel results match serial to float tolerance always, and exactly
 when ``chunk_size`` is pinned (see ``tests/test_perf_backends.py``).
+
+For serving workloads, ``ExecutionConfig(persistent=True)`` (or
+``ProcessBackend(persistent=True)`` directly) keeps the worker pool
+and the shared-memory graph export alive across calls; see
+``docs/serving.md`` and :func:`use_backend` for how a long-lived owner
+shares one pool across measures.
 """
 
 from .backends import (
@@ -31,6 +37,7 @@ from .backends import (
     chunk_spans,
     resolve_backend,
     tree_sum,
+    use_backend,
 )
 from .config import BACKEND_NAMES, ExecutionConfig, available_cores
 from .kernels import GraphContext, get_kernel, register_kernel
@@ -48,4 +55,5 @@ __all__ = [
     "register_kernel",
     "resolve_backend",
     "tree_sum",
+    "use_backend",
 ]

@@ -9,11 +9,26 @@ a list of chunk payloads against one graph::
 :class:`SerialBackend` runs the chunks in a plain loop and is the
 bit-exact reference.  :class:`ProcessBackend` copies the graph's CSR
 arrays (``indptr``/``indices``) into
-:mod:`multiprocessing.shared_memory` segments *once*, forks a worker
-pool whose initializer attaches them zero-copy, and maps the chunk
-tasks across the pool.  Only the small per-chunk payloads (source ids,
-sample seeds, value ranges) cross the pipe; score vectors come back
-once per chunk and are reduced caller-side with :func:`tree_sum`.
+:mod:`multiprocessing.shared_memory` segments, forks a worker pool that
+attaches them zero-copy, and maps the chunk tasks across the pool.
+Only the small per-chunk payloads (source ids, sample seeds, value
+ranges) cross the pipe; score vectors come back once per chunk and are
+reduced caller-side with :func:`tree_sum`.
+
+Two pool lifecycles are supported:
+
+* **per-call** (default): each ``map_chunks`` exports the graph,
+  forks a pool, runs, and tears everything down — simple and safe for
+  one-shot batch scoring, but it pays ~0.1 s of setup per call;
+* **persistent** (``ProcessBackend(persistent=True)``): the pool and
+  the graph export survive across calls, so repeated queries against
+  one graph pay the setup cost once.  The export is keyed to the graph
+  *object*; scoring a different graph swaps the export in place (the
+  pool itself survives), and :meth:`ProcessBackend.invalidate_export`
+  releases it eagerly when the owner knows the graph mutated.  A
+  persistent backend must be released with :meth:`ProcessBackend.close`
+  (or used as a context manager) so its shared-memory segments are
+  unlinked deterministically.
 
 Determinism: chunk spans depend only on the work-list length, the job
 count, and the configured ``chunk_size`` — never on scheduling — so a
@@ -24,8 +39,12 @@ given configuration always produces the same chunking, and pinning
 from __future__ import annotations
 
 import abc
+import contextlib
+import contextvars
 import multiprocessing
-from typing import List, Mapping, Optional, Sequence, Tuple
+import threading
+import weakref
+from typing import Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -81,7 +100,13 @@ def tree_sum(arrays: Sequence[np.ndarray]) -> np.ndarray:
 
 
 class ExecutionBackend(abc.ABC):
-    """Maps kernels over chunk payloads; see the module docstring."""
+    """Maps kernels over chunk payloads; see the module docstring.
+
+    Backends are context managers: ``with resolve_backend(cfg) as b:``
+    guarantees :meth:`close` runs, which matters for persistent
+    process backends holding a pool and shared-memory segments (it is
+    a no-op for serial and per-call process backends).
+    """
 
     #: Effective worker count (1 for serial).
     jobs: int = 1
@@ -102,6 +127,20 @@ class ExecutionBackend(abc.ABC):
     ) -> List:
         """Run ``kernel`` over every payload, in payload order."""
 
+    def close(self) -> None:
+        """Release any long-lived resources (pool, shared memory)."""
+
+    def invalidate_export(self) -> None:
+        """Drop any cached graph export (call when the graph mutates)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        """Enter a ``with`` block; the backend itself is the target."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Close the backend on ``with``-block exit."""
+        self.close()
+
 
 class SerialBackend(ExecutionBackend):
     """In-process execution — the bit-exact reference backend."""
@@ -113,6 +152,7 @@ class SerialBackend(ExecutionBackend):
         self.chunk_size = chunk_size
 
     def map_chunks(self, graph, kernel, payloads, common):
+        """Run the kernel over each payload in a plain loop."""
         fn = get_kernel(kernel)
         ctx = GraphContext.from_graph(graph)
         return [fn(ctx, payload, common) for payload in payloads]
@@ -130,16 +170,24 @@ class SerialBackend(ExecutionBackend):
 _WORKER_CTX: Optional[GraphContext] = None
 _WORKER_SHM: List = []
 
+# Persistent-pool workers attach lazily per task instead: the current
+# attachment, keyed by segment names so a graph swap in the parent is
+# detected on the next task and stale segments are dropped.
+_WORKER_PERSISTENT = {"names": None, "ctx": None, "shm": []}
 
-def _attach_shared_array(spec) -> np.ndarray:
+
+def _open_shared_array(spec):
+    """Attach one exported array; returns ``(array, shm)``.
+
+    Attaching registers the segment with the resource tracker as if
+    this worker owned it; it does not — the parent unlinks once it is
+    done — and the duplicate registration makes the tracker spew
+    KeyError noise at exit (bpo-39959).  Suppress registration for the
+    attach only.
+    """
     from multiprocessing import shared_memory
 
     name, shape, dtype = spec
-    # Attaching registers the segment with the resource tracker as if
-    # this worker owned it; it does not — the parent unlinks once the
-    # pool drains — and the duplicate registration makes the tracker
-    # spew KeyError noise at exit (bpo-39959).  Suppress registration
-    # for the attach only.
     try:
         from multiprocessing import resource_tracker
 
@@ -152,13 +200,20 @@ def _attach_shared_array(spec) -> np.ndarray:
     finally:
         if resource_tracker is not None:
             resource_tracker.register = original_register
-    _WORKER_SHM.append(shm)
     array = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
     array.flags.writeable = False
+    return array, shm
+
+
+def _attach_shared_array(spec) -> np.ndarray:
+    """Attach an array for the worker's whole lifetime (per-call pools)."""
+    array, shm = _open_shared_array(spec)
+    _WORKER_SHM.append(shm)
     return array
 
 
 def _worker_init(indptr_spec, indices_spec, num_nodes, num_values) -> None:
+    """Per-call pool initializer: attach the CSR export once per worker."""
     global _WORKER_CTX
     _WORKER_CTX = GraphContext(
         indptr=_attach_shared_array(indptr_spec),
@@ -169,8 +224,45 @@ def _worker_init(indptr_spec, indices_spec, num_nodes, num_values) -> None:
 
 
 def _worker_task(task):
+    """Per-call pool task: run one kernel chunk against the fixed export."""
     kernel, payload, common = task
     return get_kernel(kernel)(_WORKER_CTX, payload, common)
+
+
+def _persistent_worker_task(task):
+    """Persistent pool task: (re)attach the export named by the task.
+
+    Each task carries the export specs; a worker compares segment
+    names against its current attachment and swaps — closing the stale
+    segments — when the parent exported a new graph.  This is what
+    lets one long-lived pool serve many graphs in sequence without a
+    restart.
+    """
+    kernel, payload, common, specs = task
+    indptr_spec, indices_spec, num_nodes, num_values = specs
+    names = (indptr_spec[0], indices_spec[0])
+    if _WORKER_PERSISTENT["names"] != names:
+        # Drop the array views before closing: shm.close() raises
+        # BufferError while the stale GraphContext still holds
+        # exported views of the buffer.
+        stale = _WORKER_PERSISTENT["shm"]
+        _WORKER_PERSISTENT["ctx"] = None
+        _WORKER_PERSISTENT["shm"] = []
+        _WORKER_PERSISTENT["names"] = None
+        for shm in stale:
+            with contextlib.suppress(Exception):
+                shm.close()
+        indptr, indptr_shm = _open_shared_array(indptr_spec)
+        indices, indices_shm = _open_shared_array(indices_spec)
+        _WORKER_PERSISTENT["shm"] = [indptr_shm, indices_shm]
+        _WORKER_PERSISTENT["ctx"] = GraphContext(
+            indptr=indptr,
+            indices=indices,
+            num_nodes=num_nodes,
+            num_values=num_values,
+        )
+        _WORKER_PERSISTENT["names"] = names
+    return get_kernel(kernel)(_WORKER_PERSISTENT["ctx"], payload, common)
 
 
 def _export_shared_array(array: np.ndarray):
@@ -189,14 +281,37 @@ def _export_shared_array(array: np.ndarray):
     return shm, (shm.name, array.shape, array.dtype.str)
 
 
+def _release_segments(segments) -> None:
+    """Close and unlink exported segments (idempotent, best-effort)."""
+    for shm in segments:
+        with contextlib.suppress(Exception):
+            shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        except Exception:  # pragma: no cover - platform quirks
+            pass
+
+
 class ProcessBackend(ExecutionBackend):
     """Multi-core execution over a shared-memory worker pool.
 
-    The CSR arrays are shipped to workers once per :meth:`map_chunks`
-    call via :mod:`multiprocessing.shared_memory`; per-chunk traffic is
-    limited to the payloads and the returned partials.  Prefers the
-    ``fork`` start method (cheap on Linux) and falls back to the
-    platform default elsewhere.
+    The CSR arrays are shipped to workers via
+    :mod:`multiprocessing.shared_memory`; per-chunk traffic is limited
+    to the payloads and the returned partials.  Prefers the ``fork``
+    start method (cheap on Linux) and falls back to the platform
+    default elsewhere.
+
+    With ``persistent=False`` (default) the pool and the export live
+    for one ``map_chunks`` call.  With ``persistent=True`` both
+    survive across calls: the first call forks the pool and exports
+    the graph; later calls against the *same* graph object reuse both,
+    and a call against a different graph re-exports in place while the
+    pool keeps running.  Persistent backends are thread-safe — the
+    export swap is locked, and concurrent ``map_chunks`` calls against
+    the current graph share the pool — and must be released with
+    :meth:`close` (or a ``with`` block).
     """
 
     name = "process"
@@ -205,22 +320,188 @@ class ProcessBackend(ExecutionBackend):
         self,
         n_jobs: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        persistent: bool = False,
     ) -> None:
         self.jobs = max(1, n_jobs if n_jobs is not None else available_cores())
         self.chunk_size = chunk_size
+        self.persistent = persistent
+        self._lock = threading.RLock()
+        self._pool = None
+        self._segments: List = []
+        self._specs = None
+        self._graph_ref: Optional[weakref.ref] = None
+        self._closed = False
+        # Concurrency bookkeeping for the persistent path: exports
+        # replaced while `_inflight` maps are running are parked in
+        # `_retired` and unlinked only once the last map drains, so an
+        # in-flight call never loses its segments mid-computation;
+        # `close()` waits on `_idle` for the same drain before it
+        # terminates the pool.
+        self._inflight = 0
+        self._retired: List = []
+        self._idle = threading.Condition(self._lock)
 
     @staticmethod
     def _context():
+        """The multiprocessing context (``fork`` where available)."""
         methods = multiprocessing.get_all_start_methods()
         if "fork" in methods:
             return multiprocessing.get_context("fork")
         return multiprocessing.get_context()
 
+    # ------------------------------------------------------------------
+    # Persistent lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pool_alive(self) -> bool:
+        """Whether a persistent worker pool is currently running."""
+        return self._pool is not None
+
+    @property
+    def export_names(self) -> Tuple[str, ...]:
+        """Names of the live shared-memory segments (diagnostics)."""
+        with self._lock:
+            return tuple(shm.name for shm in self._segments)
+
+    def _ensure_pool(self):
+        """Fork the persistent pool on first use."""
+        if self._pool is None:
+            self._pool = self._context().Pool(processes=self.jobs)
+        return self._pool
+
+    def ensure_started(self) -> None:
+        """Fork the persistent pool now, on the calling thread.
+
+        Serving owners call this before handing work to background
+        threads: forking from a thread pool risks inheriting a
+        sibling thread's locks in the child (and warns on 3.12+), so
+        the fork is best taken on the caller's own thread while the
+        process is still single-threaded.  No-op for per-call mode
+        (those pools are forked inside each ``map_chunks`` by design)
+        and for an already-started or closed backend.
+        """
+        if not self.persistent:
+            return
+        with self._lock:
+            if not self._closed:
+                self._ensure_pool()
+
+    def _ensure_export(self, graph):
+        """Reuse or (re)build the shared-memory export for ``graph``.
+
+        The export is keyed to the graph object via a weak reference:
+        a new/mutated graph (a different object — `BipartiteGraph`
+        instances are immutable) replaces the export in place.
+        """
+        current = self._graph_ref() if self._graph_ref is not None else None
+        if current is graph and self._specs is not None:
+            return self._specs
+        self._drop_export_locked()
+        indptr_shm, indptr_spec = _export_shared_array(graph.indptr)
+        self._segments.append(indptr_shm)
+        indices_shm, indices_spec = _export_shared_array(graph.indices)
+        self._segments.append(indices_shm)
+        self._specs = (
+            indptr_spec, indices_spec, graph.num_nodes, graph.num_values
+        )
+        self._graph_ref = weakref.ref(graph)
+        return self._specs
+
+    def _drop_export_locked(self) -> None:
+        """Retire or release the current export (caller holds the lock).
+
+        With maps in flight the segments are parked instead of
+        unlinked — a worker that has not attached yet would otherwise
+        hit ``FileNotFoundError`` mid-call; the last draining map
+        unlinks the parked segments.
+        """
+        if self._inflight > 0:
+            self._retired.extend(self._segments)
+        else:
+            _release_segments(self._segments)
+        self._segments = []
+        self._specs = None
+        self._graph_ref = None
+
+    def invalidate_export(self) -> None:
+        """Release the cached export now (the pool keeps running).
+
+        Called by owners that know the graph changed — e.g.
+        ``HomographIndex`` table mutations — so segment memory is
+        freed before the next query re-exports.  In-flight calls keep
+        their segments until they finish.
+        """
+        with self._lock:
+            self._drop_export_locked()
+
+    def close(self) -> None:
+        """Shut the pool down and unlink every exported segment.
+
+        Marks the backend closed first (new ``map_chunks`` calls fail
+        fast with ``RuntimeError``), then waits for in-flight calls to
+        drain before terminating the pool, so a concurrent ``detect``
+        finishes cleanly rather than dying mid-``pool.map``.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            while self._inflight > 0:
+                self._idle.wait()
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+            _release_segments(self._segments)
+            _release_segments(self._retired)
+            self._segments = []
+            self._retired = []
+            self._specs = None
+            self._graph_ref = None
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        with contextlib.suppress(Exception):
+            self.close()
+
+    # ------------------------------------------------------------------
+    # Mapping
+    # ------------------------------------------------------------------
     def map_chunks(self, graph, kernel, payloads, common):
+        """Fan the payloads across worker processes; see the class doc."""
         payloads = list(payloads)
         if not payloads:
             return []
         get_kernel(kernel)  # fail fast in the parent on unknown names
+        if self.persistent:
+            return self._map_persistent(graph, kernel, payloads, common)
+        return self._map_per_call(graph, kernel, payloads, common)
+
+    def _map_persistent(self, graph, kernel, payloads, common):
+        """Serve one call from the long-lived pool + cached export."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(
+                    "ProcessBackend is closed; create a new backend"
+                )
+            specs = self._ensure_export(graph)
+            pool = self._ensure_pool()
+            self._inflight += 1
+        try:
+            tasks = [
+                (kernel, payload, common, specs) for payload in payloads
+            ]
+            return pool.map(_persistent_worker_task, tasks, chunksize=1)
+        finally:
+            with self._lock:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    if self._retired:
+                        _release_segments(self._retired)
+                        self._retired = []
+                    self._idle.notify_all()
+
+    def _map_per_call(self, graph, kernel, payloads, common):
+        """Historical one-shot path: pool and export live for this call."""
         workers = min(self.jobs, len(payloads))
         segments = []
         try:
@@ -242,32 +523,101 @@ class ProcessBackend(ExecutionBackend):
                 tasks = [(kernel, payload, common) for payload in payloads]
                 return pool.map(_worker_task, tasks, chunksize=1)
         finally:
-            for shm in segments:
-                shm.close()
-                try:
-                    shm.unlink()
-                except FileNotFoundError:  # pragma: no cover
-                    pass
+            _release_segments(segments)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ProcessBackend(n_jobs={self.jobs}, "
-            f"chunk_size={self.chunk_size})"
+            f"chunk_size={self.chunk_size}, "
+            f"persistent={self.persistent})"
         )
 
 
-def resolve_backend(
-    execution: Optional[ExecutionConfig],
-) -> ExecutionBackend:
-    """Turn an (optional) :class:`ExecutionConfig` into a backend.
+# ---------------------------------------------------------------------
+# Backend resolution and the serving override
+# ---------------------------------------------------------------------
+#: Per-thread override installed by :func:`use_backend`; lets an owner
+#: of a long-lived backend (e.g. ``HomographIndex``) route the core
+#: measures' ``resolve_backend`` calls onto its shared pool without
+#: widening every measure signature.
+_ACTIVE_BACKEND: contextvars.ContextVar[Optional[ExecutionBackend]] = (
+    contextvars.ContextVar("repro_perf_active_backend", default=None)
+)
 
-    ``None`` — the default everywhere — is the serial reference path.
+
+@contextlib.contextmanager
+def use_backend(backend: ExecutionBackend) -> Iterator[ExecutionBackend]:
+    """Route ``resolve_backend`` onto ``backend`` inside the block.
+
+    Scoped to the current thread (a :mod:`contextvars` variable), so
+    concurrent requests on other threads are unaffected.  This is how
+    a serving owner keeps one persistent pool shared across the core
+    measures without changing their signatures::
+
+        backend = ProcessBackend(n_jobs=4, persistent=True)
+        with use_backend(backend):
+            betweenness_scores(graph)        # runs on the shared pool
     """
+    token = _ACTIVE_BACKEND.set(backend)
+    try:
+        yield backend
+    finally:
+        _ACTIVE_BACKEND.reset(token)
+
+
+def resolve_backend(execution) -> ExecutionBackend:
+    """Turn an execution spec into a backend.
+
+    Accepts ``None`` (the serial reference path — unless a
+    :func:`use_backend` override is active, which then wins), an
+    :class:`ExecutionConfig`, or an already-constructed
+    :class:`ExecutionBackend` (returned as-is, so long-lived backends
+    can be threaded through APIs that accept configs).
+
+    A backend constructed *here* from a bare config has no owner to
+    close it later; call sites that only need it for one computation
+    should prefer :func:`backend_scope`, which closes constructed
+    backends on exit (releasing a persistent pool nobody could ever
+    reuse) while leaving caller-owned instances and overrides alone.
+    """
+    if isinstance(execution, ExecutionBackend):
+        return execution
+    active = _ACTIVE_BACKEND.get()
+    if active is not None:
+        return active
     if execution is None:
         return SerialBackend()
     if execution.resolved_backend == "process":
         return ProcessBackend(
             n_jobs=execution.effective_jobs,
             chunk_size=execution.chunk_size,
+            persistent=execution.persistent,
         )
     return SerialBackend(chunk_size=execution.chunk_size)
+
+
+@contextlib.contextmanager
+def backend_scope(execution) -> Iterator[ExecutionBackend]:
+    """Resolve a backend for one computation, closing it if owned.
+
+    *Owned* means :func:`resolve_backend` constructed it here from a
+    config (or ``None``) — as opposed to an :class:`ExecutionBackend`
+    instance passed by the caller or a :func:`use_backend` override,
+    both of which stay the caller's responsibility.  Closing owned
+    backends keeps a stray ``ExecutionConfig(persistent=True)`` on a
+    one-shot call (e.g. carried inside a deserialized
+    ``DetectRequest``) from leaking a worker pool and its
+    shared-memory segments: with no one holding the instance, the
+    pool could never be reused anyway.  The core measures run their
+    ``map_chunks`` calls inside this scope.
+    """
+    owned = (
+        not isinstance(execution, ExecutionBackend)
+        and _ACTIVE_BACKEND.get() is None
+    )
+    backend = resolve_backend(execution)
+    try:
+        yield backend
+    finally:
+        if owned:
+            backend.close()

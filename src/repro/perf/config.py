@@ -52,11 +52,21 @@ class ExecutionConfig:
         Work items (Brandes sources, RK samples, LCC values) per task.
         ``None`` derives a size from the job count; pin it explicitly
         when bit-identical results across backends are required.
+    persistent:
+        ``False`` (default) keeps the historical per-call behavior: a
+        process backend forks its worker pool inside each
+        ``map_chunks`` call and tears it down afterwards.  ``True``
+        asks for a *serving* backend whose pool and shared-memory
+        graph export stay alive across calls; the owner must then
+        release it explicitly (``backend.close()``, or
+        ``HomographIndex.close()`` when the config is attached to an
+        index).  Serial execution ignores the flag.
     """
 
     backend: str = "auto"
     n_jobs: Optional[int] = None
     chunk_size: Optional[int] = None
+    persistent: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_NAMES:
@@ -86,22 +96,31 @@ class ExecutionConfig:
         return self.backend
 
     def with_overrides(self, **overrides) -> "ExecutionConfig":
+        """A copy with some fields replaced."""
         return replace(self, **overrides)
 
     # ------------------------------------------------------------------
     # Serialization (rides inside DetectRequest.to_dict / from_dict)
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
+        """JSON-safe representation; inverse of :meth:`from_dict`."""
         return {
             "backend": self.backend,
             "n_jobs": self.n_jobs,
             "chunk_size": self.chunk_size,
+            "persistent": self.persistent,
         }
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "ExecutionConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Older payloads without ``persistent`` default to the per-call
+        behavior.
+        """
         return cls(
             backend=str(payload.get("backend", "auto")),
             n_jobs=payload.get("n_jobs"),
             chunk_size=payload.get("chunk_size"),
+            persistent=bool(payload.get("persistent", False)),
         )

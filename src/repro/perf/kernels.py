@@ -47,6 +47,7 @@ class GraphContext:
 
     @classmethod
     def from_graph(cls, graph) -> "GraphContext":
+        """Wrap a graph's own CSR arrays (no copy) for in-process use."""
         return cls(
             indptr=graph.indptr,
             indices=graph.indices,
@@ -61,6 +62,12 @@ _KERNELS: Dict[str, Kernel] = {}
 
 
 def register_kernel(name: str) -> Callable[[Kernel], Kernel]:
+    """Decorator registering a kernel under ``name``.
+
+    Registered kernels can be shipped to worker processes by name —
+    including native replacements for the built-ins (see ROADMAP):
+    re-registering a name overrides it for every backend.
+    """
     def _register(fn: Kernel) -> Kernel:
         _KERNELS[name] = fn
         return fn
@@ -69,6 +76,7 @@ def register_kernel(name: str) -> Callable[[Kernel], Kernel]:
 
 
 def get_kernel(name: str) -> Kernel:
+    """Look up a kernel by name, raising ``ValueError`` if unknown."""
     try:
         return _KERNELS[name]
     except KeyError:

@@ -1,0 +1,19 @@
+"""Serving-layer primitives: make detection behave like a service.
+
+``repro.api`` gives applications a stateful index; this package holds
+the concurrency machinery that turns that index into something that
+can sit behind a request stream:
+
+* :class:`SingleFlight` — coalesce concurrent duplicate computations
+  (N identical in-flight requests → one kernel run);
+* the persistent worker pool itself lives in :mod:`repro.perf`
+  (``ProcessBackend(persistent=True)``), since it is an execution
+  concern; ``HomographIndex`` composes the two.
+
+See ``docs/serving.md`` for the end-to-end serving guide (pool
+lifecycle, invalidation rules, batch submission).
+"""
+
+from .singleflight import SingleFlight
+
+__all__ = ["SingleFlight"]

@@ -1,0 +1,92 @@
+"""Thread-safe single-flight execution: coalesce duplicate work.
+
+A *single-flight group* guarantees that, among concurrent calls with
+the same key, exactly one caller (the *leader*) executes the supplied
+function while the rest (the *followers*) block and receive the
+leader's result — or its exception — without recomputing.  This is the
+serving-layer primitive behind ``HomographIndex.detect``: N analysts
+asking for the same ``(measure, config)`` at once trigger one kernel
+computation, not N.
+
+The design follows Go's ``golang.org/x/sync/singleflight``: calls are
+deduplicated only while one is in flight.  Once the leader finishes,
+the key is forgotten — memoization across completed calls is the
+caller's job (``HomographIndex`` layers its score cache on top).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Hashable, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class _Flight:
+    """One in-flight computation: a latch plus its outcome."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Deduplicate concurrent calls per key; see the module docstring.
+
+    Example::
+
+        group = SingleFlight()
+        value, leader = group.do("expensive", compute)
+
+    ``leader`` is ``True`` for the caller that actually ran
+    ``compute`` and ``False`` for every coalesced caller.  Exceptions
+    raised by the leader propagate to all waiters.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[Hashable, _Flight] = {}
+
+    def do(
+        self, key: Hashable, fn: Callable[[], T]
+    ) -> Tuple[T, bool]:
+        """Run ``fn`` once per key among concurrent callers.
+
+        Returns ``(result, leader)``.  The leader executes ``fn``;
+        followers arriving while it runs block until it finishes and
+        share its result.  The key is released when the leader
+        completes, so a *later* call with the same key runs afresh.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leader = True
+            else:
+                leader = False
+
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.result, False
+
+        try:
+            flight.result = fn()
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.done.set()
+        return flight.result, True
+
+    def in_flight(self) -> int:
+        """Number of keys currently being computed (diagnostics)."""
+        with self._lock:
+            return len(self._flights)

@@ -87,6 +87,61 @@ class TestScanJson:
         assert len(pruned_free["ranking"]) > len(pruned["ranking"])
 
 
+class TestServePool:
+    def test_keep_pool_scan_matches_plain_scan(self, csv_lake, capsys):
+        import json
+
+        assert main(["scan", str(csv_lake), "--json", "--top", "5"]) == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert main(["scan", str(csv_lake), "--json", "--top", "5",
+                     "--jobs", "2", "--keep-pool"]) == 0
+        pooled = json.loads(capsys.readouterr().out)
+        assert pooled["request"]["execution"]["persistent"] is True
+        assert [e["value"] for e in pooled["ranking"]] == \
+            [e["value"] for e in plain["ranking"]]
+
+    def test_keep_pool_with_one_job_still_keeps_a_pool(
+        self, csv_lake, capsys
+    ):
+        import json
+
+        # `auto` would collapse --jobs 1 to serial and silently drop
+        # the flag; --keep-pool must force the process backend.
+        assert main(["scan", str(csv_lake), "--json", "--top", "1",
+                     "--jobs", "1", "--keep-pool"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        execution = payload["request"]["execution"]
+        assert execution["backend"] == "process"
+        assert execution["persistent"] is True
+        assert execution["n_jobs"] == 1
+
+    def test_serve_pool_lists_each_measure(self, csv_lake, capsys):
+        assert main(["scan", str(csv_lake), "--top", "3",
+                     "--serve-pool", "betweenness,lcc"]) == 0
+        out = capsys.readouterr().out
+        assert "== betweenness" in out
+        assert "== lcc" in out
+
+    def test_serve_pool_json_is_response_array(self, csv_lake, capsys):
+        import json
+
+        assert main(["scan", str(csv_lake), "--json", "--top", "2",
+                     "--serve-pool", "lcc"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 1
+        assert payload[0]["measure"] == "lcc"
+
+    def test_serve_pool_rejects_unknown_measure(self, csv_lake, capsys):
+        assert main(["scan", str(csv_lake),
+                     "--serve-pool", "nope"]) == 2
+        assert "--serve-pool" in capsys.readouterr().err
+
+    def test_serve_pool_rejects_annotations(self, csv_lake, capsys):
+        assert main(["scan", str(csv_lake), "--serve-pool", "lcc",
+                     "--meanings"]) == 2
+        assert "--serve-pool" in capsys.readouterr().err
+
+
 class TestStats:
     def test_stats_table(self, csv_lake, capsys):
         assert main(["stats", str(csv_lake)]) == 0

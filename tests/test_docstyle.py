@@ -1,0 +1,51 @@
+"""Docstring conventions stay enforced on the documented packages.
+
+``tools/check_docstyle.py`` is the stdlib stand-in for the
+``pydocstyle`` / ``ruff D`` rules (the container cannot install
+either); running it from the tier-1 suite means a public definition
+cannot land in ``repro.api`` / ``repro.perf`` / ``repro.serving``
+without a docstring that matches ``docs/api.md`` conventions.
+"""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docstyle", REPO_ROOT / "tools" / "check_docstyle.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_public_packages_pass_docstyle():
+    checker = _load_checker()
+    violations = checker.check_paths(checker.CHECKED_PACKAGES)
+    formatted = "\n".join(
+        f"{rel}:{line}: {code} {message}"
+        for rel, line, code, message in violations
+    )
+    assert not violations, f"docstring violations:\n{formatted}"
+
+
+def test_checker_flags_missing_and_malformed(tmp_path):
+    # The checker itself must catch what it claims to catch.
+    sample = tmp_path / "sample.py"
+    sample.write_text(
+        '"""Module."""\n'
+        "def documented():\n"
+        '    """Fine."""\n'
+        "def missing():\n"
+        "    pass\n"
+        "class Thing:\n"
+        '    """Class."""\n'
+        "    def method(self):\n"
+        '        """no terminal punctuation"""\n'
+    )
+    checker = _load_checker()
+    codes = sorted(code for _, _, code, _ in checker.check_file(sample))
+    assert codes == ["D103", "D400"]

@@ -1,0 +1,525 @@
+"""Serving-layer concurrency: single-flight, persistent pools, lifecycle.
+
+The ISSUE-3 contract: concurrent identical ``detect()`` calls trigger
+exactly one computation; a persistent ``ProcessBackend`` keeps its
+worker pool and shared-memory export warm across calls and swaps the
+export when the graph changes; ``close()`` releases every segment; the
+batch paths (``asubmit``/``detect_many``) ride the same machinery.
+"""
+
+import os
+import threading
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro import (
+    DetectRequest,
+    ExecutionConfig,
+    HomographIndex,
+    MeasureOutput,
+    ProcessBackend,
+    SerialBackend,
+    SingleFlight,
+    Table,
+    register_measure,
+    resolve_backend,
+    unregister_measure,
+    use_backend,
+)
+
+PERSISTENT_2 = ExecutionConfig(backend="process", n_jobs=2, persistent=True)
+
+needs_dev_shm = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"),
+    reason="shared-memory segment files only observable on /dev/shm",
+)
+
+
+class TestSingleFlightPrimitive:
+    def test_sequential_calls_each_run(self):
+        group = SingleFlight()
+        calls = []
+        for i in range(3):
+            value, leader = group.do("k", lambda i=i: calls.append(i) or i)
+            assert leader
+            assert value == i
+        assert calls == [0, 1, 2]
+
+    def test_concurrent_same_key_runs_once(self):
+        group = SingleFlight()
+        started = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def work():
+            calls.append(1)
+            started.set()
+            release.wait(5)
+            return "result"
+
+        outcomes = []
+
+        def call():
+            outcomes.append(group.do("key", work))
+
+        threads = [threading.Thread(target=call) for _ in range(8)]
+        for t in threads:
+            t.start()
+        assert started.wait(5)
+        # Give followers time to reach the flight table, then release.
+        time.sleep(0.05)
+        release.set()
+        for t in threads:
+            t.join()
+        assert calls == [1]
+        assert sorted(leader for _, leader in outcomes) == [False] * 7 + [True]
+        assert {value for value, _ in outcomes} == {"result"}
+        assert group.in_flight() == 0
+
+    def test_leader_error_propagates_to_followers(self):
+        group = SingleFlight()
+        started = threading.Event()
+        release = threading.Event()
+
+        def explode():
+            started.set()
+            release.wait(5)
+            raise ValueError("boom")
+
+        errors = []
+
+        def call():
+            try:
+                group.do("key", explode)
+            except ValueError as error:
+                errors.append(str(error))
+
+        threads = [threading.Thread(target=call) for _ in range(4)]
+        for t in threads:
+            t.start()
+        assert started.wait(5)
+        time.sleep(0.05)
+        release.set()
+        for t in threads:
+            t.join()
+        assert errors == ["boom"] * 4
+        # A failed flight is forgotten: the next call runs afresh.
+        value, leader = group.do("key", lambda: 42)
+        assert (value, leader) == (42, True)
+
+    def test_distinct_keys_do_not_coalesce(self):
+        group = SingleFlight()
+        assert group.do("a", lambda: 1) == (1, True)
+        assert group.do("b", lambda: 2) == (2, True)
+
+
+@pytest.fixture
+def slow_measure():
+    """A registered measure that blocks until released, counting runs."""
+    state = {
+        "calls": 0,
+        "started": threading.Event(),
+        "release": threading.Event(),
+    }
+
+    def measure(graph, request):
+        state["calls"] += 1
+        state["started"].set()
+        state["release"].wait(5)
+        return MeasureOutput(
+            scores={graph.value_name(v): float(v)
+                    for v in range(graph.num_values)},
+            descending=True,
+        )
+
+    register_measure("slow-serving-test", measure)
+    yield state
+    unregister_measure("slow-serving-test")
+
+
+class TestDetectSingleFlight:
+    def test_concurrent_identical_requests_compute_once(
+        self, figure1_lake, slow_measure
+    ):
+        index = HomographIndex(figure1_lake)
+        index.graph  # pre-build so threads contend only on scoring
+        responses = []
+
+        def call():
+            responses.append(index.detect(measure="slow-serving-test"))
+
+        threads = [threading.Thread(target=call) for _ in range(6)]
+        for t in threads:
+            t.start()
+        assert slow_measure["started"].wait(5)
+        time.sleep(0.05)
+        slow_measure["release"].set()
+        for t in threads:
+            t.join()
+
+        assert slow_measure["calls"] == 1
+        assert len(responses) == 6
+        reference = responses[0].scores
+        assert all(r.scores == reference for r in responses)
+        info = index.cache_info()
+        assert info.misses == 1
+        # Everyone who did not compute either coalesced into the
+        # flight or (if it finished first) hit the fresh cache entry.
+        assert info.coalesced + info.hits == 5
+        # Exactly one caller saw cached=False.
+        assert sum(not r.cached for r in responses) == 1
+
+    def test_execution_variants_coalesce_together(
+        self, figure1_lake, slow_measure
+    ):
+        # Execution is excluded from the cache key, so identical
+        # requests differing only in execution share one flight.
+        index = HomographIndex(figure1_lake)
+        index.graph
+        responses = []
+        configs = [None, ExecutionConfig(backend="serial", chunk_size=3)]
+
+        def call(cfg):
+            responses.append(
+                index.detect(measure="slow-serving-test", execution=cfg)
+            )
+
+        threads = [threading.Thread(target=call, args=(configs[i % 2],))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        assert slow_measure["started"].wait(5)
+        time.sleep(0.05)
+        slow_measure["release"].set()
+        for t in threads:
+            t.join()
+        assert slow_measure["calls"] == 1
+        assert len({frozenset(r.scores.items()) for r in responses}) == 1
+
+    def test_mutation_during_flight_is_not_cached(
+        self, figure1_lake, slow_measure
+    ):
+        index = HomographIndex(figure1_lake)
+        index.graph
+        done = []
+
+        def call():
+            done.append(index.detect(measure="slow-serving-test"))
+
+        thread = threading.Thread(target=call)
+        thread.start()
+        assert slow_measure["started"].wait(5)
+        index.add_table(Table.from_columns("T9", {"X": ["Jaguar", "Lion"]}))
+        slow_measure["release"].set()
+        thread.join()
+        # The in-flight result was served but not stored: the next
+        # detect recomputes against the new lake.
+        assert index.cache_info().size == 0
+        index.detect(measure="slow-serving-test")
+        assert slow_measure["calls"] == 2
+
+
+class TestPersistentPool:
+    def test_pool_and_export_reused_across_calls(self, figure1_lake):
+        with HomographIndex(
+            figure1_lake, prune_candidates=False, execution=PERSISTENT_2
+        ) as index:
+            index.detect(measure="betweenness")
+            backend = index._backend
+            assert isinstance(backend, ProcessBackend)
+            assert backend.persistent and backend.pool_alive
+            pool = backend._pool
+            names = backend.export_names
+            assert len(names) == 2
+            index.detect(measure="lcc")
+            index.detect(measure="betweenness", endpoints="values")
+            assert backend._pool is pool
+            assert backend.export_names == names
+
+    def test_persistent_matches_serial_scores(self, figure1_lake):
+        serial = HomographIndex(figure1_lake, prune_candidates=False)
+        expected = serial.detect(measure="betweenness").scores
+        with HomographIndex(
+            figure1_lake, prune_candidates=False, execution=PERSISTENT_2
+        ) as index:
+            first = index.detect(measure="betweenness").scores
+            index.clear_cache()
+            warm = index.detect(measure="betweenness").scores
+        for value, score in expected.items():
+            assert first[value] == pytest.approx(score, abs=1e-12)
+            assert warm[value] == pytest.approx(score, abs=1e-12)
+
+    def test_replace_table_invalidates_export_keeps_pool(
+        self, figure1_lake
+    ):
+        with HomographIndex(
+            figure1_lake, prune_candidates=False, execution=PERSISTENT_2
+        ) as index:
+            before = index.detect(measure="betweenness")
+            backend = index._backend
+            pool = backend._pool
+            old_names = backend.export_names
+            index.replace_table(
+                Table.from_columns(
+                    "T3", {"C1": ["XE"], "C2": ["Jaguar"], "C3": ["UK"]}
+                )
+            )
+            # Export released eagerly; the pool survives the mutation.
+            assert backend.export_names == ()
+            assert backend._pool is pool
+            after = index.detect(measure="betweenness")
+            assert backend._pool is pool
+            assert backend.export_names != old_names
+            assert after.scores != before.scores
+            # Parity against a fresh serial index over the mutated lake.
+            serial = HomographIndex(index.lake, prune_candidates=False)
+            for value, score in serial.detect(
+                measure="betweenness"
+            ).scores.items():
+                assert after.scores[value] == pytest.approx(
+                    score, abs=1e-12
+                )
+
+    @needs_dev_shm
+    def test_close_releases_all_segments(self, figure1_lake):
+        index = HomographIndex(
+            figure1_lake, prune_candidates=False, execution=PERSISTENT_2
+        )
+        index.detect(measure="betweenness")
+        backend = index._backend
+        names = backend.export_names
+        assert names
+        for name in names:
+            assert os.path.exists(f"/dev/shm/{name}")
+        index.close()
+        assert backend.export_names == ()
+        assert not backend.pool_alive
+        for name in names:
+            assert not os.path.exists(f"/dev/shm/{name}")
+
+    @needs_dev_shm
+    def test_export_swap_unlinks_stale_segments(self, figure1_lake):
+        with HomographIndex(
+            figure1_lake, prune_candidates=False, execution=PERSISTENT_2
+        ) as index:
+            index.detect(measure="betweenness")
+            old_names = index._backend.export_names
+            index.add_table(
+                Table.from_columns("T9", {"X": ["Jaguar", "Lion"]})
+            )
+            index.detect(measure="betweenness")
+            for name in old_names:
+                assert not os.path.exists(f"/dev/shm/{name}")
+
+    def test_backend_context_manager_and_reuse(self, figure1_lake):
+        from repro import build_graph
+
+        graph = build_graph(figure1_lake)
+        with ProcessBackend(n_jobs=2, persistent=True) as backend:
+            spans = backend.spans(graph.num_values)
+            first = backend.map_chunks(
+                graph, "lcc", spans, {"variant": "attribute-jaccard"}
+            )
+            pool = backend._pool
+            second = backend.map_chunks(
+                graph, "lcc", spans, {"variant": "attribute-jaccard"}
+            )
+            assert backend._pool is pool
+        assert not backend.pool_alive
+        for (lo1, hi1, seg1), (lo2, hi2, seg2) in zip(first, second):
+            assert (lo1, hi1) == (lo2, hi2)
+            assert (seg1 == seg2).all()
+        with pytest.raises(RuntimeError):
+            backend.map_chunks(
+                graph, "lcc", spans, {"variant": "attribute-jaccard"}
+            )
+
+    @needs_dev_shm
+    def test_per_request_persistent_config_does_not_leak(
+        self, figure1_lake
+    ):
+        # A persistent config arriving on one request (e.g. inside a
+        # deserialized DetectRequest) has no owner to close the pool:
+        # the measure's backend_scope must release it after the call.
+        before = set(os.listdir("/dev/shm"))
+        index = HomographIndex(figure1_lake, prune_candidates=False)
+        index.detect(
+            measure="betweenness",
+            execution=ExecutionConfig(
+                backend="process", n_jobs=2, persistent=True
+            ),
+        )
+        leaked = set(os.listdir("/dev/shm")) - before
+        assert not leaked
+        index.close()
+
+    def test_invalidate_export_defers_release_while_inflight(
+        self, figure1_lake
+    ):
+        from repro import build_graph
+
+        graph = build_graph(figure1_lake)
+        with ProcessBackend(n_jobs=2, persistent=True) as backend:
+            spans = backend.spans(graph.num_values)
+            backend.map_chunks(
+                graph, "lcc", spans, {"variant": "attribute-jaccard"}
+            )
+            segments = list(backend._segments)
+            # Simulate a concurrent map: with a call in flight the
+            # export swap must park segments instead of unlinking.
+            with backend._lock:
+                backend._inflight += 1
+            backend.invalidate_export()
+            assert backend.export_names == ()
+            assert backend._retired == segments
+            for shm in segments:
+                assert os.path.exists(f"/dev/shm/{shm.name}") or \
+                    not os.path.isdir("/dev/shm")
+            with backend._lock:
+                backend._inflight -= 1
+            # The next map drains the retired list on its way out.
+            backend.map_chunks(
+                graph, "lcc", spans, {"variant": "attribute-jaccard"}
+            )
+            assert backend._retired == []
+
+    def test_close_blocks_until_inflight_drains(self):
+        # close() must not terminate the pool under a running
+        # map_chunks: it waits on the in-flight counter.
+        backend = ProcessBackend(n_jobs=2, persistent=True)
+        with backend._lock:
+            backend._inflight += 1
+        closed = threading.Event()
+
+        def close_it():
+            backend.close()
+            closed.set()
+
+        thread = threading.Thread(target=close_it)
+        thread.start()
+        time.sleep(0.1)
+        assert not closed.is_set()  # still waiting on the in-flight map
+        with backend._idle:
+            backend._inflight -= 1
+            backend._idle.notify_all()
+        thread.join(5)
+        assert closed.is_set()
+        with pytest.raises(RuntimeError):
+            backend._map_persistent(None, "lcc", [(0, 1)], {})
+
+    def test_resolve_backend_passthrough_and_override(self):
+        backend = SerialBackend(chunk_size=5)
+        assert resolve_backend(backend) is backend
+        with use_backend(backend):
+            # The override wins over configs and None alike.
+            assert resolve_backend(None) is backend
+            assert resolve_backend(ExecutionConfig(n_jobs=2)) is backend
+        assert resolve_backend(None) is not backend
+
+    def test_persistent_config_round_trip(self):
+        config = ExecutionConfig(
+            backend="process", n_jobs=2, chunk_size=3, persistent=True
+        )
+        clone = ExecutionConfig.from_dict(config.to_dict())
+        assert clone == config
+        assert isinstance(resolve_backend(config), ProcessBackend)
+        assert resolve_backend(config).persistent
+
+
+class TestLifecycle:
+    def test_close_waits_for_admitted_detect(
+        self, figure1_lake, slow_measure
+    ):
+        index = HomographIndex(figure1_lake)
+        index.graph
+        result = {}
+
+        def call():
+            result["response"] = index.detect(measure="slow-serving-test")
+
+        worker = threading.Thread(target=call)
+        worker.start()
+        assert slow_measure["started"].wait(5)
+
+        closed = threading.Event()
+
+        def close_it():
+            index.close()
+            closed.set()
+
+        closer = threading.Thread(target=close_it)
+        closer.start()
+        time.sleep(0.05)
+        # close() is draining: the admitted detect has not finished.
+        assert not closed.is_set()
+        slow_measure["release"].set()
+        worker.join(5)
+        closer.join(5)
+        assert closed.is_set()
+        assert result["response"].scores  # the admitted call succeeded
+
+    def test_context_manager_closes(self, figure1_lake):
+        with HomographIndex(figure1_lake) as index:
+            index.detect(measure="lcc")
+        assert index.closed
+        with pytest.raises(RuntimeError):
+            index.detect(measure="lcc")
+        with pytest.raises(RuntimeError):
+            index.asubmit(measure="lcc")
+
+    def test_close_is_idempotent_and_state_readable(self, figure1_lake):
+        index = HomographIndex(figure1_lake)
+        response = index.detect(measure="lcc")
+        index.close()
+        index.close()
+        assert index.cache_info().size == 1
+        assert len(index.lake) == 4
+        assert response.scores
+
+
+class TestBatchPaths:
+    def test_asubmit_returns_future(self, figure1_lake):
+        with HomographIndex(figure1_lake) as index:
+            future = index.asubmit(measure="lcc")
+            assert isinstance(future, Future)
+            response = future.result(timeout=30)
+            assert response.measure == "lcc"
+            assert not response.cached
+            # Same request again: served from the score cache.
+            assert index.asubmit(measure="lcc").result(timeout=30).cached
+
+    def test_detect_many_preserves_order_and_dedupes(self, figure1_lake):
+        requests = [
+            DetectRequest(measure="lcc"),
+            DetectRequest(measure="betweenness"),
+            DetectRequest(measure="lcc"),
+        ]
+        with HomographIndex(figure1_lake) as index:
+            responses = index.detect_many(requests)
+            assert [r.measure for r in responses] == [
+                "lcc", "betweenness", "lcc",
+            ]
+            assert responses[0].scores == responses[2].scores
+            info = index.cache_info()
+            assert info.misses == 2  # one per distinct configuration
+            assert info.hits + info.coalesced >= 1
+
+    def test_detect_many_on_persistent_pool(self, figure1_lake):
+        requests = [
+            DetectRequest(measure="betweenness"),
+            DetectRequest(measure="lcc"),
+        ]
+        with HomographIndex(
+            figure1_lake, prune_candidates=False, execution=PERSISTENT_2
+        ) as index:
+            responses = index.detect_many(requests)
+            assert index._backend.pool_alive
+        serial = HomographIndex(figure1_lake, prune_candidates=False)
+        for request, response in zip(requests, responses):
+            expected = serial.detect(request).scores
+            for value, score in expected.items():
+                assert response.scores[value] == pytest.approx(
+                    score, abs=1e-12
+                )

@@ -1,0 +1,144 @@
+"""Docs build check: execute every example, verify every link.
+
+There is no Sphinx in the container, so "building" the docs tree means
+proving it cannot rot:
+
+* every fenced ``python`` code block in ``README.md`` and
+  ``docs/*.md`` is **executed** (blocks in one file share a
+  namespace, so a quickstart can build on its earlier snippets);
+* every relative markdown link must point at a file that exists
+  (external ``http(s)``/``mailto`` links and pure anchors are
+  skipped — no network in CI).
+
+The measure registry is snapshotted around each file: examples are
+allowed to ``register_measure`` without poisoning the next file (or
+the test process, when driven from ``tests/test_docs.py``).
+
+Run directly (CI does)::
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files whose examples and links are enforced.
+DOC_FILES = ("README.md", "docs")
+
+_FENCE = re.compile(
+    r"^```(?P<info>[^\n]*)\n(?P<body>.*?)^```\s*$",
+    re.MULTILINE | re.DOTALL,
+)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def doc_files() -> List[Path]:
+    """The markdown files under check, README first."""
+    files: List[Path] = []
+    for entry in DOC_FILES:
+        path = REPO_ROOT / entry
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.md")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def python_blocks(text: str) -> List[Tuple[int, str]]:
+    """``(line, source)`` for every fenced python block in ``text``."""
+    blocks = []
+    for match in _FENCE.finditer(text):
+        info = match.group("info").strip().lower()
+        if info in ("python", "py"):
+            line = text[: match.start()].count("\n") + 1
+            blocks.append((line, match.group("body")))
+    return blocks
+
+
+def check_links(path: Path, text: str) -> List[str]:
+    """Relative links in ``text`` that point at missing files."""
+    problems = []
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            problems.append(f"{path.name}: broken link -> {target}")
+    return problems
+
+
+def run_blocks(path: Path, blocks=None) -> List[str]:
+    """Execute the file's python blocks in one shared namespace.
+
+    ``blocks`` takes pre-parsed ``python_blocks`` output so callers
+    that already read the file do not parse it twice.
+    """
+    problems = []
+    if blocks is None:
+        blocks = python_blocks(path.read_text())
+    if not blocks:
+        return problems
+    from repro.api import measures
+
+    registry_snapshot = dict(measures._REGISTRY)
+    namespace = {"__name__": f"docs_{path.stem}"}
+    try:
+        for line, source in blocks:
+            try:
+                exec(compile(source, f"{path}:{line}", "exec"), namespace)
+            except Exception:
+                problems.append(
+                    f"{path.name}:{line}: example failed\n"
+                    + traceback.format_exc(limit=3)
+                )
+    finally:
+        measures._REGISTRY.clear()
+        measures._REGISTRY.update(registry_snapshot)
+        # Examples that open persistent pools are written with `with`
+        # blocks, but close any index left in the namespace anyway.
+        for value in namespace.values():
+            if hasattr(value, "closed") and hasattr(value, "close"):
+                try:
+                    value.close()
+                except Exception:  # pragma: no cover - best effort
+                    pass
+    return problems
+
+
+def main() -> int:
+    """Check every doc file; print problems, exit non-zero on any."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    files = doc_files()
+    if not files:
+        print("no documentation files found")
+        return 1
+    problems = []
+    total_blocks = 0
+    for path in files:
+        text = path.read_text()
+        problems.extend(check_links(path, text))
+        blocks = python_blocks(text)
+        total_blocks += len(blocks)
+        problems.extend(run_blocks(path, blocks))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)")
+        return 1
+    names = ", ".join(p.name for p in files)
+    print(f"docs OK: {len(files)} file(s), {total_blocks} executed "
+          f"example block(s) ({names})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Docstring conventions checker for the public packages.
+
+A dependency-free stand-in for the ``pydocstyle`` / ``ruff D`` rules
+this repo cares about (the container pins its toolchain, so the
+checker is stdlib-``ast`` only).  Enforced over ``repro.api``,
+``repro.perf``, and ``repro.serving`` — the packages whose surface
+``docs/api.md`` documents:
+
+* **D100** — every module has a docstring;
+* **D101/D102/D103** — every public class / method / function has a
+  docstring (names starting with ``_`` and dunders are exempt; the
+  repo convention documents ``__init__`` parameters in the class
+  docstring);
+* **D400** — the docstring summary line ends with proper punctuation
+  (``.``, ``!``, ``?``, or a ``:`` introducing a block);
+* **D419** — docstrings are not empty.
+
+Run directly (CI does)::
+
+    python tools/check_docstyle.py
+
+or through the test suite (``tests/test_docstyle.py``), which keeps
+the rules enforced in the tier-1 run.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Packages whose public surface is part of docs/api.md.
+CHECKED_PACKAGES = (
+    REPO_ROOT / "src" / "repro" / "api",
+    REPO_ROOT / "src" / "repro" / "perf",
+    REPO_ROOT / "src" / "repro" / "serving",
+)
+
+#: Summary lines may end a sentence or introduce an indented block.
+_SUMMARY_TERMINATORS = (".", "!", "?", ":")
+
+Violation = Tuple[str, int, str, str]
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _check_docstring(
+    node, kind: str, name: str, path: Path, found: List[Violation]
+) -> None:
+    """Apply the presence + summary-line rules to one definition."""
+    docstring = ast.get_docstring(node, clean=True)
+    try:
+        rel = str(path.relative_to(REPO_ROOT))
+    except ValueError:  # outside the repo (self-test fixtures)
+        rel = str(path)
+    line = getattr(node, "lineno", 1)
+    if docstring is None:
+        code = {"module": "D100", "class": "D101",
+                "method": "D102", "function": "D103"}[kind]
+        found.append((rel, line, code, f"missing docstring on {kind} "
+                                       f"{name!r}"))
+        return
+    if not docstring.strip():
+        found.append((rel, line, "D419", f"empty docstring on {kind} "
+                                         f"{name!r}"))
+        return
+    summary = docstring.strip().splitlines()[0].strip()
+    if not summary.endswith(_SUMMARY_TERMINATORS):
+        found.append((
+            rel, line, "D400",
+            f"summary line of {kind} {name!r} should end with one of "
+            f"{_SUMMARY_TERMINATORS}: {summary!r}",
+        ))
+
+
+def check_file(path: Path) -> List[Violation]:
+    """All violations in one python file."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found: List[Violation] = []
+    _check_docstring(tree, "module", path.name, path, found)
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and _is_public(node.name):
+            _check_docstring(node, "class", node.name, path, found)
+            for member in node.body:
+                if isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and _is_public(member.name):
+                    _check_docstring(
+                        member, "method",
+                        f"{node.name}.{member.name}", path, found,
+                    )
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and _is_public(node.name):
+            _check_docstring(node, "function", node.name, path, found)
+    return found
+
+
+def check_paths(paths: Iterable[Path]) -> List[Violation]:
+    """All violations under the given files/directories."""
+    found: List[Violation] = []
+    for path in paths:
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            found.extend(check_file(file))
+    return found
+
+
+def main() -> int:
+    """Check the public packages; print violations, exit non-zero on any."""
+    violations = check_paths(CHECKED_PACKAGES)
+    for rel, line, code, message in violations:
+        print(f"{rel}:{line}: {code} {message}")
+    if violations:
+        print(f"{len(violations)} docstring violation(s)")
+        return 1
+    checked = ", ".join(
+        str(p.relative_to(REPO_ROOT)) for p in CHECKED_PACKAGES
+    )
+    print(f"docstyle OK: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
