@@ -56,6 +56,7 @@ from .core import (
     DomainNet,
     HomographRanking,
     RankedValue,
+    RankingPage,
     betweenness_score_map,
     betweenness_scores,
     build_graph,
@@ -96,9 +97,15 @@ from .perf import (
     resolve_backend,
     use_backend,
 )
-from .serving import SingleFlight
+from .serving import (
+    HomographClient,
+    HomographHTTPServer,
+    ServiceError,
+    SingleFlight,
+    start_server,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "BipartiteGraph",
@@ -112,6 +119,8 @@ __all__ = [
     "DuplicateMeasureError",
     "ExecutionBackend",
     "ExecutionConfig",
+    "HomographClient",
+    "HomographHTTPServer",
     "HomographIndex",
     "HomographRanking",
     "Measure",
@@ -119,7 +128,9 @@ __all__ = [
     "MeasureOutput",
     "ProcessBackend",
     "RankedValue",
+    "RankingPage",
     "SerialBackend",
+    "ServiceError",
     "SingleFlight",
     "Table",
     "UnknownMeasureError",
@@ -137,6 +148,7 @@ __all__ = [
     "read_table",
     "register_measure",
     "resolve_backend",
+    "start_server",
     "unregister_measure",
     "use_backend",
     "write_table",

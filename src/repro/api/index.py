@@ -56,7 +56,9 @@ from ..datalake.lake import DataLake
 from ..datalake.table import Table
 from ..perf.backends import ExecutionBackend, resolve_backend, use_backend
 from ..perf.config import ExecutionConfig
-from ..serving import SingleFlight
+# Submodule import (not the package) keeps repro.api importable from
+# repro.serving.http / .client, which import this package in turn.
+from ..serving.singleflight import SingleFlight
 from .measures import run_measure
 from .requests import DetectRequest, DetectResponse
 
@@ -563,6 +565,46 @@ class HomographIndex:
     # ------------------------------------------------------------------
     # Cache introspection
     # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """One JSON-safe snapshot of the index's serving state.
+
+        Collects what an operator dashboard (or ``GET /stats`` on the
+        HTTP front-end) needs in a single locked read: lake size,
+        whether the graph is built, the score-cache counters, the
+        admission state, and the execution-pool health.  The ``pool``
+        block reports ``configured=False`` for serial indexes; for a
+        persistent :class:`~repro.perf.ProcessBackend` it includes
+        whether the worker pool is alive and how many shared-memory
+        segments are exported.
+        """
+        with self._lock:
+            backend = self._backend
+            pool: Dict[str, object] = {
+                "configured": self._execution is not None,
+            }
+            if backend is not None:
+                pool["backend"] = type(backend).__name__
+                pool["jobs"] = backend.jobs
+                pool["persistent"] = getattr(backend, "persistent", False)
+                pool["alive"] = getattr(backend, "pool_alive", False)
+                pool["segments"] = len(getattr(backend, "export_names", ()))
+            return {
+                "tables": len(self._lake),
+                "graph_built": self._graph is not None,
+                "graph_seconds": self._graph_seconds,
+                "generation": self._generation,
+                "closed": self._closed,
+                "active_detections": self._active,
+                "in_flight_keys": self._singleflight.in_flight(),
+                "cache": {
+                    "hits": self._cache_hits,
+                    "misses": self._cache_misses,
+                    "size": len(self._score_cache),
+                    "coalesced": self._coalesced,
+                },
+                "pool": pool,
+            }
+
     def cache_info(self) -> CacheInfo:
         """Hit/miss/coalesce counters (cumulative) and cache size."""
         with self._lock:

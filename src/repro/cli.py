@@ -83,6 +83,36 @@ def build_parser() -> argparse.ArgumentParser:
                            "shared pool via detect_many; implies "
                            "--keep-pool and overrides --measure")
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve a CSV lake over HTTP (detect / ranking / tables)",
+    )
+    serve.add_argument("directory", help="directory containing *.csv tables")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port; 0 picks an ephemeral port and "
+                            "prints it (default 8080)")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for scoring (default: serial)")
+    serve.add_argument("--backend", choices=BACKEND_NAMES, default="auto",
+                       help="execution backend (default auto)")
+    serve.add_argument("--chunk-size", type=int, default=None,
+                       help="work items per parallel task")
+    serve.add_argument("--keep-pool", action="store_true",
+                       help="keep one persistent worker pool (and the "
+                            "shared-memory graph export) warm across "
+                            "requests; implies a process backend when "
+                            "--jobs/--backend leave it unset")
+    serve.add_argument("--no-prune", action="store_true",
+                       help="keep values that occur only once in the lake")
+    serve.add_argument("--max-concurrent", type=int, default=None,
+                       help="compute requests admitted at once before "
+                            "503s start (default 32)")
+    serve.add_argument("--retry-after", type=int, default=None,
+                       help="Retry-After seconds sent with 503 "
+                            "rejections (default 1)")
+
     stats = commands.add_parser(
         "stats", help="print catalog statistics for a CSV lake"
     )
@@ -101,21 +131,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "scan":
         return _cmd_scan(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "stats":
         return _cmd_stats(args)
     return _cmd_generate(args)
 
 
-def _scan_execution(args) -> Optional[ExecutionConfig]:
-    """Build the scan's ExecutionConfig from the CLI execution flags.
+def _execution_from_flags(args, keep_pool: bool) -> Optional[ExecutionConfig]:
+    """Build an ExecutionConfig from the shared CLI execution flags.
 
-    ``--keep-pool`` (or ``--serve-pool``, which implies it) requests a
-    persistent worker pool; with ``--backend`` unset it forces the
-    process backend so a pool actually exists to keep — including
-    under ``--jobs 1``, where ``auto`` would silently fall back to
-    serial and ignore the flag.
+    ``keep_pool`` requests a persistent worker pool; with ``--backend``
+    unset it forces the process backend so a pool actually exists to
+    keep — including under ``--jobs 1``, where ``auto`` would silently
+    fall back to serial and ignore the flag.
     """
-    keep_pool = args.keep_pool or args.serve_pool is not None
     if not (keep_pool or args.jobs is not None or args.backend != "auto"
             or args.chunk_size is not None):
         return None
@@ -127,6 +157,14 @@ def _scan_execution(args) -> Optional[ExecutionConfig]:
         n_jobs=args.jobs,
         chunk_size=args.chunk_size,
         persistent=keep_pool,
+    )
+
+
+def _scan_execution(args) -> Optional[ExecutionConfig]:
+    """The scan command's execution flags (``--serve-pool`` implies
+    ``--keep-pool``)."""
+    return _execution_from_flags(
+        args, keep_pool=args.keep_pool or args.serve_pool is not None
     )
 
 
@@ -236,6 +274,49 @@ def _scan_serve(index, measures: List[str], sample, args) -> int:
               f"{', cached' if response.cached else ''}) ==")
         _print_listing(index, response, args, annotate=False)
         print()
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Serve the lake over HTTP until interrupted, then drain."""
+    from .serving.http import HomographHTTPServer
+
+    lake = load_lake(args.directory)
+    if len(lake) == 0:
+        print("no CSV tables found", file=sys.stderr)
+        return 1
+    try:
+        execution = _execution_from_flags(args, keep_pool=args.keep_pool)
+    except ValueError as error:
+        print(f"invalid execution options: {error}", file=sys.stderr)
+        return 2
+    options = {}
+    if args.max_concurrent is not None:
+        options["max_concurrent"] = args.max_concurrent
+    if args.retry_after is not None:
+        options["retry_after"] = args.retry_after
+    index = HomographIndex(
+        lake, prune_candidates=not args.no_prune, execution=execution
+    )
+    try:
+        server = HomographHTTPServer(
+            index, (args.host, args.port), **options
+        )
+    except OSError as error:
+        index.close()
+        print(f"cannot bind {args.host}:{args.port}: {error}",
+              file=sys.stderr)
+        return 1
+    host, port = server.server_address[:2]
+    print(f"serving {len(lake)} tables on http://{host}:{port} "
+          f"(POST /detect, GET /ranking/<measure>, GET /healthz)",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("interrupt: draining in-flight requests", flush=True)
+    finally:
+        server.drain()
     return 0
 
 

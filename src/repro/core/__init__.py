@@ -22,6 +22,7 @@ from .normalize import normalize_column, normalize_value
 from .ranking import (
     HomographRanking,
     RankedValue,
+    RankingPage,
     format_ranking,
     rank_by_betweenness,
     rank_by_lcc,
@@ -36,6 +37,7 @@ __all__ = [
     "HomographRanking",
     "MeaningEstimate",
     "RankedValue",
+    "RankingPage",
     "attribute_community_map",
     "betweenness_score_map",
     "betweenness_scores",

@@ -22,6 +22,36 @@ class RankedValue:
     score: float
 
 
+@dataclass(frozen=True)
+class RankingPage:
+    """One page of a cursor-paginated ranking traversal.
+
+    ``entries`` are consecutive :class:`RankedValue` items in rank
+    order; ``next_cursor`` is the opaque token for the following page,
+    or ``None`` on the last page; ``total`` is the full ranking size,
+    so clients can show progress without walking to the end.
+    """
+
+    entries: List[RankedValue]
+    next_cursor: Optional[str]
+    total: int
+    measure: str
+    descending: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation (what ``GET /ranking`` returns)."""
+        return {
+            "measure": self.measure,
+            "descending": self.descending,
+            "total": self.total,
+            "next_cursor": self.next_cursor,
+            "entries": [
+                {"rank": e.rank, "value": e.value, "score": e.score}
+                for e in self.entries
+            ],
+        }
+
+
 class HomographRanking:
     """An ordered list of candidate values with scores.
 
@@ -126,6 +156,47 @@ class HomographRanking:
     def top_values(self, k: int) -> List[str]:
         """Just the value strings of the top ``k`` candidates."""
         return [entry.value for entry in self.top(k)]
+
+    def page(
+        self, cursor: Optional[str] = None, limit: int = 100
+    ) -> RankingPage:
+        """One page of entries for cursor-style pagination.
+
+        ``cursor=None`` starts at the top; every page carries the
+        ``next_cursor`` to pass back for the following one (``None``
+        once the ranking is exhausted), so a client walks the whole
+        ranking in ``limit``-sized slices.  Pages are plain slices of
+        the already-materialized entry list — no per-page re-sort or
+        full-ranking re-serialization happens.
+
+        Raises :class:`ValueError` on a non-positive ``limit`` or a
+        cursor that this ranking did not hand out (tokens are
+        ``"<offset>"`` strings; garbage is rejected rather than
+        silently clamped).
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        if cursor is None:
+            start = 0
+        else:
+            if not isinstance(cursor, str) or not cursor.isdigit():
+                raise ValueError(f"invalid ranking cursor {cursor!r}")
+            start = int(cursor)
+            if start > len(self._entries):
+                raise ValueError(
+                    f"ranking cursor {cursor!r} is past the end "
+                    f"({len(self._entries)} entries)"
+                )
+        stop = start + limit
+        entries = self._entries[start:stop]
+        next_cursor = str(stop) if stop < len(self._entries) else None
+        return RankingPage(
+            entries=entries,
+            next_cursor=next_cursor,
+            total=len(self._entries),
+            measure=self.measure,
+            descending=self.descending,
+        )
 
     def rank_of(self, value: str) -> Optional[int]:
         """1-based rank of a value, or ``None`` if absent."""

@@ -340,6 +340,14 @@ class ProcessBackend(ExecutionBackend):
         self._inflight = 0
         self._retired: List = []
         self._idle = threading.Condition(self._lock)
+        # close() barrier: `_closed` flips as soon as a closer commits
+        # (rejecting new maps), `_close_complete` only once teardown
+        # finished.  A second concurrent close() waits for the first
+        # to *complete* instead of returning while segments still
+        # exist — callers (backend_scope's finally, HomographIndex
+        # teardown, __del__) treat "close() returned" as "resources
+        # released".
+        self._close_complete = False
 
     @staticmethod
     def _context():
@@ -441,9 +449,20 @@ class ProcessBackend(ExecutionBackend):
         fast with ``RuntimeError``), then waits for in-flight calls to
         drain before terminating the pool, so a concurrent ``detect``
         finishes cleanly rather than dying mid-``pool.map``.
+
+        Idempotent *and* a barrier: when two threads race — e.g. an
+        index drain and a ``backend_scope`` exit after a failed map —
+        the loser blocks until the winner's teardown completes, so
+        ``close()`` returning always means the pool is gone and the
+        shared-memory segments are unlinked.
         """
         with self._lock:
             if self._closed:
+                # Another closer won the race (or a failed map's
+                # cleanup already closed us): wait for its teardown to
+                # finish so *this* return also means "released".
+                while not self._close_complete:
+                    self._idle.wait()
                 return
             self._closed = True
             while self._inflight > 0:
@@ -458,6 +477,8 @@ class ProcessBackend(ExecutionBackend):
             self._retired = []
             self._specs = None
             self._graph_ref = None
+            self._close_complete = True
+            self._idle.notify_all()
 
     def __del__(self):  # pragma: no cover - GC safety net
         with contextlib.suppress(Exception):

@@ -1,19 +1,54 @@
-"""Serving-layer primitives: make detection behave like a service.
+"""Serving layer: make detection behave like a deployable service.
 
 ``repro.api`` gives applications a stateful index; this package holds
-the concurrency machinery that turns that index into something that
-can sit behind a request stream:
+everything that turns that index into something that can sit behind a
+request stream:
 
 * :class:`SingleFlight` — coalesce concurrent duplicate computations
   (N identical in-flight requests → one kernel run);
+* :mod:`repro.serving.http` — the stdlib HTTP/JSON front-end
+  (:class:`HomographHTTPServer`, :func:`start_server`) with cursor
+  pagination, bounded admission, and drain-on-shutdown;
+* :mod:`repro.serving.client` — the matching ``urllib`` client
+  (:class:`HomographClient`, :class:`ServiceError`);
 * the persistent worker pool itself lives in :mod:`repro.perf`
   (``ProcessBackend(persistent=True)``), since it is an execution
   concern; ``HomographIndex`` composes the two.
 
-See ``docs/serving.md`` for the end-to-end serving guide (pool
-lifecycle, invalidation rules, batch submission).
+See ``docs/serving.md`` for the end-to-end serving guide (HTTP API,
+pool lifecycle, invalidation rules, batch submission).
 """
 
 from .singleflight import SingleFlight
 
-__all__ = ["SingleFlight"]
+__all__ = [
+    "HomographClient",
+    "HomographHTTPServer",
+    "ServiceError",
+    "SingleFlight",
+    "start_server",
+]
+
+# The HTTP front-end and client import repro.api, which imports this
+# package for SingleFlight; loading them lazily (PEP 562) keeps the
+# import graph acyclic while `from repro.serving import HomographClient`
+# keeps working.
+_LAZY = {
+    "HomographClient": "client",
+    "ServiceError": "client",
+    "HomographHTTPServer": "http",
+    "start_server": "http",
+}
+
+
+def __getattr__(name: str):
+    submodule = _LAZY.get(name)
+    if submodule is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    from importlib import import_module
+
+    value = getattr(import_module(f".{submodule}", __name__), name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,252 @@
+"""A thin ``urllib`` client for the DomainNet HTTP service.
+
+The server side (:mod:`repro.serving.http`) speaks plain JSON over
+HTTP, so any language can talk to it; this module is the Python
+convenience wrapper used by the examples, the smoke job, and the
+end-to-end tests.  It deliberately has no dependencies beyond the
+stdlib — a deployment can copy the one file next to its own code.
+
+Typical round trip::
+
+    from repro.serving.client import HomographClient
+
+    client = HomographClient(server.url)
+    client.wait_ready()
+    response = client.detect(measure="betweenness")      # DetectResponse
+    for entry in client.iter_ranking("lcc", limit=500):  # RankedValue
+        ...
+
+Failures come back as :class:`ServiceError` carrying the server's
+structured error payload (``status``, ``code``, ``message``) plus the
+``Retry-After`` hint on 503s.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.parse
+import urllib.request
+from typing import Dict, Iterator, Mapping, Optional
+
+from ..api import DetectRequest, DetectResponse
+from ..core.ranking import RankedValue
+from ..datalake.table import Table
+
+
+class ServiceError(RuntimeError):
+    """A structured (non-2xx) response from the homograph service.
+
+    Attributes
+    ----------
+    status:
+        HTTP status code.
+    code:
+        The machine-readable error code from the response body
+        (``"unknown-measure"``, ``"over-capacity"``, ...), or
+        ``"unknown"`` when the body was not the service's error shape.
+    retry_after:
+        Parsed ``Retry-After`` header in seconds, when present.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: Optional[int] = None,
+    ) -> None:
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+
+class HomographClient:
+    """Talk to a running :class:`~repro.serving.http.HomographHTTPServer`.
+
+    Parameters
+    ----------
+    base_url:
+        Root of the service, e.g. ``"http://127.0.0.1:8080"``.
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping] = None,
+        query: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, object]:
+        url = self.base_url + path
+        if query:
+            pairs = {k: str(v) for k, v in query.items() if v is not None}
+            if pairs:
+                url += "?" + urllib.parse.urlencode(pairs)
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raise self._service_error(error) from None
+
+    @staticmethod
+    def _service_error(error: urllib.error.HTTPError) -> ServiceError:
+        status = error.code
+        code, message = "unknown", error.reason
+        try:
+            body = json.loads(error.read().decode("utf-8"))
+            details = body.get("error", {})
+            code = str(details.get("code", code))
+            message = str(details.get("message", message))
+        except Exception:  # noqa: BLE001 - non-JSON error body
+            pass
+        finally:
+            error.close()
+        retry_after = None
+        raw = error.headers.get("Retry-After")
+        if raw is not None:
+            try:
+                retry_after = int(raw)
+            except ValueError:
+                pass
+        return ServiceError(status, code, message, retry_after)
+
+    # ------------------------------------------------------------------
+    # Service surface
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, object]:
+        """``GET /healthz`` — raises :class:`ServiceError` once closed."""
+        return self._request("GET", "/healthz")
+
+    def wait_ready(self, timeout: float = 10.0) -> Dict[str, object]:
+        """Poll ``/healthz`` until the service answers, then return it.
+
+        Raises :class:`TimeoutError` when the service does not come up
+        within ``timeout`` seconds.  A structured error response (e.g.
+        503 while draining) propagates immediately — the server is
+        reachable, just not healthy.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except ServiceError:
+                raise
+            except (urllib.error.URLError, ConnectionError, OSError):
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"service at {self.base_url} not ready after "
+                        f"{timeout:.1f}s"
+                    ) from None
+                time.sleep(0.05)
+
+    def stats(self) -> Dict[str, object]:
+        """``GET /stats`` — index counters plus the ``http`` block."""
+        return self._request("GET", "/stats")
+
+    def detect(
+        self,
+        request: Optional[DetectRequest] = None,
+        top: Optional[int] = None,
+        **overrides,
+    ) -> DetectResponse:
+        """``POST /detect`` — mirrors :meth:`HomographIndex.detect`.
+
+        Accepts a :class:`DetectRequest`, keyword overrides on top of
+        one, or keywords alone; returns the parsed
+        :class:`DetectResponse` (``top`` truncates the ranking
+        server-side).
+        """
+        if request is None:
+            request = DetectRequest(**overrides)
+        elif overrides:
+            request = request.with_overrides(**overrides)
+        payload = self._request(
+            "POST", "/detect", payload=request.to_dict(),
+            query={"top": top},
+        )
+        return DetectResponse.from_dict(payload)
+
+    def ranking_page(
+        self,
+        measure: str,
+        cursor: Optional[str] = None,
+        limit: int = 100,
+        **params,
+    ) -> Dict[str, object]:
+        """``GET /ranking/<measure>`` — one page of the ranking.
+
+        Returns the raw page payload (``entries``, ``next_cursor``,
+        ``total``, ``measure``, ``descending``, ``cached``).  Extra
+        keyword ``params`` become query parameters (``sample_size``,
+        ``seed``, ``lcc_variant``, ``endpoints``).
+        """
+        query = {"cursor": cursor, "limit": limit, **params}
+        return self._request(
+            "GET", f"/ranking/{urllib.parse.quote(measure)}",
+            query=query,
+        )
+
+    def iter_ranking(
+        self,
+        measure: str,
+        limit: int = 100,
+        **params,
+    ) -> Iterator[RankedValue]:
+        """Walk the whole ranking page by page, yielding entries.
+
+        Follows ``next_cursor`` until exhaustion; each yielded item is
+        a :class:`RankedValue`.
+        """
+        cursor: Optional[str] = None
+        while True:
+            page = self.ranking_page(
+                measure, cursor=cursor, limit=limit, **params
+            )
+            for entry in page["entries"]:
+                yield RankedValue(
+                    rank=int(entry["rank"]),
+                    value=str(entry["value"]),
+                    score=float(entry["score"]),
+                )
+            cursor = page["next_cursor"]
+            if cursor is None:
+                return
+
+    def add_table(self, table: Table) -> Dict[str, object]:
+        """``POST /tables`` — add one table to the served lake."""
+        columns = {
+            column.name: list(column.values)
+            for column in table.iter_columns()
+        }
+        return self._request(
+            "POST", "/tables",
+            payload={"name": table.name, "columns": columns},
+        )
+
+    def remove_table(self, name: str) -> Dict[str, object]:
+        """``DELETE /tables/<name>`` — drop one table from the lake."""
+        return self._request(
+            "DELETE", f"/tables/{urllib.parse.quote(name)}"
+        )

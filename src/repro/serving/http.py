@@ -1,0 +1,604 @@
+"""A stdlib HTTP/JSON front-end over :class:`~repro.api.HomographIndex`.
+
+PRs 2 and 3 built the engine — parallel kernels, a persistent worker
+pool, thread-safe single-flight detection — but nothing outside the
+process could reach it.  This module is the network surface: a
+:class:`ThreadingHTTPServer` whose handler threads call straight into
+one shared index, so N concurrent identical ``POST /detect`` requests
+ride the index's single-flight path and cost one kernel run.
+
+Endpoints (all JSON; errors come back as
+``{"error": {"status", "code", "message"}}``):
+
+``POST /detect``
+    Body is a :class:`~repro.api.DetectRequest` payload
+    (``to_dict()`` form); the response is the full
+    :class:`~repro.api.DetectResponse` payload.  ``?top=K``
+    truncates the serialized ranking.
+``GET /ranking/<measure>?cursor=&limit=``
+    Cursor-paginated traversal of the (cached) ranking for a measure
+    — :meth:`~repro.core.ranking.HomographRanking.page` under the
+    hood, so a page is a slice, never a re-serialization of the full
+    ranking.  Extra query knobs: ``sample_size``, ``seed``,
+    ``lcc_variant``, ``endpoints``.
+``POST /tables`` / ``DELETE /tables/<name>``
+    Incremental lake mutation (``{"name": ..., "columns": {...}}``
+    body for POST); detection caches invalidate exactly as
+    :meth:`HomographIndex.add_table` / ``remove_table`` document.
+``GET /healthz`` / ``GET /stats``
+    Liveness (503 once the index is closed) and the
+    :meth:`HomographIndex.stats` snapshot plus HTTP-layer counters.
+
+Error surface: 400 malformed request, 404 unknown measure/table/route,
+409 closed index or duplicate table, 413 oversized body, and 503 with
+a ``Retry-After`` header when the bounded admission gate is full.
+
+Shutdown is a drain, not a kill: :meth:`HomographHTTPServer.drain`
+stops accepting connections, joins every in-flight handler thread
+(``daemon_threads`` is off on purpose), and then reuses
+:meth:`HomographIndex.close` to reject stragglers and release the
+pool and its shared-memory segments.
+
+Typical embedding (the CLI's ``domainnet serve`` does exactly this)::
+
+    from repro.serving.http import start_server
+
+    server = start_server(index, port=0)        # ephemeral port
+    print(server.url)
+    ...
+    server.drain()                              # joins + index.close()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..api import DetectRequest, HomographIndex, available_measures
+from ..datalake.lake import LakeError
+from ..datalake.table import Table, TableError
+
+#: Default cap on a request body; protects the JSON parser, not disk.
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+#: Default concurrent compute requests admitted before 503s start.
+DEFAULT_MAX_CONCURRENT = 32
+#: Default ``Retry-After`` (seconds) sent with a 503 rejection.
+DEFAULT_RETRY_AFTER = 1
+#: Default (and maximum) ``limit`` for ranking pages.
+DEFAULT_PAGE_LIMIT = 100
+MAX_PAGE_LIMIT = 10_000
+
+
+class _HTTPProblem(Exception):
+    """An error that maps directly onto a structured HTTP response."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+
+class _AdmissionGate:
+    """Bounded admission for compute endpoints: acquire or 503.
+
+    A plain counter under a lock (not a semaphore) so ``in_flight``
+    stays observable for ``/stats`` and rejections never block a
+    handler thread.
+    """
+
+    def __init__(self, limit: int) -> None:
+        self.limit = max(1, limit)
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self.rejected = 0
+
+    def try_acquire(self) -> bool:
+        """Claim a slot without blocking; ``False`` when saturated."""
+        with self._lock:
+            if self._in_flight >= self.limit:
+                self.rejected += 1
+                return False
+            self._in_flight += 1
+            return True
+
+    def release(self) -> None:
+        """Return a slot claimed by :meth:`try_acquire`."""
+        with self._lock:
+            self._in_flight -= 1
+
+    @property
+    def in_flight(self) -> int:
+        """Requests currently holding a slot."""
+        with self._lock:
+            return self._in_flight
+
+
+class HomographHTTPServer(ThreadingHTTPServer):
+    """The serving front-end; see the module docstring for the API.
+
+    Parameters
+    ----------
+    index:
+        The :class:`HomographIndex` every handler thread queries.  The
+        server *owns* its lifecycle by default: :meth:`drain` closes
+        it (pass ``close_index=False`` to keep it).
+    address:
+        ``(host, port)`` to bind; port ``0`` picks an ephemeral port
+        (read it back from :attr:`url` / ``server_address``).
+    max_body_bytes / max_concurrent / retry_after:
+        The protocol limits documented in the module docstring.
+    """
+
+    # Handler threads are joined on server_close(): a drain must wait
+    # for in-flight requests instead of abandoning them mid-response.
+    daemon_threads = False
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        index: HomographIndex,
+        address: Tuple[str, int] = ("127.0.0.1", 0),
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        max_concurrent: int = DEFAULT_MAX_CONCURRENT,
+        retry_after: int = DEFAULT_RETRY_AFTER,
+        quiet: bool = True,
+    ) -> None:
+        super().__init__(address, HomographRequestHandler)
+        self.index = index
+        self.max_body_bytes = max_body_bytes
+        self.retry_after = retry_after
+        self.quiet = quiet
+        self.gate = _AdmissionGate(max_concurrent)
+        self._served = 0
+        self._errors = 0
+        self._counters_lock = threading.Lock()
+        self._loop_started = threading.Event()
+        self._draining = False
+        self._drain_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def url(self) -> str:
+        """Base URL of the bound socket (useful with port 0)."""
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def count(self, ok: bool) -> None:
+        """Record one completed response for ``/stats``."""
+        with self._counters_lock:
+            if ok:
+                self._served += 1
+            else:
+                self._errors += 1
+
+    def http_stats(self) -> Dict[str, object]:
+        """HTTP-layer counters (the ``http`` block of ``GET /stats``)."""
+        with self._counters_lock:
+            served, errors = self._served, self._errors
+        return {
+            "served": served,
+            "errors": errors,
+            "rejected": self.gate.rejected,
+            "in_flight": self.gate.in_flight,
+            "max_concurrent": self.gate.limit,
+            "max_body_bytes": self.max_body_bytes,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def serve_forever(self, poll_interval: float = 0.5) -> None:
+        """Run the accept loop; returns after :meth:`drain`/``shutdown``."""
+        if self._draining:
+            return
+        self._loop_started.set()
+        super().serve_forever(poll_interval)
+
+    def start_background(self) -> "HomographHTTPServer":
+        """Run :meth:`serve_forever` on a daemon thread; returns self."""
+        thread = threading.Thread(
+            target=self.serve_forever,
+            name="homograph-http",
+            daemon=True,
+        )
+        self._thread = thread
+        thread.start()
+        return self
+
+    def drain(self, close_index: bool = True) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight, close.
+
+        Safe to call from any thread and idempotent.  Steps: stop the
+        accept loop, close the listening socket and join every
+        in-flight handler thread (their responses are delivered, not
+        cut), then :meth:`HomographIndex.close` — which itself waits
+        for admitted ``detect`` calls and releases the worker pool and
+        shared-memory segments.
+        """
+        with self._drain_lock:
+            already = self._draining
+            self._draining = True
+        if not already:
+            if self._loop_started.is_set():
+                self.shutdown()
+            self.server_close()
+        if self._thread is not None and self._thread is not \
+                threading.current_thread():
+            self._thread.join()
+        if close_index:
+            self.index.close()
+
+    def __enter__(self) -> "HomographHTTPServer":
+        """Enter a ``with`` block; the server itself is the target."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Drain (and close the index) on ``with``-block exit."""
+        self.drain()
+
+
+def start_server(
+    index: HomographIndex,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **options,
+) -> HomographHTTPServer:
+    """Construct a server and run its accept loop in the background.
+
+    The accept loop runs on a daemon thread; the returned server is
+    already reachable at ``server.url``.  Call
+    :meth:`HomographHTTPServer.drain` (or use the server as a context
+    manager) to stop it and close the index.
+    """
+    server = HomographHTTPServer(index, (host, port), **options)
+    return server.start_background()
+
+
+class HomographRequestHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP request onto the shared index.
+
+    Instantiated per connection by :class:`HomographHTTPServer` (one
+    thread each); every route is a small parse step around an index
+    call, with failures normalized into :class:`_HTTPProblem`.
+    """
+
+    server_version = "DomainNetServe/1.0"
+    # HTTP/1.0 (no keep-alive): every response carries Content-Length
+    # and closes the connection, which keeps the drain semantics
+    # simple — joining handler threads never waits on an idle socket.
+    protocol_version = "HTTP/1.0"
+    # Per-connection socket timeout: a stalled client (headers sent,
+    # body never arriving) must not wedge a non-daemon handler thread
+    # forever — drain() joins them all.
+    timeout = 60
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib name
+        """Route access logs through the server's quiet flag."""
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        extra_headers: Optional[Dict[str, str]] = None,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+        self.server.count(ok=status < 400)
+
+    def _send_problem(self, problem: _HTTPProblem) -> None:
+        headers = {}
+        if problem.retry_after is not None:
+            headers["Retry-After"] = str(problem.retry_after)
+        self._send_json(
+            problem.status,
+            {
+                "error": {
+                    "status": problem.status,
+                    "code": problem.code,
+                    "message": problem.message,
+                }
+            },
+            extra_headers=headers,
+        )
+
+    def _read_json_body(self) -> Dict[str, object]:
+        """Read and parse the request body, enforcing the size cap."""
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length)
+        except (TypeError, ValueError):
+            raise _HTTPProblem(
+                411, "length-required",
+                "request must carry a Content-Length header",
+            ) from None
+        if length < 0:
+            # rfile.read(-1) would block until the client hangs up.
+            raise _HTTPProblem(
+                400, "malformed-json",
+                f"invalid Content-Length {length}",
+            )
+        if length > self.server.max_body_bytes:
+            # Drain (a bounded amount of) the oversized body first so
+            # the client can finish sending and read the 413 instead
+            # of hitting a connection reset mid-upload.
+            remaining = min(length, 1 << 20)
+            while remaining > 0:
+                chunk = self.rfile.read(min(remaining, 65536))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+            raise _HTTPProblem(
+                413, "body-too-large",
+                f"request body of {length} bytes exceeds the "
+                f"{self.server.max_body_bytes}-byte limit",
+            )
+        body = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HTTPProblem(
+                400, "malformed-json",
+                f"request body is not valid JSON: {error}",
+            ) from None
+        if not isinstance(payload, dict):
+            raise _HTTPProblem(
+                400, "malformed-json",
+                "request body must be a JSON object",
+            )
+        return payload
+
+    def _check_open(self) -> None:
+        if self.server.index.closed:
+            raise _HTTPProblem(
+                409, "index-closed",
+                "the index has been closed; the service is draining",
+            )
+
+    def _admit(self) -> None:
+        """Claim an admission slot or fail with 503 + Retry-After."""
+        if not self.server.gate.try_acquire():
+            raise _HTTPProblem(
+                503, "over-capacity",
+                f"all {self.server.gate.limit} compute slots are busy",
+                retry_after=self.server.retry_after,
+            )
+
+    def _detect(self, request: DetectRequest):
+        """Run one admitted detection, mapping index errors to HTTP."""
+        if request.measure not in available_measures():
+            raise _HTTPProblem(
+                404, "unknown-measure",
+                f"unknown measure {request.measure!r}; available: "
+                f"{', '.join(available_measures())}",
+            )
+        self._check_open()
+        self._admit()
+        try:
+            return self.server.index.detect(request)
+        except RuntimeError as error:
+            if self.server.index.closed:
+                raise _HTTPProblem(
+                    409, "index-closed", str(error)
+                ) from None
+            raise
+        finally:
+            self.server.gate.release()
+
+    def _route(self, method: str) -> None:
+        parts = urlsplit(self.path)
+        segments = [s for s in parts.path.split("/") if s]
+        query = parse_qs(parts.query)
+        try:
+            handler = self._resolve(method, segments)
+            handler(segments, query)
+        except _HTTPProblem as problem:
+            self._send_problem(problem)
+        except ConnectionError:  # pragma: no cover - client went away
+            pass  # broken pipe / reset: nobody left to answer
+        except Exception as error:  # noqa: BLE001 - last-resort mapping
+            # The connection may already be half-written or dead (e.g.
+            # the failure *was* a mid-response disconnect): attempt the
+            # 500, but never let a second write error escape into
+            # socketserver's stderr traceback path.
+            try:
+                self._send_problem(_HTTPProblem(
+                    500, "internal-error",
+                    f"{type(error).__name__}: {error}",
+                ))
+            except (ConnectionError, TimeoutError, OSError):
+                pass  # pragma: no cover - dead connection
+
+    def _resolve(self, method: str, segments):
+        routes = {
+            ("GET", "healthz"): self._handle_healthz,
+            ("GET", "stats"): self._handle_stats,
+            ("GET", "ranking"): self._handle_ranking,
+            ("POST", "detect"): self._handle_detect,
+            ("POST", "tables"): self._handle_add_table,
+            ("DELETE", "tables"): self._handle_remove_table,
+        }
+        head = segments[0] if segments else ""
+        handler = routes.get((method, head))
+        if handler is None:
+            raise _HTTPProblem(
+                404, "unknown-route",
+                f"no such endpoint: {method} /{'/'.join(segments)}",
+            )
+        return handler
+
+    # -- routes --------------------------------------------------------
+    def _handle_healthz(self, segments, query) -> None:
+        if self.server.index.closed:
+            self._send_json(503, {"status": "closed"})
+        else:
+            self._send_json(
+                200,
+                {"status": "ok", "tables": len(self.server.index.lake)},
+            )
+
+    def _handle_stats(self, segments, query) -> None:
+        stats = self.server.index.stats()
+        stats["http"] = self.server.http_stats()
+        self._send_json(200, stats)
+
+    def _handle_detect(self, segments, query) -> None:
+        if len(segments) != 1:
+            raise _HTTPProblem(404, "unknown-route", "POST /detect")
+        payload = self._read_json_body()
+        try:
+            request = DetectRequest.from_dict(payload)
+        except (TypeError, ValueError) as error:
+            raise _HTTPProblem(
+                400, "invalid-request",
+                f"not a valid DetectRequest payload: {error}",
+            ) from None
+        response = self._detect(request)
+        top = self._int_param(query, "top", default=None, minimum=0)
+        self._send_json(200, response.to_dict(top=top))
+
+    def _handle_ranking(self, segments, query) -> None:
+        if len(segments) != 2:
+            raise _HTTPProblem(
+                404, "unknown-route",
+                "ranking requests look like GET /ranking/<measure>",
+            )
+        measure = segments[1]
+        request = DetectRequest(
+            measure=measure,
+            sample_size=self._int_param(query, "sample_size", None, 1),
+            seed=self._int_param(query, "seed", None, 0),
+            lcc_variant=self._str_param(
+                query, "lcc_variant", "attribute-jaccard"
+            ),
+            endpoints=self._str_param(query, "endpoints", "all"),
+        )
+        cursor = self._str_param(query, "cursor", None)
+        limit = self._int_param(
+            query, "limit", DEFAULT_PAGE_LIMIT, minimum=1
+        )
+        if limit > MAX_PAGE_LIMIT:
+            raise _HTTPProblem(
+                400, "invalid-paging",
+                f"limit {limit} exceeds the {MAX_PAGE_LIMIT} maximum",
+            )
+        response = self._detect(request)
+        try:
+            page = response.ranking.page(cursor=cursor, limit=limit)
+        except ValueError as error:
+            raise _HTTPProblem(
+                400, "invalid-paging", str(error)
+            ) from None
+        payload = page.to_dict()
+        payload["cached"] = response.cached
+        self._send_json(200, payload)
+
+    def _handle_add_table(self, segments, query) -> None:
+        if len(segments) != 1:
+            raise _HTTPProblem(404, "unknown-route", "POST /tables")
+        self._check_open()
+        payload = self._read_json_body()
+        name = payload.get("name")
+        columns = payload.get("columns")
+        if not isinstance(name, str) or not isinstance(columns, dict):
+            raise _HTTPProblem(
+                400, "invalid-table",
+                'table payloads look like {"name": "t", '
+                '"columns": {"col": ["v1", ...]}}',
+            )
+        try:
+            table = Table.from_columns(name, columns)
+        except (TableError, TypeError, ValueError) as error:
+            raise _HTTPProblem(
+                400, "invalid-table", str(error)
+            ) from None
+        try:
+            self.server.index.add_table(table)
+        except LakeError as error:
+            raise _HTTPProblem(
+                409, "duplicate-table", str(error)
+            ) from None
+        self._send_json(
+            201,
+            {"table": name, "tables": len(self.server.index.lake)},
+        )
+
+    def _handle_remove_table(self, segments, query) -> None:
+        if len(segments) != 2:
+            raise _HTTPProblem(
+                404, "unknown-route",
+                "table deletion looks like DELETE /tables/<name>",
+            )
+        self._check_open()
+        name = segments[1]
+        try:
+            self.server.index.remove_table(name)
+        except LakeError as error:
+            raise _HTTPProblem(
+                404, "unknown-table", str(error)
+            ) from None
+        self._send_json(
+            200,
+            {"table": name, "tables": len(self.server.index.lake)},
+        )
+
+    # -- param parsing -------------------------------------------------
+    @staticmethod
+    def _str_param(query, name: str, default):
+        values = query.get(name)
+        return values[-1] if values else default
+
+    @staticmethod
+    def _int_param(query, name: str, default, minimum: int):
+        values = query.get(name)
+        if not values:
+            return default
+        try:
+            value = int(values[-1])
+        except ValueError:
+            raise _HTTPProblem(
+                400, "invalid-paging",
+                f"query parameter {name!r} must be an integer, "
+                f"got {values[-1]!r}",
+            ) from None
+        if value < minimum:
+            raise _HTTPProblem(
+                400, "invalid-paging",
+                f"query parameter {name!r} must be >= {minimum}",
+            )
+        return value
+
+    # -- stdlib entry points -------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        """Dispatch GET requests."""
+        self._route("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        """Dispatch POST requests."""
+        self._route("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - stdlib casing
+        """Dispatch DELETE requests."""
+        self._route("DELETE")

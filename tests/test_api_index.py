@@ -218,3 +218,52 @@ class TestLegacyShim:
         assert legacy.ranking == modern.ranking
         assert legacy.scores == modern.scores
         assert set(legacy.top_values(2)) == figure1_homographs
+
+
+class TestStatsSnapshot:
+    def test_stats_shape_and_progression(self, figure1_lake):
+        index = HomographIndex(figure1_lake)
+        stats = index.stats()
+        assert stats["tables"] == 4
+        assert stats["graph_built"] is False
+        assert stats["cache"] == {
+            "hits": 0, "misses": 0, "size": 0, "coalesced": 0,
+        }
+        assert stats["pool"] == {"configured": False}
+        assert stats["closed"] is False
+        assert stats["active_detections"] == 0
+
+        index.detect(measure="lcc")
+        index.detect(measure="lcc")
+        stats = index.stats()
+        assert stats["graph_built"] is True
+        assert stats["cache"]["misses"] == 1
+        assert stats["cache"]["hits"] == 1
+        assert stats["cache"]["size"] == 1
+
+        index.add_table(extra_table())
+        assert index.stats()["generation"] == 1
+        index.close()
+        assert index.stats()["closed"] is True
+
+    def test_stats_reports_persistent_pool(self, figure1_lake):
+        import json
+
+        from repro import ExecutionConfig
+
+        config = ExecutionConfig(
+            backend="process", n_jobs=2, persistent=True
+        )
+        with HomographIndex(
+            figure1_lake, prune_candidates=False, execution=config
+        ) as index:
+            assert index.stats()["pool"] == {"configured": True}
+            index.detect(measure="betweenness")
+            pool = index.stats()["pool"]
+            assert pool["backend"] == "ProcessBackend"
+            assert pool["jobs"] == 2
+            assert pool["persistent"] is True
+            assert pool["alive"] is True
+            assert pool["segments"] == 2
+            # The whole snapshot is JSON-safe by construction.
+            json.dumps(index.stats())

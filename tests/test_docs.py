@@ -54,3 +54,14 @@ def test_serving_docs_cover_lifecycle():
     for phrase in ("persistent", "close()", "single-flight",
                    "invalidat", "detect_many"):
         assert phrase.lower() in text.lower(), phrase
+
+
+def test_serving_docs_cover_http_api():
+    # ... including the HTTP surface: every endpoint, the error table,
+    # pagination, admission control, and the drain semantics.
+    text = (REPO_ROOT / "docs" / "serving.md").read_text()
+    for phrase in ("POST /detect", "GET /ranking", "POST /tables",
+                   "DELETE /tables", "/healthz", "/stats",
+                   "Retry-After", "next_cursor", "drain",
+                   "domainnet serve"):
+        assert phrase in text, phrase

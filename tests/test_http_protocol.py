@@ -1,0 +1,342 @@
+"""Protocol conformance: the HTTP error surface is pinned by tests.
+
+Table-driven checks over a live server, using raw ``http.client``
+connections so status codes, headers (``Retry-After``,
+``Content-Type``), and the structured error body shape are asserted
+exactly — not through the convenience client's interpretation.
+
+The contract: 400 malformed request, 404 unknown measure / table /
+route, 409 closed index / duplicate table, 411 missing
+Content-Length, 413 oversized body, 503 + ``Retry-After`` on
+admission-queue overflow.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro import (
+    HomographIndex,
+    MeasureOutput,
+    register_measure,
+    start_server,
+    unregister_measure,
+)
+
+
+def raw_request(server, method, path, body=None, headers=None,
+                timeout=30.0):
+    """One raw HTTP exchange; returns ``(status, headers, payload)``."""
+    host, port = server.server_address[:2]
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request(
+            method, path,
+            body=body,
+            headers=headers if headers is not None else {},
+        )
+        response = connection.getresponse()
+        raw = response.read()
+        payload = json.loads(raw) if raw else None
+        return response.status, dict(response.getheaders()), payload
+    finally:
+        connection.close()
+
+
+@pytest.fixture
+def served(figure1_lake):
+    """A served figure-1 index with a small body cap for 413 tests."""
+    index = HomographIndex(figure1_lake)
+    server = start_server(index, port=0, max_body_bytes=4096)
+    yield server, index
+    server.drain()
+
+
+def assert_error_shape(payload, status, code):
+    """Every error body carries the same structured ``error`` object."""
+    assert set(payload) == {"error"}
+    error = payload["error"]
+    assert error["status"] == status
+    assert error["code"] == code
+    assert isinstance(error["message"], str) and error["message"]
+
+
+class TestMalformedRequests:
+    @pytest.mark.parametrize("body", [
+        b"{not json",
+        b"\xff\xfe garbage",
+        b"[1, 2, 3]",          # valid JSON, wrong shape
+        b'"betweenness"',      # ditto
+    ])
+    def test_bad_detect_body_is_400(self, served, body):
+        server, _ = served
+        status, headers, payload = raw_request(
+            server, "POST", "/detect", body=body,
+            headers={"Content-Length": str(len(body))},
+        )
+        assert status == 400
+        assert headers["Content-Type"] == "application/json"
+        assert_error_shape(payload, 400, "malformed-json")
+
+    def test_invalid_request_fields_are_400(self, served):
+        server, _ = served
+        body = json.dumps({"measure": "lcc", "options": 7}).encode()
+        status, _, payload = raw_request(
+            server, "POST", "/detect", body=body,
+            headers={"Content-Length": str(len(body))},
+        )
+        assert status == 400
+        assert_error_shape(payload, 400, "invalid-request")
+
+    def test_negative_content_length_is_400(self, served):
+        # read(-1) would block until the client hangs up — the server
+        # must reject it instead of trusting the header.
+        server, _ = served
+        status, _, payload = raw_request(
+            server, "POST", "/detect", body=b"",
+            headers={"Content-Length": "-1"},
+        )
+        assert status == 400
+        assert_error_shape(payload, 400, "malformed-json")
+
+    def test_missing_content_length_is_411(self, served):
+        server, _ = served
+        host, port = server.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=30.0)
+        try:
+            connection.putrequest("POST", "/detect")
+            connection.endheaders()  # no Content-Length, no body
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 411
+            assert_error_shape(payload, 411, "length-required")
+        finally:
+            connection.close()
+
+    @pytest.mark.parametrize("method,path,code", [
+        ("GET", "/nope", "unknown-route"),
+        ("GET", "/", "unknown-route"),
+        ("POST", "/ranking/lcc", "unknown-route"),
+        ("GET", "/ranking", "unknown-route"),
+        ("GET", "/ranking/lcc/extra", "unknown-route"),
+        ("DELETE", "/tables", "unknown-route"),
+        ("POST", "/detect/extra", "unknown-route"),
+    ])
+    def test_unknown_routes_are_404(self, served, method, path, code):
+        server, _ = served
+        body = b"{}" if method == "POST" else None
+        headers = {"Content-Length": "2"} if body else {}
+        status, _, payload = raw_request(
+            server, method, path, body=body, headers=headers
+        )
+        assert status == 404
+        assert_error_shape(payload, 404, code)
+
+
+class TestUnknownNames:
+    def test_unknown_measure_on_detect_is_404(self, served):
+        server, _ = served
+        body = json.dumps({"measure": "page-rank"}).encode()
+        status, _, payload = raw_request(
+            server, "POST", "/detect", body=body,
+            headers={"Content-Length": str(len(body))},
+        )
+        assert status == 404
+        assert_error_shape(payload, 404, "unknown-measure")
+        # The message tells the caller what *is* available.
+        assert "betweenness" in payload["error"]["message"]
+
+    def test_unknown_measure_on_ranking_is_404(self, served):
+        server, _ = served
+        status, _, payload = raw_request(
+            server, "GET", "/ranking/page-rank"
+        )
+        assert status == 404
+        assert_error_shape(payload, 404, "unknown-measure")
+
+    def test_unknown_table_delete_is_404(self, served):
+        server, _ = served
+        status, _, payload = raw_request(
+            server, "DELETE", "/tables/no-such-table"
+        )
+        assert status == 404
+        assert_error_shape(payload, 404, "unknown-table")
+
+
+class TestPagingValidation:
+    @pytest.mark.parametrize("query", [
+        "cursor=bogus", "cursor=-3", "cursor=1.5",
+        "limit=0", "limit=-1", "limit=abc", "limit=999999",
+        "cursor=99999",  # past the end of the ranking
+    ])
+    def test_bad_paging_parameters_are_400(self, served, query):
+        server, _ = served
+        status, _, payload = raw_request(
+            server, "GET", f"/ranking/lcc?{query}"
+        )
+        assert status == 400
+        assert_error_shape(payload, 400, "invalid-paging")
+
+
+class TestTableValidation:
+    @pytest.mark.parametrize("payload", [
+        {"name": "t"},                            # no columns
+        {"columns": {"a": ["1"]}},                # no name
+        {"name": 7, "columns": {"a": ["1"]}},     # bad name type
+        {"name": "t", "columns": ["a", "b"]},     # bad columns type
+        {"name": "t", "columns": {}},             # empty columns
+    ])
+    def test_invalid_table_payloads_are_400(self, served, payload):
+        server, _ = served
+        body = json.dumps(payload).encode()
+        status, _, response = raw_request(
+            server, "POST", "/tables", body=body,
+            headers={"Content-Length": str(len(body))},
+        )
+        assert status == 400
+        assert_error_shape(response, 400, "invalid-table")
+
+    def test_duplicate_table_is_409(self, served):
+        server, _ = served
+        body = json.dumps(
+            {"name": "T1", "columns": {"a": ["1"]}}  # T1 exists
+        ).encode()
+        status, _, payload = raw_request(
+            server, "POST", "/tables", body=body,
+            headers={"Content-Length": str(len(body))},
+        )
+        assert status == 409
+        assert_error_shape(payload, 409, "duplicate-table")
+
+
+class TestBodyLimit:
+    def test_oversized_body_is_413(self, served):
+        server, _ = served  # max_body_bytes=4096
+        body = json.dumps(
+            {"measure": "lcc", "options": {"pad": "x" * 8192}}
+        ).encode()
+        assert len(body) > 4096
+        status, _, payload = raw_request(
+            server, "POST", "/detect", body=body,
+            headers={"Content-Length": str(len(body))},
+        )
+        assert status == 413
+        assert_error_shape(payload, 413, "body-too-large")
+
+
+class TestClosedIndex:
+    def test_closed_index_is_409_everywhere(self, served):
+        server, index = served
+        index.close()
+        body = json.dumps({"measure": "lcc"}).encode()
+        for method, path, req_body in [
+            ("POST", "/detect", body),
+            ("GET", "/ranking/lcc", None),
+            ("POST", "/tables", json.dumps(
+                {"name": "t", "columns": {"a": ["1"]}}).encode()),
+            ("DELETE", "/tables/T1", None),
+        ]:
+            headers = (
+                {"Content-Length": str(len(req_body))} if req_body else {}
+            )
+            status, _, payload = raw_request(
+                server, method, path, body=req_body, headers=headers
+            )
+            assert status == 409, (method, path)
+            assert_error_shape(payload, 409, "index-closed")
+
+    def test_healthz_reports_closed_as_503(self, served):
+        server, index = served
+        status, _, payload = raw_request(server, "GET", "/healthz")
+        assert status == 200 and payload["status"] == "ok"
+        index.close()
+        status, _, payload = raw_request(server, "GET", "/healthz")
+        assert status == 503
+        assert payload == {"status": "closed"}
+
+
+@pytest.fixture
+def gated_measure():
+    """A blocking measure for saturating a one-slot admission gate."""
+    state = {
+        "started": threading.Event(),
+        "release": threading.Event(),
+    }
+
+    def measure(graph, request):
+        state["started"].set()
+        state["release"].wait(10)
+        return MeasureOutput(scores={"X": 1.0}, descending=True)
+
+    register_measure("gated-http-test", measure)
+    yield state
+    unregister_measure("gated-http-test")
+
+
+class TestQueueOverflow:
+    def test_overflow_is_503_with_retry_after(
+        self, figure1_lake, gated_measure
+    ):
+        index = HomographIndex(figure1_lake)
+        server = start_server(
+            index, port=0, max_concurrent=1, retry_after=7
+        )
+        try:
+            body = json.dumps({"measure": "gated-http-test"}).encode()
+            headers = {"Content-Length": str(len(body))}
+            results = []
+
+            def occupy():
+                results.append(raw_request(
+                    server, "POST", "/detect", body=body, headers=headers
+                ))
+
+            occupant = threading.Thread(target=occupy)
+            occupant.start()
+            assert gated_measure["started"].wait(10)
+
+            # The single compute slot is held: the next request — for
+            # any measure — must be rejected, not queued.
+            status, response_headers, payload = raw_request(
+                server, "POST", "/detect",
+                body=json.dumps({"measure": "lcc"}).encode(),
+                headers={"Content-Length": str(
+                    len(json.dumps({"measure": "lcc"}).encode())
+                )},
+            )
+            assert status == 503
+            assert response_headers["Retry-After"] == "7"
+            assert_error_shape(payload, 503, "over-capacity")
+
+            # Rankings ride the same gate.
+            status, response_headers, payload = raw_request(
+                server, "GET", "/ranking/lcc"
+            )
+            assert status == 503
+            assert response_headers["Retry-After"] == "7"
+
+            # Cheap endpoints are never gated.
+            status, _, _ = raw_request(server, "GET", "/healthz")
+            assert status == 200
+            status, _, stats = raw_request(server, "GET", "/stats")
+            assert status == 200
+            assert stats["http"]["rejected"] == 2
+            assert stats["http"]["in_flight"] == 1
+
+            gated_measure["release"].set()
+            occupant.join(30)
+            assert results[0][0] == 200
+
+            # The slot is free again: the rejected caller can retry.
+            deadline = time.monotonic() + 10
+            while True:
+                status, _, _ = raw_request(server, "GET", "/ranking/lcc")
+                if status == 200 or time.monotonic() > deadline:
+                    break
+                time.sleep(0.05)
+            assert status == 200
+        finally:
+            server.drain()

@@ -62,6 +62,60 @@ class TestAccess:
         assert [e.value for e in ranking] == ranking.values
 
 
+class TestPagination:
+    def test_page_walk_covers_everything_in_order(self, scores):
+        ranking = rank_by_betweenness(scores)
+        walked = []
+        cursor, pages = None, 0
+        while True:
+            page = ranking.page(cursor=cursor, limit=3)
+            walked.extend(page.entries)
+            pages += 1
+            assert page.total == len(ranking)
+            assert page.measure == "betweenness"
+            assert page.descending is True
+            cursor = page.next_cursor
+            if cursor is None:
+                break
+        assert pages == 2  # 4 entries / limit 3
+        assert walked == list(ranking)
+
+    def test_pages_are_slices_not_copserialized(self, scores):
+        # Entries are shared with the ranking (no per-page rebuild).
+        ranking = rank_by_lcc(scores)
+        page = ranking.page(limit=2)
+        assert page.entries[0] is ranking[0]
+
+    def test_default_start_and_exhaustion(self, scores):
+        ranking = rank_by_betweenness(scores)
+        page = ranking.page(limit=99)
+        assert page.next_cursor is None
+        assert len(page.entries) == len(ranking)
+        # A cursor exactly at the end yields an empty terminal page.
+        page = ranking.page(cursor=str(len(ranking)), limit=2)
+        assert page.entries == [] and page.next_cursor is None
+
+    @pytest.mark.parametrize("cursor", ["x", "-1", "1.5", "", "999"])
+    def test_bad_cursor_rejected(self, scores, cursor):
+        with pytest.raises(ValueError):
+            rank_by_betweenness(scores).page(cursor=cursor)
+
+    @pytest.mark.parametrize("limit", [0, -2])
+    def test_bad_limit_rejected(self, scores, limit):
+        with pytest.raises(ValueError):
+            rank_by_betweenness(scores).page(limit=limit)
+
+    def test_page_to_dict_shape(self, scores):
+        payload = rank_by_betweenness(scores).page(limit=2).to_dict()
+        assert set(payload) == {
+            "measure", "descending", "total", "next_cursor", "entries",
+        }
+        assert payload["next_cursor"] == "2"
+        assert payload["entries"][0] == {
+            "rank": 1, "value": "JAGUAR", "score": 0.025,
+        }
+
+
 class TestFormatting:
     def test_format_with_labels(self, scores):
         ranking = rank_by_betweenness(scores)

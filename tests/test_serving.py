@@ -428,6 +428,217 @@ class TestPersistentPool:
         assert resolve_backend(config).persistent
 
 
+class FlakyBackend(SerialBackend):
+    """A backend that fails mid-``map_chunks`` for its first N calls.
+
+    The failure happens *after* the first chunk computed (genuinely
+    mid-map, like a worker dying), and the map blocks on ``release``
+    first so a test can line up coalesced waiters behind the leader.
+    """
+
+    def __init__(self, failures: int = 1) -> None:
+        super().__init__()
+        self.calls = 0
+        self.failures = failures
+        self.started = threading.Event()
+        self.release = threading.Event()
+
+    def map_chunks(self, graph, kernel, payloads, common):
+        self.calls += 1
+        if self.calls <= self.failures:
+            self.started.set()
+            self.release.wait(10)
+            super().map_chunks(graph, kernel, list(payloads)[:1], common)
+            raise RuntimeError("flaky backend failure")
+        return super().map_chunks(graph, kernel, payloads, common)
+
+
+class TestFaultInjection:
+    def test_backend_error_propagates_to_all_coalesced_waiters(
+        self, figure1_lake
+    ):
+        # PR 3 only tested the happy path: here the *kernel map* dies
+        # mid-flight and every coalesced HTTP-style caller must see
+        # the error — not a hang, not a partial result.
+        index = HomographIndex(
+            figure1_lake,
+            prune_candidates=False,
+            execution=ExecutionConfig(backend="serial"),
+        )
+        flaky = FlakyBackend(failures=1)
+        index._backend = flaky  # used by _serving_backend()
+        index.graph
+        outcomes = []
+
+        def call():
+            try:
+                outcomes.append(index.detect(measure="betweenness"))
+            except RuntimeError as error:
+                outcomes.append(str(error))
+
+        threads = [threading.Thread(target=call) for _ in range(4)]
+        for t in threads:
+            t.start()
+        assert flaky.started.wait(10)
+        # Wait for all four calls to be admitted (the step right
+        # before joining the flight) instead of a fixed sleep, so a
+        # slow-scheduled thread cannot miss the flight and become a
+        # second leader on a loaded machine.
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            with index._lock:
+                if index._active == 4:
+                    break
+            time.sleep(0.005)
+        time.sleep(0.05)
+        flaky.release.set()
+        for t in threads:
+            t.join(30)
+
+        # One map ran; all four callers saw its failure.
+        assert flaky.calls == 1
+        assert outcomes == ["flaky backend failure"] * 4
+        # Nothing was cached for the failed flight ...
+        assert index.cache_info().size == 0
+        assert index._singleflight.in_flight() == 0
+        # ... and the backend (pool) stays usable: the next request
+        # computes cleanly through the same instance.
+        response = index.detect(measure="betweenness")
+        assert flaky.calls == 2
+        assert response.scores
+        serial = HomographIndex(figure1_lake, prune_candidates=False)
+        assert response.scores == pytest.approx(
+            serial.detect(measure="betweenness").scores
+        )
+        index.close()
+
+    def test_worker_exception_leaves_persistent_pool_usable(
+        self, figure1_lake
+    ):
+        # Same failure mode, real machinery: a kernel raising inside a
+        # pooled worker must not poison the pool or leak the export.
+        from repro import build_graph
+        from repro.perf.kernels import _KERNELS, register_kernel
+
+        @register_kernel("boom-serving-test")
+        def boom(ctx, payload, common):
+            raise ValueError("kernel exploded")
+
+        try:
+            graph = build_graph(figure1_lake)
+            with ProcessBackend(n_jobs=2, persistent=True) as backend:
+                spans = backend.spans(graph.num_values)
+                with pytest.raises(ValueError, match="kernel exploded"):
+                    backend.map_chunks(
+                        graph, "boom-serving-test", spans, {}
+                    )
+                # In-flight bookkeeping drained despite the failure.
+                assert backend._inflight == 0
+                # The pool survives and serves the next map.
+                partials = backend.map_chunks(
+                    graph, "lcc", spans, {"variant": "attribute-jaccard"}
+                )
+                assert len(partials) == len(spans)
+        finally:
+            _KERNELS.pop("boom-serving-test", None)
+
+    def test_leader_failure_then_follower_retry_recomputes(
+        self, figure1_lake
+    ):
+        # A failed flight must be forgotten: a retry after the error
+        # becomes a fresh leader instead of inheriting the corpse.
+        index = HomographIndex(
+            figure1_lake,
+            prune_candidates=False,
+            execution=ExecutionConfig(backend="serial"),
+        )
+        flaky = FlakyBackend(failures=1)
+        flaky.release.set()  # fail immediately, no coalescing needed
+        index._backend = flaky
+        with pytest.raises(RuntimeError, match="flaky backend failure"):
+            index.detect(measure="betweenness")
+        assert index.detect(measure="betweenness").scores
+        assert index.cache_info().size == 1
+        index.close()
+
+
+class TestCloseRace:
+    def test_concurrent_close_waits_for_teardown(self, figure1_lake):
+        # Regression (ISSUE 4): the second of two racing close() calls
+        # used to return as soon as `_closed` was set — while the first
+        # was still draining — so its caller could observe live
+        # segments after "close". Both calls must now return only once
+        # teardown completed.
+        from repro import build_graph
+
+        graph = build_graph(figure1_lake)
+        backend = ProcessBackend(n_jobs=2, persistent=True)
+        spans = backend.spans(graph.num_values)
+        backend.map_chunks(
+            graph, "lcc", spans, {"variant": "attribute-jaccard"}
+        )
+        names = backend.export_names
+        assert names
+        with backend._lock:
+            backend._inflight += 1  # pin an artificial in-flight map
+
+        returned = []
+
+        def close_it(tag):
+            backend.close()
+            # close() returning must imply released resources.
+            returned.append((tag, backend.pool_alive,
+                             backend.export_names))
+
+        first = threading.Thread(target=close_it, args=("first",))
+        second = threading.Thread(target=close_it, args=("second",))
+        first.start()
+        time.sleep(0.1)  # let the first closer commit `_closed`
+        second.start()
+        time.sleep(0.1)
+        # Neither close may return while a map is in flight.
+        assert returned == []
+        with backend._idle:
+            backend._inflight -= 1
+            backend._idle.notify_all()
+        first.join(10)
+        second.join(10)
+        assert len(returned) == 2
+        for _, pool_alive, export_names in returned:
+            assert not pool_alive
+            assert export_names == ()
+
+    def test_close_after_failed_map_is_idempotent(self, figure1_lake):
+        from repro import build_graph
+        from repro.perf.kernels import _KERNELS, register_kernel
+
+        @register_kernel("boom-close-test")
+        def boom(ctx, payload, common):
+            raise ValueError("kernel exploded")
+
+        try:
+            graph = build_graph(figure1_lake)
+            backend = ProcessBackend(n_jobs=2, persistent=True)
+            spans = backend.spans(graph.num_values)
+            with pytest.raises(ValueError):
+                backend.map_chunks(graph, "boom-close-test", spans, {})
+            names = backend.export_names
+            assert names  # the failed map left its export behind
+            backend.close()
+            backend.close()  # second close: no-op, no error
+            assert not backend.pool_alive
+            assert backend.export_names == ()
+            if os.path.isdir("/dev/shm"):
+                for name in names:
+                    assert not os.path.exists(f"/dev/shm/{name}")
+            with pytest.raises(RuntimeError):
+                backend.map_chunks(
+                    graph, "lcc", spans, {"variant": "attribute-jaccard"}
+                )
+        finally:
+            _KERNELS.pop("boom-close-test", None)
+
+
 class TestLifecycle:
     def test_close_waits_for_admitted_detect(
         self, figure1_lake, slow_measure

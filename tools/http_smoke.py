@@ -1,0 +1,143 @@
+"""HTTP serving smoke: boot, drive, drain — and prove nothing leaks.
+
+The CI ``http-smoke`` job's entry point.  Serves the TUS *small*
+fixture through the real :mod:`repro.serving.http` stack (persistent
+2-worker pool included), drives every endpoint with the bundled
+:class:`repro.serving.client.HomographClient`, drains, and then fails
+on any of the leak classes an in-process test can miss:
+
+* a ``ResourceWarning`` raised anywhere during the run or surfaced by
+  the final garbage-collection sweep (unclosed sockets, files);
+* a thread still alive after the drain (handler threads, the accept
+  loop, dispatcher threads);
+* a ``/dev/shm`` shared-memory segment that survived the drain.
+
+Run directly (CI does)::
+
+    python -W error::ResourceWarning tools/http_smoke.py
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import sys
+import threading
+import warnings
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def drive(client, lake_size: int) -> None:
+    """Exercise every endpoint once against the served TUS lake."""
+    from repro import Table
+
+    health = client.healthz()
+    assert health["status"] == "ok", health
+    assert health["tables"] == lake_size, health
+
+    # Sampled betweenness keeps the smoke fast; the second call must
+    # come back from the score cache.
+    first = client.detect(measure="betweenness", sample_size=60, seed=7)
+    again = client.detect(measure="betweenness", sample_size=60, seed=7)
+    assert first.scores and not first.cached
+    assert again.cached
+    assert again.scores == first.scores
+
+    # Cursor pagination must cover the ranking exactly once.
+    walked = list(client.iter_ranking(
+        "betweenness", limit=500, sample_size=60, seed=7
+    ))
+    assert walked == list(first.ranking), "paged traversal diverged"
+
+    # Live mutation through the API invalidates the caches.
+    client.add_table(Table.from_columns(
+        "smoke_extra", {"animal": ["Jaguar", "Jaguar"], "n": ["1", "2"]}
+    ))
+    mutated = client.detect(
+        measure="betweenness", sample_size=60, seed=7
+    )
+    assert not mutated.cached
+    client.remove_table("smoke_extra")
+
+    stats = client.stats()
+    assert stats["cache"]["misses"] >= 2, stats
+    assert stats["http"]["rejected"] == 0, stats
+    print(f"drove {stats['http']['served']} responses; "
+          f"cache={stats['cache']}; pool={stats['pool']}")
+
+
+def main() -> int:
+    """Run the smoke; non-zero exit on any failure or leak."""
+    from repro import (
+        ExecutionConfig,
+        HomographClient,
+        HomographIndex,
+        start_server,
+    )
+    from repro.bench.tus import TUSConfig, generate_tus
+
+    shm_before = (
+        set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else None
+    )
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always", ResourceWarning)
+        dataset = generate_tus(TUSConfig.small(seed=0))
+        print(f"TUS small: {len(dataset.lake)} tables, "
+              f"{dataset.lake.num_attributes} attributes")
+        index = HomographIndex(
+            dataset.lake,
+            execution=ExecutionConfig(
+                backend="process", n_jobs=2, persistent=True
+            ),
+        )
+        server = start_server(index, port=0)
+        print(f"serving on {server.url}")
+        try:
+            client = HomographClient(server.url, timeout=120.0)
+            client.wait_ready(timeout=30.0)
+            drive(client, lake_size=len(dataset.lake))
+        finally:
+            server.drain()
+        assert index.closed
+
+        # Surface unclosed-resource finalizers now, inside the recorder.
+        del client, server, index, dataset
+        gc.collect()
+        gc.collect()
+
+    failures = []
+
+    resource_warnings = [
+        w for w in caught if issubclass(w.category, ResourceWarning)
+    ]
+    for warning in resource_warnings:
+        failures.append(f"ResourceWarning: {warning.message} "
+                        f"({warning.filename}:{warning.lineno})")
+
+    leaked_threads = [
+        t for t in threading.enumerate()
+        if t is not threading.current_thread() and t.is_alive()
+    ]
+    for thread in leaked_threads:
+        failures.append(f"leaked thread after drain: {thread!r}")
+
+    if shm_before is not None:
+        leaked_shm = set(os.listdir("/dev/shm")) - shm_before
+        for name in sorted(leaked_shm):
+            failures.append(f"leaked /dev/shm segment: {name}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("http smoke OK: endpoints healthy, no ResourceWarnings, "
+          "no leaked threads, no leaked shared memory")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
