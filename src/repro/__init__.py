@@ -78,12 +78,16 @@ from .api import (
     CacheInfo,
     DetectRequest,
     DetectResponse,
+    DuplicateLakeError,
     DuplicateMeasureError,
     HomographIndex,
     Measure,
     MeasureError,
     MeasureOutput,
+    UnknownLakeError,
     UnknownMeasureError,
+    Workspace,
+    WorkspaceError,
     available_measures,
     register_measure,
     unregister_measure,
@@ -100,12 +104,16 @@ from .perf import (
 from .serving import (
     HomographClient,
     HomographHTTPServer,
+    JobFailed,
+    JobManager,
+    JobOverflowError,
     ServiceError,
     SingleFlight,
+    UnknownJobError,
     start_server,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "BipartiteGraph",
@@ -116,6 +124,7 @@ __all__ = [
     "DetectResponse",
     "DetectionResult",
     "DomainNet",
+    "DuplicateLakeError",
     "DuplicateMeasureError",
     "ExecutionBackend",
     "ExecutionConfig",
@@ -123,6 +132,9 @@ __all__ = [
     "HomographHTTPServer",
     "HomographIndex",
     "HomographRanking",
+    "JobFailed",
+    "JobManager",
+    "JobOverflowError",
     "Measure",
     "MeasureError",
     "MeasureOutput",
@@ -133,7 +145,11 @@ __all__ = [
     "ServiceError",
     "SingleFlight",
     "Table",
+    "UnknownJobError",
+    "UnknownLakeError",
     "UnknownMeasureError",
+    "Workspace",
+    "WorkspaceError",
     "available_cores",
     "available_measures",
     "betweenness_score_map",

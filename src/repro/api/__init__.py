@@ -9,6 +9,9 @@ layer needs:
   coalescing of concurrent duplicate requests, incremental
   ``add_table``/``remove_table``, and an explicit ``close()`` /
   context-manager lifecycle for the persistent worker pool;
+* :class:`Workspace` — a named set of indexes (one per lake) sharing
+  one persistent worker pool, the in-process core of multi-lake
+  serving;
 * a pluggable measure registry (:func:`register_measure`) with
   betweenness and LCC as built-ins;
 * typed :class:`DetectRequest`/:class:`DetectResponse` objects with
@@ -33,22 +36,34 @@ from .measures import (
     unregister_measure,
 )
 from .requests import SCHEMA_VERSION, DetectRequest, DetectResponse
+from .workspace import (
+    DuplicateLakeError,
+    UnknownLakeError,
+    Workspace,
+    WorkspaceError,
+    validate_lake_name,
+)
 
 __all__ = [
     "CacheInfo",
     "DetectRequest",
     "DetectResponse",
+    "DuplicateLakeError",
     "DuplicateMeasureError",
     "HomographIndex",
     "Measure",
     "MeasureError",
     "MeasureOutput",
     "SCHEMA_VERSION",
+    "UnknownLakeError",
     "UnknownMeasureError",
+    "Workspace",
+    "WorkspaceError",
     "available_measures",
     "execute_request",
     "get_measure",
     "register_measure",
     "run_measure",
     "unregister_measure",
+    "validate_lake_name",
 ]

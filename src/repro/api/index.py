@@ -54,7 +54,12 @@ from ..core.graph import BipartiteGraph
 from ..core.ranking import HomographRanking
 from ..datalake.lake import DataLake
 from ..datalake.table import Table
-from ..perf.backends import ExecutionBackend, resolve_backend, use_backend
+from ..perf.backends import (
+    ExecutionBackend,
+    backend_stats,
+    resolve_backend,
+    use_backend,
+)
 from ..perf.config import ExecutionConfig
 # Submodule import (not the package) keeps repro.api importable from
 # repro.serving.http / .client, which import this package in turn.
@@ -137,6 +142,14 @@ class HomographIndex:
         across calls — release it with :meth:`close` or by using the
         index as a context manager.  Execution never changes scores,
         so it does not participate in the score-cache key.
+    backend:
+        An externally-owned :class:`~repro.perf.ExecutionBackend` the
+        index routes its queries through instead of resolving its own
+        from ``execution``.  The owner (e.g. a multi-lake
+        :class:`~repro.api.Workspace` sharing one pool across
+        indexes) keeps the backend's lifecycle: :meth:`close` releases
+        this index's shared-memory graph export but never tears the
+        backend down.
 
     Thread safety
     -------------
@@ -152,6 +165,7 @@ class HomographIndex:
         lake: Optional[DataLake] = None,
         prune_candidates: bool = True,
         execution: Optional[ExecutionConfig] = None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         self._lake = lake if lake is not None else DataLake()
         self._prune_candidates = prune_candidates
@@ -171,7 +185,11 @@ class HomographIndex:
         self._lock = threading.RLock()
         self._singleflight = SingleFlight()
         self._generation = 0
-        self._backend: Optional[ExecutionBackend] = None
+        self._backend: Optional[ExecutionBackend] = backend
+        # A backend handed in from outside stays the owner's: the
+        # index uses it but must never close it (only release its own
+        # graph export on invalidation / close).
+        self._owns_backend = backend is None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._closed = False
         # Admission control: detect() calls that passed the closed
@@ -284,13 +302,18 @@ class HomographIndex:
         current when it lands.
         """
         with self._lock:
-            self._graph = None
+            old_graph, self._graph = self._graph, None
             self._graph_seconds = 0.0
             self._unpruned_graph = None
             self._score_cache.clear()
             self._generation += 1
             if self._backend is not None:
-                self._backend.invalidate_export()
+                if self._owns_backend:
+                    self._backend.invalidate_export()
+                elif old_graph is not None:
+                    # A shared backend holds sibling indexes' exports
+                    # too: drop only the graph this index published.
+                    self._backend.invalidate_export(old_graph)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -311,8 +334,9 @@ class HomographIndex:
         :class:`RuntimeError` instead, so batch callers racing close
         should expect either.  Then the dispatch threads and the
         persistent worker pool shut down (unlinking the pool's
-        shared-memory segments).  Cached state and the lake itself
-        remain readable afterwards.
+        shared-memory segments).  An externally-owned backend is left
+        running — only this index's graph export is released.  Cached
+        state and the lake itself remain readable afterwards.
         """
         with self._lock:
             if self._closed:
@@ -330,10 +354,14 @@ class HomographIndex:
             while self._active > 0:
                 self._drained.wait()
             backend, self._backend = self._backend, None
+            graph = self._graph
         if executor is not None:
             executor.shutdown(wait=True)
         if backend is not None:
-            backend.close()
+            if self._owns_backend:
+                backend.close()
+            elif graph is not None:
+                backend.invalidate_export(graph)
 
     def __enter__(self) -> "HomographIndex":
         """Enter a ``with`` block; the index itself is the target."""
@@ -351,7 +379,7 @@ class HomographIndex:
         calls to drain before releasing the backend, and the guard
         below rejects creation once that drain has completed.
         """
-        if self._execution is None:
+        if self._execution is None and self._owns_backend:
             return None
         with self._lock:
             # Creating a backend is legal while admitted calls are
@@ -408,8 +436,10 @@ class HomographIndex:
         (``cached=True`` for the coalesced callers).
         """
         request = self._coerce_request(request, overrides)
-        use_default = request.execution is None and self._execution is not None
-        if use_default:
+        use_default = request.execution is None and (
+            self._execution is not None or not self._owns_backend
+        )
+        if use_default and self._execution is not None:
             request = request.with_overrides(execution=self._execution)
 
         with self._lock:
@@ -457,12 +487,16 @@ class HomographIndex:
                 # mutation between the pre-check and here gives us the
                 # fresh graph, whose result is perfectly cacheable).
                 built_generation = self._generation
+                # Snapshot under the same lock: a mutation racing this
+                # read would otherwise pair the old graph with the new
+                # (zeroed) build time.
+                graph_seconds = self._graph_seconds
             backend = self._serving_backend() if use_default else None
             scope = use_backend(backend) if backend is not None \
                 else nullcontext()
             with scope:
                 response = execute_request(
-                    graph, request, graph_seconds=self._graph_seconds
+                    graph, request, graph_seconds=graph_seconds
                 )
             with self._lock:
                 self._cache_misses += 1
@@ -579,15 +613,27 @@ class HomographIndex:
         """
         with self._lock:
             backend = self._backend
-            pool: Dict[str, object] = {
-                "configured": self._execution is not None,
-            }
+            pool: Dict[str, object] = backend_stats(
+                backend,
+                configured=(
+                    self._execution is not None or not self._owns_backend
+                ),
+            )
             if backend is not None:
-                pool["backend"] = type(backend).__name__
-                pool["jobs"] = backend.jobs
-                pool["persistent"] = getattr(backend, "persistent", False)
-                pool["alive"] = getattr(backend, "pool_alive", False)
-                pool["segments"] = len(getattr(backend, "export_names", ()))
+                pool["shared"] = not self._owns_backend
+                if not self._owns_backend:
+                    # Count only this index's export on a shared
+                    # backend — siblings' segments are theirs.
+                    export_names_for = getattr(
+                        backend, "export_names_for", None
+                    )
+                    names = (
+                        export_names_for(self._graph)
+                        if export_names_for is not None
+                        and self._graph is not None
+                        else ()
+                    )
+                    pool["segments"] = len(names)
             return {
                 "tables": len(self._lake),
                 "graph_built": self._graph is not None,

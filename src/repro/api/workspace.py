@@ -1,0 +1,320 @@
+"""The multi-lake :class:`Workspace` — one process, many lakes, one pool.
+
+A single :class:`~repro.api.HomographIndex` serves one lake.  A
+deployment rarely has one lake: the paper's benchmarks alone are three
+(SB, TUS, TUS-I), and the ROADMAP's north star is a server hosting many
+tenants.  ``Workspace`` owns a set of *named* indexes and makes them
+share one persistent execution backend, so N lakes cost one worker
+pool — not N pools — while each lake keeps its own shared-memory CSR
+export, score cache, and incremental mutation surface::
+
+    from repro import ExecutionConfig, Workspace
+
+    workspace = Workspace(
+        execution=ExecutionConfig(n_jobs=4, persistent=True))
+    workspace.attach("zoo", zoo_lake)
+    workspace.attach("cars", "path/to/cars/csvs")      # or a directory
+
+    workspace.get("zoo").detect(measure="betweenness")  # shared pool
+    workspace.get("cars").detect(measure="lcc")         # same pool
+    workspace.close()   # closes every index, then the one pool
+
+The first attached lake is the *default* lake — the one legacy
+un-prefixed HTTP routes resolve to.  ``detach`` closes an index and
+releases its export without disturbing siblings; ``close`` (or a
+``with`` block) drains everything and finally tears the shared backend
+down.  All methods are thread-safe.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from ..datalake.lake import DataLake
+from ..perf.backends import (
+    ExecutionBackend,
+    backend_stats,
+    resolve_backend,
+)
+from ..perf.config import ExecutionConfig
+from .index import HomographIndex
+
+#: Lake names must be URL-path-safe: they become ``/lakes/<name>/...``
+#: route segments on the HTTP front-end.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class WorkspaceError(RuntimeError):
+    """Base class for workspace lifecycle and naming errors."""
+
+
+class UnknownLakeError(WorkspaceError, KeyError):
+    """Raised when a lake name is not attached to the workspace."""
+
+    def __str__(self) -> str:
+        """Render like a RuntimeError, not KeyError's quoted repr."""
+        return self.args[0] if self.args else ""
+
+
+class DuplicateLakeError(WorkspaceError):
+    """Raised when attaching a lake under a name already in use."""
+
+
+def validate_lake_name(name: str) -> str:
+    """Check that ``name`` is a legal (URL-safe) lake name.
+
+    Returns the name unchanged; raises :class:`ValueError` otherwise.
+    Legal names start with an alphanumeric and continue with
+    alphanumerics, dots, underscores, or dashes (max 64 characters).
+    """
+    # fullmatch, not match: '$' would tolerate a trailing newline,
+    # producing a mounted lake no URL path could ever reach.
+    if not isinstance(name, str) or not _NAME_PATTERN.fullmatch(name):
+        raise ValueError(
+            f"invalid lake name {name!r}: expected 1-64 characters of "
+            "[A-Za-z0-9._-] starting with a letter or digit"
+        )
+    return name
+
+
+class Workspace:
+    """A named set of :class:`HomographIndex` instances sharing one pool.
+
+    Parameters
+    ----------
+    execution:
+        The :class:`~repro.perf.ExecutionConfig` every attached index
+        inherits.  When it resolves to a process backend, **one**
+        backend instance is created lazily and shared across all
+        indexes — each index publishes its own graph export into the
+        shared backend's export table, and only the workspace closes
+        the backend.  ``None`` (default) scores serially with no
+        shared machinery.
+    prune_candidates:
+        Default for :class:`HomographIndex` construction; ``attach``
+        can override per lake.
+
+    Thread safety
+    -------------
+    ``attach``/``detach``/``get``/``names``/``stats``/``close`` may be
+    called concurrently with each other and with queries running on
+    the member indexes.
+    """
+
+    def __init__(
+        self,
+        execution: Optional[ExecutionConfig] = None,
+        prune_candidates: bool = True,
+    ) -> None:
+        self._execution = execution
+        self._prune_candidates = prune_candidates
+        self._lock = threading.RLock()
+        self._indexes: "OrderedDict[str, HomographIndex]" = OrderedDict()
+        self._backend: Optional[ExecutionBackend] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Shared backend
+    # ------------------------------------------------------------------
+    @property
+    def execution(self) -> Optional[ExecutionConfig]:
+        """The execution configuration shared by every attached index."""
+        return self._execution
+
+    @property
+    def backend(self) -> Optional[ExecutionBackend]:
+        """The shared backend, if one has been created yet."""
+        with self._lock:
+            return self._backend
+
+    def _shared_backend(self) -> Optional[ExecutionBackend]:
+        """Resolve the one workspace-scoped backend (lazily)."""
+        if self._execution is None:
+            return None
+        with self._lock:
+            if self._backend is None:
+                self._backend = resolve_backend(self._execution)
+            return self._backend
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        name: str,
+        lake: Union[DataLake, str, "object"],
+        prune_candidates: Optional[bool] = None,
+    ) -> HomographIndex:
+        """Mount a lake under ``name``; returns its new index.
+
+        ``lake`` is a :class:`~repro.datalake.DataLake` or a directory
+        (``str`` / ``os.PathLike``) of ``*.csv`` tables to load.  The
+        index is constructed with the workspace's execution config and
+        the shared backend, so its queries ride the one pool.
+        """
+        validate_lake_name(name)
+        if not isinstance(lake, DataLake):
+            from ..datalake.csv_io import load_lake
+
+            lake = load_lake(lake)
+        prune = (
+            self._prune_candidates
+            if prune_candidates is None
+            else prune_candidates
+        )
+        with self._lock:
+            if self._closed:
+                raise WorkspaceError("Workspace is closed")
+            if name in self._indexes:
+                raise DuplicateLakeError(
+                    f"lake {name!r} is already attached"
+                )
+            index = HomographIndex(
+                lake,
+                prune_candidates=prune,
+                execution=self._execution,
+                backend=self._shared_backend(),
+            )
+            self._indexes[name] = index
+            return index
+
+    def attach_index(self, name: str, index: HomographIndex) -> None:
+        """Mount an existing index under ``name``.
+
+        The index keeps whatever execution machinery it was built
+        with (it does *not* join the shared pool); the workspace takes
+        over its lifecycle — ``detach``/``close`` will close it.  This
+        is the adoption path the HTTP server uses for the legacy
+        single-index constructor.
+        """
+        validate_lake_name(name)
+        with self._lock:
+            if self._closed:
+                raise WorkspaceError("Workspace is closed")
+            if name in self._indexes:
+                raise DuplicateLakeError(
+                    f"lake {name!r} is already attached"
+                )
+            self._indexes[name] = index
+
+    def detach(self, name: str) -> HomographIndex:
+        """Unmount ``name``: close its index, release its export.
+
+        Siblings and the shared backend are untouched (the index's
+        ``close`` only drops its own graph export on a shared
+        backend).  Returns the closed index — its lake and cached
+        state remain readable.
+        """
+        with self._lock:
+            index = self._indexes.pop(name, None)
+        if index is None:
+            raise UnknownLakeError(f"no lake named {name!r}")
+        index.close()
+        return index
+
+    def get(self, name: str) -> HomographIndex:
+        """The index mounted at ``name`` (raises UnknownLakeError)."""
+        with self._lock:
+            index = self._indexes.get(name)
+        if index is None:
+            raise UnknownLakeError(f"no lake named {name!r}")
+        return index
+
+    def names(self) -> Tuple[str, ...]:
+        """Attached lake names, in attachment order."""
+        with self._lock:
+            return tuple(self._indexes)
+
+    @property
+    def default_name(self) -> Optional[str]:
+        """The first attached lake's name (legacy-route target)."""
+        with self._lock:
+            return next(iter(self._indexes), None)
+
+    def default_index(self) -> Optional[HomographIndex]:
+        """The first attached lake's index, or ``None`` when empty."""
+        with self._lock:
+            return next(iter(self._indexes.values()), None)
+
+    def __len__(self) -> int:
+        """Number of attached lakes."""
+        with self._lock:
+            return len(self._indexes)
+
+    def __contains__(self, name: object) -> bool:
+        """Whether a lake of that name is attached."""
+        with self._lock:
+            return name in self._indexes
+
+    def __iter__(self) -> Iterator[str]:
+        """Iterate over attached lake names (attachment order)."""
+        return iter(self.names())
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def stats(self) -> Dict[str, object]:
+        """One JSON-safe snapshot of the whole workspace.
+
+        ``lakes`` maps each name to its index's
+        :meth:`HomographIndex.stats` snapshot; ``pool`` reports the
+        shared backend (worker count, liveness, total exported
+        segments across all lakes).
+        """
+        with self._lock:
+            members = list(self._indexes.items())
+            backend = self._backend
+            closed = self._closed
+            default = next(iter(self._indexes), None)
+        return {
+            "lakes": {name: index.stats() for name, index in members},
+            "default_lake": default,
+            "closed": closed,
+            "pool": backend_stats(
+                backend, configured=self._execution is not None
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close every attached index, then the shared backend.
+
+        Idempotent.  Indexes drain their admitted calls as
+        :meth:`HomographIndex.close` documents; the shared backend —
+        the one worker pool and any remaining shared-memory
+        segments — is torn down last, once no index can reach it.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            members = list(self._indexes.values())
+            backend, self._backend = self._backend, None
+        for index in members:
+            index.close()
+        if backend is not None:
+            backend.close()
+
+    def __enter__(self) -> "Workspace":
+        """Enter a ``with`` block; the workspace itself is the target."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Close the workspace (indexes, then pool) on block exit."""
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Workspace(lakes={list(self.names())!r}, "
+            f"closed={self._closed})"
+        )

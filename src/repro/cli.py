@@ -85,9 +85,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = commands.add_parser(
         "serve",
-        help="serve a CSV lake over HTTP (detect / ranking / tables)",
+        help="serve one or more CSV lakes over HTTP "
+             "(detect / ranking / tables / async jobs)",
     )
-    serve.add_argument("directory", help="directory containing *.csv tables")
+    serve.add_argument("directories", nargs="*", metavar="DIR",
+                       help="directories of *.csv tables; each mounts as "
+                            "a lake named after its basename (first one "
+                            "is the default lake)")
+    serve.add_argument("--lake", action="append", default=None,
+                       metavar="NAME=DIR",
+                       help="mount DIR as the lake NAME (repeatable; "
+                            "combines with positional directories)")
+    serve.add_argument("--auth-token", default=None,
+                       help="require 'Authorization: Bearer TOKEN' on "
+                            "every route except /healthz (default: the "
+                            "DOMAINNET_TOKEN environment variable)")
+    serve.add_argument("--job-ttl", type=float, default=None,
+                       help="seconds a finished async job stays pollable "
+                            "at /jobs/<id> (default 300)")
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address (default 127.0.0.1)")
     serve.add_argument("--port", type=int, default=8080,
@@ -277,14 +292,64 @@ def _scan_serve(index, measures: List[str], sample, args) -> int:
     return 0
 
 
+def _lake_name_from_directory(directory: str, taken) -> str:
+    """Derive a URL-safe, unique lake name from a directory path."""
+    import os
+    import re as _re
+
+    base = os.path.basename(os.path.normpath(directory)) or "lake"
+    name = _re.sub(r"[^A-Za-z0-9._-]", "-", base).lstrip("._-") or "lake"
+    name = name[:60]
+    candidate, counter = name, 1
+    while candidate in taken:
+        counter += 1
+        candidate = f"{name}-{counter}"
+    return candidate
+
+
+def _serve_mounts(args) -> Optional[List]:
+    """Resolve the serve command's ``(name, directory)`` mount list.
+
+    Positional directories mount first (under their basenames) so
+    the first positional directory is the default lake, exactly as
+    the ``DIR`` help text promises; ``--lake NAME=DIR`` entries
+    follow, under their explicit names.  Returns ``None`` (with a
+    message on stderr) when the flags are unusable.
+    """
+    mounts: List = []
+    taken = set()
+    for directory in args.directories:
+        name = _lake_name_from_directory(directory, taken)
+        mounts.append((name, directory))
+        taken.add(name)
+    for entry in args.lake or []:
+        name, separator, directory = entry.partition("=")
+        if not separator or not name or not directory:
+            print(f"--lake expects NAME=DIR, got {entry!r}",
+                  file=sys.stderr)
+            return None
+        if name in taken:
+            print(f"duplicate lake name {name!r}", file=sys.stderr)
+            return None
+        mounts.append((name, directory))
+        taken.add(name)
+    if not mounts:
+        print("nothing to serve: pass directories and/or --lake NAME=DIR",
+              file=sys.stderr)
+        return None
+    return mounts
+
+
 def _cmd_serve(args) -> int:
-    """Serve the lake over HTTP until interrupted, then drain."""
+    """Serve the mounted lakes over HTTP until interrupted, then drain."""
+    import os
+
+    from .api import Workspace, validate_lake_name
     from .serving.http import HomographHTTPServer
 
-    lake = load_lake(args.directory)
-    if len(lake) == 0:
-        print("no CSV tables found", file=sys.stderr)
-        return 1
+    mounts = _serve_mounts(args)
+    if mounts is None:
+        return 2
     try:
         execution = _execution_from_flags(args, keep_pool=args.keep_pool)
     except ValueError as error:
@@ -295,21 +360,56 @@ def _cmd_serve(args) -> int:
         options["max_concurrent"] = args.max_concurrent
     if args.retry_after is not None:
         options["retry_after"] = args.retry_after
-    index = HomographIndex(
-        lake, prune_candidates=not args.no_prune, execution=execution
+    if args.job_ttl is not None:
+        if args.job_ttl <= 0:
+            print("--job-ttl must be > 0 seconds", file=sys.stderr)
+            return 2
+        options["job_ttl"] = args.job_ttl
+    token = args.auth_token
+    if token is None:
+        token = os.environ.get("DOMAINNET_TOKEN") or None
+    if token is not None:
+        options["auth_token"] = token
+    workspace = Workspace(
+        execution=execution, prune_candidates=not args.no_prune
     )
     try:
+        for name, directory in mounts:
+            validate_lake_name(name)
+            lake = load_lake(directory)
+            if len(lake) == 0:
+                print(f"no CSV tables found in {directory}",
+                      file=sys.stderr)
+                workspace.close()
+                return 1
+            workspace.attach(name, lake)
+    except OSError as error:
+        # Missing / unreadable directory: a message, not a traceback.
+        workspace.close()
+        print(str(error), file=sys.stderr)
+        return 1
+    except ValueError as error:
+        workspace.close()
+        print(str(error), file=sys.stderr)
+        return 2
+    try:
         server = HomographHTTPServer(
-            index, (args.host, args.port), **options
+            workspace, (args.host, args.port), **options
         )
     except OSError as error:
-        index.close()
+        workspace.close()
         print(f"cannot bind {args.host}:{args.port}: {error}",
               file=sys.stderr)
         return 1
     host, port = server.server_address[:2]
-    print(f"serving {len(lake)} tables on http://{host}:{port} "
-          f"(POST /detect, GET /ranking/<measure>, GET /healthz)",
+    listing = ", ".join(
+        f"{name}: {len(workspace.get(name).lake)} tables"
+        for name in workspace.names()
+    )
+    print(f"serving {len(workspace)} lake(s) ({listing}) "
+          f"on http://{host}:{port} "
+          f"(POST /lakes/<name>/detect, GET /lakes, GET /healthz"
+          f"{', bearer auth on' if token is not None else ''})",
           flush=True)
     try:
         server.serve_forever()

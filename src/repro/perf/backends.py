@@ -21,14 +21,18 @@ Two pool lifecycles are supported:
   forks a pool, runs, and tears everything down — simple and safe for
   one-shot batch scoring, but it pays ~0.1 s of setup per call;
 * **persistent** (``ProcessBackend(persistent=True)``): the pool and
-  the graph export survive across calls, so repeated queries against
-  one graph pay the setup cost once.  The export is keyed to the graph
-  *object*; scoring a different graph swaps the export in place (the
-  pool itself survives), and :meth:`ProcessBackend.invalidate_export`
-  releases it eagerly when the owner knows the graph mutated.  A
-  persistent backend must be released with :meth:`ProcessBackend.close`
-  (or used as a context manager) so its shared-memory segments are
-  unlinked deterministically.
+  the graph exports survive across calls, so repeated queries against
+  one graph pay the setup cost once.  Exports are keyed to the graph
+  *objects*: one backend can hold several live exports at once — this
+  is what lets a multi-lake :class:`~repro.api.Workspace` share one
+  worker pool across indexes, each serving its own graph.  Scoring a
+  graph that has no export yet adds one (the pool itself survives),
+  :meth:`ProcessBackend.invalidate_export` releases a single graph's
+  export (or all of them) eagerly when the owner knows the graph
+  mutated, and a garbage-collected graph releases its export
+  automatically.  A persistent backend must be released with
+  :meth:`ProcessBackend.close` (or used as a context manager) so its
+  shared-memory segments are unlinked deterministically.
 
 Determinism: chunk spans depend only on the work-list length, the job
 count, and the configured ``chunk_size`` — never on scheduling — so a
@@ -44,6 +48,7 @@ import contextvars
 import multiprocessing
 import threading
 import weakref
+from collections import OrderedDict
 from typing import Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -130,8 +135,14 @@ class ExecutionBackend(abc.ABC):
     def close(self) -> None:
         """Release any long-lived resources (pool, shared memory)."""
 
-    def invalidate_export(self) -> None:
-        """Drop any cached graph export (call when the graph mutates)."""
+    def invalidate_export(self, graph=None) -> None:
+        """Drop cached graph exports (call when a graph mutates).
+
+        ``graph=None`` drops every export; passing a graph drops only
+        that graph's export, which is how a multi-index owner (e.g. a
+        :class:`~repro.api.Workspace` member) invalidates its own
+        graph without disturbing siblings sharing the backend.
+        """
 
     def __enter__(self) -> "ExecutionBackend":
         """Enter a ``with`` block; the backend itself is the target."""
@@ -170,10 +181,17 @@ class SerialBackend(ExecutionBackend):
 _WORKER_CTX: Optional[GraphContext] = None
 _WORKER_SHM: List = []
 
-# Persistent-pool workers attach lazily per task instead: the current
-# attachment, keyed by segment names so a graph swap in the parent is
-# detected on the next task and stale segments are dropped.
-_WORKER_PERSISTENT = {"names": None, "ctx": None, "shm": []}
+# Persistent-pool workers attach lazily per task instead: a small LRU
+# of attachments keyed by segment names, so one long-lived pool can
+# interleave tasks for several graphs (a workspace of lakes) without
+# re-attaching on every swap.  Stale entries (a graph swap in the
+# parent) are evicted by capacity; the parent's unlink reclaims the
+# memory once the last attachment closes.
+_WORKER_EXPORTS: "OrderedDict[Tuple[str, str], Tuple[GraphContext, List]]" = (
+    OrderedDict()
+)
+#: Attachments a persistent worker keeps before evicting the oldest.
+_WORKER_EXPORT_CAP = 8
 
 
 def _open_shared_array(spec):
@@ -229,40 +247,64 @@ def _worker_task(task):
     return get_kernel(kernel)(_WORKER_CTX, payload, common)
 
 
+def _evict_worker_export(key=None) -> None:
+    """Drop one attachment (worker side): ``key``, or the LRU entry.
+
+    The array views must be released before ``shm.close()`` —
+    closing a segment whose buffer still has exported views raises
+    ``BufferError`` — so the GraphContext reference is dropped first.
+    """
+    if key is None:
+        _, stale = _WORKER_EXPORTS.popitem(last=False)
+    else:
+        stale = _WORKER_EXPORTS.pop(key)
+    shms = stale[1]
+    del stale  # free the GraphContext so its buffer views are released
+    for shm in shms:
+        with contextlib.suppress(Exception):
+            shm.close()
+
+
 def _persistent_worker_task(task):
     """Persistent pool task: (re)attach the export named by the task.
 
-    Each task carries the export specs; a worker compares segment
-    names against its current attachment and swaps — closing the stale
-    segments — when the parent exported a new graph.  This is what
-    lets one long-lived pool serve many graphs in sequence without a
-    restart.
+    Each task carries the export specs plus the set of exports live in
+    the parent; a worker looks its segment names up in the attachment
+    LRU and attaches on miss (evicting the oldest entry at capacity).
+    Cached attachments whose export the parent has dropped are closed
+    eagerly — an unlinked segment's memory is only reclaimed once the
+    last attachment closes, so retaining stale generations would pin
+    up to the LRU cap's worth of dead graphs.  This is what lets one
+    long-lived pool serve many graphs — several lakes' worth,
+    interleaved — without a restart, per-task re-attachment, or
+    memory retention across graph swaps.
     """
-    kernel, payload, common, specs = task
+    kernel, payload, common, specs, live_keys = task
     indptr_spec, indices_spec, num_nodes, num_values = specs
     names = (indptr_spec[0], indices_spec[0])
-    if _WORKER_PERSISTENT["names"] != names:
-        # Drop the array views before closing: shm.close() raises
-        # BufferError while the stale GraphContext still holds
-        # exported views of the buffer.
-        stale = _WORKER_PERSISTENT["shm"]
-        _WORKER_PERSISTENT["ctx"] = None
-        _WORKER_PERSISTENT["shm"] = []
-        _WORKER_PERSISTENT["names"] = None
-        for shm in stale:
-            with contextlib.suppress(Exception):
-                shm.close()
+    live = set(live_keys)
+    live.add(names)
+    for cached in [k for k in _WORKER_EXPORTS if k not in live]:
+        _evict_worker_export(cached)
+    entry = _WORKER_EXPORTS.get(names)
+    if entry is None:
+        while len(_WORKER_EXPORTS) >= _WORKER_EXPORT_CAP:
+            _evict_worker_export()
         indptr, indptr_shm = _open_shared_array(indptr_spec)
         indices, indices_shm = _open_shared_array(indices_spec)
-        _WORKER_PERSISTENT["shm"] = [indptr_shm, indices_shm]
-        _WORKER_PERSISTENT["ctx"] = GraphContext(
-            indptr=indptr,
-            indices=indices,
-            num_nodes=num_nodes,
-            num_values=num_values,
+        entry = (
+            GraphContext(
+                indptr=indptr,
+                indices=indices,
+                num_nodes=num_nodes,
+                num_values=num_values,
+            ),
+            [indptr_shm, indices_shm],
         )
-        _WORKER_PERSISTENT["names"] = names
-    return get_kernel(kernel)(_WORKER_PERSISTENT["ctx"], payload, common)
+        _WORKER_EXPORTS[names] = entry
+    else:
+        _WORKER_EXPORTS.move_to_end(names)
+    return get_kernel(kernel)(entry[0], payload, common)
 
 
 def _export_shared_array(array: np.ndarray):
@@ -294,6 +336,17 @@ def _release_segments(segments) -> None:
             pass
 
 
+class _GraphExport:
+    """One live shared-memory export: graph ref, task specs, segments."""
+
+    __slots__ = ("ref", "specs", "segments")
+
+    def __init__(self, ref, specs, segments) -> None:
+        self.ref = ref
+        self.specs = specs
+        self.segments = segments
+
+
 class ProcessBackend(ExecutionBackend):
     """Multi-core execution over a shared-memory worker pool.
 
@@ -307,11 +360,14 @@ class ProcessBackend(ExecutionBackend):
     for one ``map_chunks`` call.  With ``persistent=True`` both
     survive across calls: the first call forks the pool and exports
     the graph; later calls against the *same* graph object reuse both,
-    and a call against a different graph re-exports in place while the
-    pool keeps running.  Persistent backends are thread-safe — the
-    export swap is locked, and concurrent ``map_chunks`` calls against
-    the current graph share the pool — and must be released with
-    :meth:`close` (or a ``with`` block).
+    and a call against a different graph adds a second live export
+    while the pool keeps running — one pool can serve many graphs
+    concurrently (the multi-lake ``Workspace`` relies on this).  An
+    export is released when its graph is garbage-collected, when the
+    owner calls :meth:`invalidate_export`, or at :meth:`close`.
+    Persistent backends are thread-safe — the export table is locked,
+    and concurrent ``map_chunks`` calls share the pool — and must be
+    released with :meth:`close` (or a ``with`` block).
     """
 
     name = "process"
@@ -327,9 +383,11 @@ class ProcessBackend(ExecutionBackend):
         self.persistent = persistent
         self._lock = threading.RLock()
         self._pool = None
-        self._segments: List = []
-        self._specs = None
-        self._graph_ref: Optional[weakref.ref] = None
+        # Live exports, keyed by the exporting graph's id().  Each
+        # entry holds a weak reference to the graph (its death-watch
+        # callback releases the export), the picklable specs tasks
+        # carry, and the parent-side SharedMemory handles.
+        self._exports: "OrderedDict[int, _GraphExport]" = OrderedDict()
         self._closed = False
         # Concurrency bookkeeping for the persistent path: exports
         # replaced while `_inflight` maps are running are parked in
@@ -369,7 +427,29 @@ class ProcessBackend(ExecutionBackend):
     def export_names(self) -> Tuple[str, ...]:
         """Names of the live shared-memory segments (diagnostics)."""
         with self._lock:
-            return tuple(shm.name for shm in self._segments)
+            return tuple(
+                shm.name
+                for export in self._exports.values()
+                for shm in export.segments
+            )
+
+    @property
+    def _segments(self) -> List:
+        """Flat view of every live export's segments (diagnostics)."""
+        with self._lock:
+            return [
+                shm
+                for export in self._exports.values()
+                for shm in export.segments
+            ]
+
+    def export_names_for(self, graph) -> Tuple[str, ...]:
+        """Segment names of one graph's live export (empty if none)."""
+        with self._lock:
+            export = self._exports.get(id(graph))
+            if export is None or export.ref() is not graph:
+                return ()
+            return tuple(shm.name for shm in export.segments)
 
     def _ensure_pool(self):
         """Fork the persistent pool on first use."""
@@ -395,52 +475,83 @@ class ProcessBackend(ExecutionBackend):
                 self._ensure_pool()
 
     def _ensure_export(self, graph):
-        """Reuse or (re)build the shared-memory export for ``graph``.
+        """Reuse or build the shared-memory export for ``graph``.
 
-        The export is keyed to the graph object via a weak reference:
-        a new/mutated graph (a different object — `BipartiteGraph`
-        instances are immutable) replaces the export in place.
+        Exports are keyed to graph objects via weak references: each
+        distinct live graph gets its own export (a workspace of lakes
+        shares the one pool), and a graph's death releases its export
+        automatically through the weakref callback.
         """
-        current = self._graph_ref() if self._graph_ref is not None else None
-        if current is graph and self._specs is not None:
-            return self._specs
-        self._drop_export_locked()
+        key = id(graph)
+        export = self._exports.get(key)
+        if export is not None:
+            if export.ref() is graph:
+                return export.specs
+            # id() reuse: the original graph died (its callback is
+            # pending or suppressed) and `graph` recycled the address.
+            self._drop_export_locked(key)
         indptr_shm, indptr_spec = _export_shared_array(graph.indptr)
-        self._segments.append(indptr_shm)
+        segments = [indptr_shm]
         indices_shm, indices_spec = _export_shared_array(graph.indices)
-        self._segments.append(indices_shm)
-        self._specs = (
+        segments.append(indices_shm)
+        specs = (
             indptr_spec, indices_spec, graph.num_nodes, graph.num_values
         )
-        self._graph_ref = weakref.ref(graph)
-        return self._specs
 
-    def _drop_export_locked(self) -> None:
-        """Retire or release the current export (caller holds the lock).
+        def _on_collect(_ref, self_ref=weakref.ref(self), key=key):
+            backend = self_ref()
+            if backend is not None:
+                backend._release_dead_export(key)
+
+        self._exports[key] = _GraphExport(
+            ref=weakref.ref(graph, _on_collect),
+            specs=specs,
+            segments=segments,
+        )
+        return specs
+
+    def _release_dead_export(self, key: int) -> None:
+        """Weakref callback target: a graph died, drop its export."""
+        with self._lock:
+            if not self._closed and key in self._exports:
+                self._drop_export_locked(key)
+
+    def _drop_export_locked(self, key: int) -> None:
+        """Retire or release one export (caller holds the lock).
 
         With maps in flight the segments are parked instead of
         unlinked — a worker that has not attached yet would otherwise
         hit ``FileNotFoundError`` mid-call; the last draining map
         unlinks the parked segments.
         """
+        export = self._exports.pop(key, None)
+        if export is None:
+            return
         if self._inflight > 0:
-            self._retired.extend(self._segments)
+            self._retired.extend(export.segments)
         else:
-            _release_segments(self._segments)
-        self._segments = []
-        self._specs = None
-        self._graph_ref = None
+            _release_segments(export.segments)
 
-    def invalidate_export(self) -> None:
-        """Release the cached export now (the pool keeps running).
+    def invalidate_export(self, graph=None) -> None:
+        """Release cached exports now (the pool keeps running).
 
-        Called by owners that know the graph changed — e.g.
+        Called by owners that know a graph changed — e.g.
         ``HomographIndex`` table mutations — so segment memory is
-        freed before the next query re-exports.  In-flight calls keep
-        their segments until they finish.
+        freed before the next query re-exports.  ``graph=None`` drops
+        every export (the single-index spelling); passing a graph
+        drops only that graph's export, leaving siblings that share
+        the backend untouched.  In-flight calls keep their segments
+        until they finish.
         """
         with self._lock:
-            self._drop_export_locked()
+            if graph is None:
+                for key in list(self._exports):
+                    self._drop_export_locked(key)
+            else:
+                key = id(graph)
+                export = self._exports.get(key)
+                if export is not None and export.ref() in (graph, None):
+                    self._drop_export_locked(key)
 
     def close(self) -> None:
         """Shut the pool down and unlink every exported segment.
@@ -471,12 +582,11 @@ class ProcessBackend(ExecutionBackend):
             if pool is not None:
                 pool.terminate()
                 pool.join()
-            _release_segments(self._segments)
+            for export in self._exports.values():
+                _release_segments(export.segments)
             _release_segments(self._retired)
-            self._segments = []
+            self._exports = OrderedDict()
             self._retired = []
-            self._specs = None
-            self._graph_ref = None
             self._close_complete = True
             self._idle.notify_all()
 
@@ -506,10 +616,17 @@ class ProcessBackend(ExecutionBackend):
                 )
             specs = self._ensure_export(graph)
             pool = self._ensure_pool()
+            # Snapshot of every live export's cache key: workers use
+            # it to close attachments for exports we have dropped.
+            live_keys = tuple(
+                (export.specs[0][0], export.specs[1][0])
+                for export in self._exports.values()
+            )
             self._inflight += 1
         try:
             tasks = [
-                (kernel, payload, common, specs) for payload in payloads
+                (kernel, payload, common, specs, live_keys)
+                for payload in payloads
             ]
             return pool.map(_persistent_worker_task, tasks, chunksize=1)
         finally:
@@ -552,6 +669,25 @@ class ProcessBackend(ExecutionBackend):
             f"chunk_size={self.chunk_size}, "
             f"persistent={self.persistent})"
         )
+
+
+def backend_stats(
+    backend: Optional[ExecutionBackend], configured: bool
+) -> dict:
+    """JSON-safe health block for one backend (``None``-safe).
+
+    The shared shape behind every ``pool`` block in
+    ``HomographIndex.stats`` / ``Workspace.stats`` / ``GET /stats``,
+    so a new diagnostic field lands everywhere at once.
+    """
+    pool: dict = {"configured": configured}
+    if backend is not None:
+        pool["backend"] = type(backend).__name__
+        pool["jobs"] = backend.jobs
+        pool["persistent"] = getattr(backend, "persistent", False)
+        pool["alive"] = getattr(backend, "pool_alive", False)
+        pool["segments"] = len(getattr(backend, "export_names", ()))
+    return pool
 
 
 # ---------------------------------------------------------------------

@@ -7,16 +7,22 @@ request stream:
 * :class:`SingleFlight` — coalesce concurrent duplicate computations
   (N identical in-flight requests → one kernel run);
 * :mod:`repro.serving.http` — the stdlib HTTP/JSON front-end
-  (:class:`HomographHTTPServer`, :func:`start_server`) with cursor
-  pagination, bounded admission, and drain-on-shutdown;
+  (:class:`HomographHTTPServer`, :func:`start_server`) hosting a
+  whole multi-lake :class:`~repro.api.Workspace` behind namespaced
+  routes, with cursor pagination, gzip, keep-alive, bearer auth,
+  bounded admission, and drain-on-shutdown;
+* :mod:`repro.serving.jobs` — the async job API
+  (:class:`JobManager`: submit a detection, poll a job id, TTL
+  eviction of finished jobs);
 * :mod:`repro.serving.client` — the matching ``urllib`` client
-  (:class:`HomographClient`, :class:`ServiceError`);
+  (:class:`HomographClient` with per-lake handles and job helpers,
+  :class:`ServiceError`, :class:`JobFailed`);
 * the persistent worker pool itself lives in :mod:`repro.perf`
   (``ProcessBackend(persistent=True)``), since it is an execution
-  concern; ``HomographIndex`` composes the two.
+  concern; ``Workspace`` composes the two.
 
 See ``docs/serving.md`` for the end-to-end serving guide (HTTP API,
-pool lifecycle, invalidation rules, batch submission).
+pool lifecycle, invalidation rules, batch submission, async jobs).
 """
 
 from .singleflight import SingleFlight
@@ -24,8 +30,12 @@ from .singleflight import SingleFlight
 __all__ = [
     "HomographClient",
     "HomographHTTPServer",
+    "JobFailed",
+    "JobManager",
+    "JobOverflowError",
     "ServiceError",
     "SingleFlight",
+    "UnknownJobError",
     "start_server",
 ]
 
@@ -35,9 +45,13 @@ __all__ = [
 # keeps working.
 _LAZY = {
     "HomographClient": "client",
+    "JobFailed": "client",
     "ServiceError": "client",
     "HomographHTTPServer": "http",
     "start_server": "http",
+    "JobManager": "jobs",
+    "JobOverflowError": "jobs",
+    "UnknownJobError": "jobs",
 }
 
 

@@ -10,19 +10,30 @@ Typical round trip::
 
     from repro.serving.client import HomographClient
 
-    client = HomographClient(server.url)
+    client = HomographClient(server.url, token="s3cret")
     client.wait_ready()
     response = client.detect(measure="betweenness")      # DetectResponse
     for entry in client.iter_ranking("lcc", limit=500):  # RankedValue
         ...
 
+Multi-lake servers expose named lakes; a *lake handle* scopes every
+call to one of them, and jobs run detections asynchronously::
+
+    tus = client.lake("tus")                  # /lakes/tus/... routes
+    tus.detect(measure="lcc")
+    job_id = tus.submit(measure="betweenness")
+    client.poll(job_id)["state"]              # queued/running/done/error
+    response = client.wait(job_id)            # blocks; DetectResponse
+
 Failures come back as :class:`ServiceError` carrying the server's
 structured error payload (``status``, ``code``, ``message``) plus the
-``Retry-After`` hint on 503s.
+``Retry-After`` hint on 503s; a job that ends in its error state
+raises :class:`JobFailed` from :meth:`HomographClient.wait`.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 import time
 import urllib.error
@@ -64,6 +75,23 @@ class ServiceError(RuntimeError):
         self.retry_after = retry_after
 
 
+class JobFailed(RuntimeError):
+    """An async job reached its ``error`` terminal state.
+
+    ``job`` holds the full terminal snapshot from ``GET /jobs/<id>``
+    (``error.type`` distinguishes a cancelled job —
+    ``"CancelledError"`` — from a measure failure).
+    """
+
+    def __init__(self, job: Mapping) -> None:
+        error = job.get("error") or {}
+        super().__init__(
+            f"job {job.get('id')} failed: "
+            f"{error.get('type', 'Error')}: {error.get('message', '')}"
+        )
+        self.job = dict(job)
+
+
 class HomographClient:
     """Talk to a running :class:`~repro.serving.http.HomographHTTPServer`.
 
@@ -73,11 +101,46 @@ class HomographClient:
         Root of the service, e.g. ``"http://127.0.0.1:8080"``.
     timeout:
         Per-request socket timeout in seconds.
+    token:
+        Bearer token sent as ``Authorization: Bearer <token>`` on
+        every request, for servers started with an auth token.
+    lake:
+        Scope every lake-level call (``detect``, ``ranking_page``,
+        ``add_table``, ``submit``, ``stats``...) to this named lake
+        via the ``/lakes/<name>/...`` routes.  ``None`` (default)
+        uses the legacy un-prefixed routes, i.e. the server's default
+        lake.  Prefer :meth:`lake` to construct scoped handles.
     """
 
-    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 60.0,
+        token: Optional[str] = None,
+        lake: Optional[str] = None,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.token = token
+        self.lake_name = lake
+        self._prefix = (
+            f"/lakes/{urllib.parse.quote(lake, safe='')}" if lake else ""
+        )
+
+    def lake(self, name: str) -> "HomographClient":
+        """A handle scoped to one named lake (``/lakes/<name>/...``).
+
+        The handle shares this client's base URL, timeout, and token::
+
+            tus = client.lake("tus")
+            tus.detect(measure="betweenness")     # POST /lakes/tus/detect
+        """
+        return type(self)(
+            self.base_url,
+            timeout=self.timeout,
+            token=self.token,
+            lake=name,
+        )
 
     # ------------------------------------------------------------------
     # Transport
@@ -88,6 +151,7 @@ class HomographClient:
         path: str,
         payload: Optional[Mapping] = None,
         query: Optional[Mapping[str, object]] = None,
+        headers: Optional[Mapping[str, str]] = None,
     ) -> Dict[str, object]:
         url = self.base_url + path
         if query:
@@ -95,18 +159,26 @@ class HomographClient:
             if pairs:
                 url += "?" + urllib.parse.urlencode(pairs)
         data = None
-        headers = {"Accept": "application/json"}
+        request_headers = {"Accept": "application/json"}
+        if self.token is not None:
+            request_headers["Authorization"] = f"Bearer {self.token}"
+        if headers:
+            request_headers.update(headers)
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+            request_headers["Content-Type"] = "application/json"
         request = urllib.request.Request(
-            url, data=data, headers=headers, method=method
+            url, data=data, headers=request_headers, method=method
         )
         try:
             with urllib.request.urlopen(
                 request, timeout=self.timeout
             ) as response:
-                return json.loads(response.read().decode("utf-8"))
+                body = response.read()
+                encoding = response.headers.get("Content-Encoding", "")
+                if encoding.lower() == "gzip":
+                    body = gzip.decompress(body)
+                return json.loads(body.decode("utf-8"))
         except urllib.error.HTTPError as error:
             raise self._service_error(error) from None
 
@@ -132,12 +204,20 @@ class HomographClient:
                 pass
         return ServiceError(status, code, message, retry_after)
 
+    def _scoped(self, path: str) -> str:
+        """Apply the lake prefix to a lake-level route."""
+        return self._prefix + path
+
     # ------------------------------------------------------------------
     # Service surface
     # ------------------------------------------------------------------
     def healthz(self) -> Dict[str, object]:
-        """``GET /healthz`` — raises :class:`ServiceError` once closed."""
-        return self._request("GET", "/healthz")
+        """``GET /healthz`` — raises :class:`ServiceError` once closed.
+
+        On a lake handle this is the per-lake probe
+        (``GET /lakes/<name>/healthz``).
+        """
+        return self._request("GET", self._scoped("/healthz"))
 
     def wait_ready(self, timeout: float = 10.0) -> Dict[str, object]:
         """Poll ``/healthz`` until the service answers, then return it.
@@ -162,8 +242,16 @@ class HomographClient:
                 time.sleep(0.05)
 
     def stats(self) -> Dict[str, object]:
-        """``GET /stats`` — index counters plus the ``http`` block."""
-        return self._request("GET", "/stats")
+        """``GET /stats`` — index counters plus the ``http`` block.
+
+        On a lake handle: that lake's ``GET /lakes/<name>/stats``
+        snapshot instead.
+        """
+        return self._request("GET", self._scoped("/stats"))
+
+    def lakes(self) -> Dict[str, object]:
+        """``GET /lakes`` — the mounted lakes and the default name."""
+        return self._request("GET", "/lakes")
 
     def detect(
         self,
@@ -178,16 +266,90 @@ class HomographClient:
         :class:`DetectResponse` (``top`` truncates the ranking
         server-side).
         """
-        if request is None:
-            request = DetectRequest(**overrides)
-        elif overrides:
-            request = request.with_overrides(**overrides)
+        request = self._coerce(request, overrides)
         payload = self._request(
-            "POST", "/detect", payload=request.to_dict(),
+            "POST", self._scoped("/detect"), payload=request.to_dict(),
             query={"top": top},
         )
         return DetectResponse.from_dict(payload)
 
+    @staticmethod
+    def _coerce(
+        request: Optional[DetectRequest], overrides: Dict
+    ) -> DetectRequest:
+        if request is None:
+            return DetectRequest(**overrides)
+        if overrides:
+            return request.with_overrides(**overrides)
+        return request
+
+    # ------------------------------------------------------------------
+    # Async jobs
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: Optional[DetectRequest] = None,
+        **overrides,
+    ) -> str:
+        """``POST /detect?async=1`` — queue a detection, return job id.
+
+        The job runs server-side on the index's dispatcher and the
+        shared pool; poll it with :meth:`poll` or block with
+        :meth:`wait`.
+        """
+        request = self._coerce(request, overrides)
+        payload = self._request(
+            "POST", self._scoped("/detect"),
+            payload=request.to_dict(),
+            query={"async": 1},
+        )
+        return str(payload["job"])
+
+    def poll(self, job_id: str) -> Dict[str, object]:
+        """``GET /jobs/<id>`` — one state snapshot of an async job."""
+        return self._request(
+            "GET", f"/jobs/{urllib.parse.quote(job_id, safe='')}"
+        )
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        interval: float = 0.05,
+    ) -> DetectResponse:
+        """Poll a job until terminal; return its parsed response.
+
+        Raises :class:`JobFailed` when the job lands in its ``error``
+        state (including cancellation) and :class:`TimeoutError` when
+        it is still queued/running after ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.poll(job_id)
+            state = snapshot.get("state")
+            if state == "done":
+                return DetectResponse.from_dict(snapshot["response"])
+            if state == "error":
+                raise JobFailed(snapshot)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {state} after {timeout:.1f}s"
+                )
+            time.sleep(interval)
+
+    def cancel_job(self, job_id: str) -> Dict[str, object]:
+        """``DELETE /jobs/<id>`` — best-effort cancel, returns snapshot.
+
+        Cancelling a finished job is a no-op; the returned snapshot
+        simply reports the terminal state it already reached.
+        """
+        return self._request(
+            "DELETE", f"/jobs/{urllib.parse.quote(job_id, safe='')}"
+        )
+
+    # ------------------------------------------------------------------
+    # Rankings
+    # ------------------------------------------------------------------
     def ranking_page(
         self,
         measure: str,
@@ -200,12 +362,17 @@ class HomographClient:
         Returns the raw page payload (``entries``, ``next_cursor``,
         ``total``, ``measure``, ``descending``, ``cached``).  Extra
         keyword ``params`` become query parameters (``sample_size``,
-        ``seed``, ``lcc_variant``, ``endpoints``).
+        ``seed``, ``lcc_variant``, ``endpoints``).  The request
+        advertises ``Accept-Encoding: gzip`` and transparently
+        decompresses compressed pages.
         """
         query = {"cursor": cursor, "limit": limit, **params}
+        measure_segment = urllib.parse.quote(measure, safe="")
         return self._request(
-            "GET", f"/ranking/{urllib.parse.quote(measure)}",
+            "GET",
+            self._scoped(f"/ranking/{measure_segment}"),
             query=query,
+            headers={"Accept-Encoding": "gzip"},
         )
 
     def iter_ranking(
@@ -234,6 +401,9 @@ class HomographClient:
             if cursor is None:
                 return
 
+    # ------------------------------------------------------------------
+    # Lake mutation
+    # ------------------------------------------------------------------
     def add_table(self, table: Table) -> Dict[str, object]:
         """``POST /tables`` — add one table to the served lake."""
         columns = {
@@ -241,12 +411,17 @@ class HomographClient:
             for column in table.iter_columns()
         }
         return self._request(
-            "POST", "/tables",
+            "POST", self._scoped("/tables"),
             payload={"name": table.name, "columns": columns},
         )
 
     def remove_table(self, name: str) -> Dict[str, object]:
-        """``DELETE /tables/<name>`` — drop one table from the lake."""
+        """``DELETE /tables/<name>`` — drop one table from the lake.
+
+        The name travels as one path segment (``safe=""`` quoting),
+        so table names containing ``/`` or spaces round-trip.
+        """
         return self._request(
-            "DELETE", f"/tables/{urllib.parse.quote(name)}"
+            "DELETE",
+            self._scoped(f"/tables/{urllib.parse.quote(name, safe='')}"),
         )

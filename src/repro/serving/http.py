@@ -1,65 +1,99 @@
-"""A stdlib HTTP/JSON front-end over :class:`~repro.api.HomographIndex`.
+"""A stdlib HTTP/JSON front-end over a multi-lake :class:`Workspace`.
 
 PRs 2 and 3 built the engine — parallel kernels, a persistent worker
-pool, thread-safe single-flight detection — but nothing outside the
-process could reach it.  This module is the network surface: a
-:class:`ThreadingHTTPServer` whose handler threads call straight into
-one shared index, so N concurrent identical ``POST /detect`` requests
-ride the index's single-flight path and cost one kernel run.
+pool, thread-safe single-flight detection — and PR 4 put one lake on
+the network.  This module is the *workspace* surface: one
+:class:`ThreadingHTTPServer` hosting many named lakes that share one
+worker pool, with namespaced routes, an async job API, HTTP/1.1
+keep-alive, gzip ranking pages, and optional bearer-token auth.
 
 Endpoints (all JSON; errors come back as
 ``{"error": {"status", "code", "message"}}``):
 
-``POST /detect``
-    Body is a :class:`~repro.api.DetectRequest` payload
-    (``to_dict()`` form); the response is the full
-    :class:`~repro.api.DetectResponse` payload.  ``?top=K``
-    truncates the serialized ranking.
-``GET /ranking/<measure>?cursor=&limit=``
-    Cursor-paginated traversal of the (cached) ranking for a measure
-    — :meth:`~repro.core.ranking.HomographRanking.page` under the
-    hood, so a page is a slice, never a re-serialization of the full
-    ranking.  Extra query knobs: ``sample_size``, ``seed``,
-    ``lcc_variant``, ``endpoints``.
-``POST /tables`` / ``DELETE /tables/<name>``
-    Incremental lake mutation (``{"name": ..., "columns": {...}}``
-    body for POST); detection caches invalidate exactly as
+``GET /lakes``
+    The mounted lakes: name, table count, and which is the default.
+``POST /lakes/<name>/detect``
+    Body is a :class:`~repro.api.DetectRequest` payload; the response
+    is the full :class:`~repro.api.DetectResponse` payload.  ``?top=K``
+    truncates the serialized ranking.  ``?async=1`` returns ``202``
+    with a job id instead of blocking (see ``/jobs``).
+``GET /lakes/<name>/ranking/<measure>?cursor=&limit=``
+    Cursor-paginated ranking pages, gzip-compressed when the client
+    sends ``Accept-Encoding: gzip``.
+``POST /lakes/<name>/tables`` / ``DELETE /lakes/<name>/tables/<t>``
+    Incremental lake mutation, exactly as
     :meth:`HomographIndex.add_table` / ``remove_table`` document.
+``GET /lakes/<name>/healthz`` / ``GET /lakes/<name>/stats``
+    Per-lake liveness and the index's stats snapshot.
+``GET /jobs/<id>`` / ``DELETE /jobs/<id>``
+    Poll (``queued``/``running``/``done``/``error`` — the terminal
+    ``done`` payload embeds the same ``DetectResponse`` JSON the
+    synchronous route returns) or best-effort-cancel an async job.
+    Finished jobs are evicted after a TTL; polling later is 404.
 ``GET /healthz`` / ``GET /stats``
-    Liveness (503 once the index is closed) and the
-    :meth:`HomographIndex.stats` snapshot plus HTTP-layer counters.
+    Service liveness (503 once draining) and a merged snapshot: the
+    default lake's counters at the top level (legacy shape), plus
+    ``lakes`` (per-lake cache/pool/admission), ``workspace`` (shared
+    pool) and ``jobs`` blocks.
 
-Error surface: 400 malformed request, 404 unknown measure/table/route,
-409 closed index or duplicate table, 413 oversized body, and 503 with
-a ``Retry-After`` header when the bounded admission gate is full.
+Legacy single-lake routes — ``POST /detect``, ``GET
+/ranking/<measure>``, ``POST /tables``, ``DELETE /tables/<name>`` —
+keep working as aliases for the *default* (first-mounted) lake.
+
+Error surface: 400 malformed request, 401 missing/bad bearer token
+(when ``auth_token`` is configured; ``/healthz`` stays open for
+probes), 404 unknown lake/measure/table/job/route, 409 closed
+index or duplicate table, 411/413 body-length problems, and 503 with
+``Retry-After`` when the bounded admission gate is full.
 
 Shutdown is a drain, not a kill: :meth:`HomographHTTPServer.drain`
-stops accepting connections, joins every in-flight handler thread
-(``daemon_threads`` is off on purpose), and then reuses
-:meth:`HomographIndex.close` to reject stragglers and release the
-pool and its shared-memory segments.
+stops accepting connections, shuts down idle keep-alive sockets,
+joins every in-flight handler thread (``daemon_threads`` is off on
+purpose), then closes the workspace — every index, then the one
+shared pool.
 
 Typical embedding (the CLI's ``domainnet serve`` does exactly this)::
 
+    from repro.api.workspace import Workspace
     from repro.serving.http import start_server
 
-    server = start_server(index, port=0)        # ephemeral port
+    workspace = Workspace(execution=config)
+    workspace.attach("zoo", zoo_lake)
+    workspace.attach("cars", cars_lake)
+    server = start_server(workspace, port=0)    # ephemeral port
     print(server.url)
     ...
-    server.drain()                              # joins + index.close()
+    server.drain()              # joins + workspace.close()
+
+Constructing the server with a bare :class:`HomographIndex` still
+works: it is adopted into a one-lake workspace named ``"default"``.
 """
 
 from __future__ import annotations
 
+import contextlib
+import gzip
+import hmac
+import io
 import json
+import selectors
+import socket
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
-from urllib.parse import parse_qs, urlsplit
+from typing import Dict, List, Optional, Tuple, Union
+from urllib.parse import parse_qs, unquote, urlsplit
 
 from ..api import DetectRequest, HomographIndex, available_measures
+from ..api.workspace import UnknownLakeError, Workspace
 from ..datalake.lake import LakeError
 from ..datalake.table import Table, TableError
+from .jobs import (
+    DEFAULT_JOB_TTL,
+    DEFAULT_MAX_JOBS,
+    JobManager,
+    JobOverflowError,
+    UnknownJobError,
+)
 
 #: Default cap on a request body; protects the JSON parser, not disk.
 DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
@@ -70,6 +104,10 @@ DEFAULT_RETRY_AFTER = 1
 #: Default (and maximum) ``limit`` for ranking pages.
 DEFAULT_PAGE_LIMIT = 100
 MAX_PAGE_LIMIT = 10_000
+#: Name a bare index is mounted under when the server adopts it.
+DEFAULT_LAKE_NAME = "default"
+#: Query values accepted as "true" for the ``async`` flag.
+_TRUTHY = {"1", "true", "yes", "on"}
 
 
 class _HTTPProblem(Exception):
@@ -129,15 +167,26 @@ class HomographHTTPServer(ThreadingHTTPServer):
 
     Parameters
     ----------
-    index:
-        The :class:`HomographIndex` every handler thread queries.  The
-        server *owns* its lifecycle by default: :meth:`drain` closes
-        it (pass ``close_index=False`` to keep it).
+    workspace:
+        The :class:`~repro.api.Workspace` of lakes every handler
+        thread queries — or a bare :class:`HomographIndex`, adopted
+        into a fresh one-lake workspace under the name ``"default"``.
+        The server *owns* the workspace lifecycle by default:
+        :meth:`drain` closes it (pass ``close_index=False`` to keep
+        it).
     address:
         ``(host, port)`` to bind; port ``0`` picks an ephemeral port
         (read it back from :attr:`url` / ``server_address``).
     max_body_bytes / max_concurrent / retry_after:
         The protocol limits documented in the module docstring.
+    auth_token:
+        When set, every route except ``GET /healthz`` requires
+        ``Authorization: Bearer <token>``; failures are structured
+        401 responses.
+    job_ttl / max_jobs:
+        Seconds a finished async job stays pollable at
+        ``GET /jobs/<id>`` before eviction, and the cap on tracked
+        jobs (submits past it are 503s with ``Retry-After``).
     """
 
     # Handler threads are joined on server_close(): a drain must wait
@@ -147,18 +196,26 @@ class HomographHTTPServer(ThreadingHTTPServer):
 
     def __init__(
         self,
-        index: HomographIndex,
+        workspace: Union[Workspace, HomographIndex],
         address: Tuple[str, int] = ("127.0.0.1", 0),
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         max_concurrent: int = DEFAULT_MAX_CONCURRENT,
         retry_after: int = DEFAULT_RETRY_AFTER,
         quiet: bool = True,
+        auth_token: Optional[str] = None,
+        job_ttl: float = DEFAULT_JOB_TTL,
+        max_jobs: int = DEFAULT_MAX_JOBS,
     ) -> None:
         super().__init__(address, HomographRequestHandler)
-        self.index = index
+        if isinstance(workspace, HomographIndex):
+            index, workspace = workspace, Workspace()
+            workspace.attach_index(DEFAULT_LAKE_NAME, index)
+        self.workspace = workspace
+        self.jobs = JobManager(ttl=job_ttl, max_jobs=max_jobs)
         self.max_body_bytes = max_body_bytes
         self.retry_after = retry_after
         self.quiet = quiet
+        self.auth_token = auth_token
         self.gate = _AdmissionGate(max_concurrent)
         self._served = 0
         self._errors = 0
@@ -166,6 +223,8 @@ class HomographHTTPServer(ThreadingHTTPServer):
         self._loop_started = threading.Event()
         self._draining = False
         self._drain_lock = threading.Lock()
+        self._idle_lock = threading.Lock()
+        self._idle_sockets: set = set()
         self._thread: Optional[threading.Thread] = None
 
     # ------------------------------------------------------------------
@@ -176,6 +235,11 @@ class HomographHTTPServer(ThreadingHTTPServer):
         """Base URL of the bound socket (useful with port 0)."""
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
+
+    @property
+    def index(self) -> Optional[HomographIndex]:
+        """The default lake's index (legacy single-lake accessor)."""
+        return self.workspace.default_index()
 
     def count(self, ok: bool) -> None:
         """Record one completed response for ``/stats``."""
@@ -196,16 +260,59 @@ class HomographHTTPServer(ThreadingHTTPServer):
             "in_flight": self.gate.in_flight,
             "max_concurrent": self.gate.limit,
             "max_body_bytes": self.max_body_bytes,
+            "auth": self.auth_token is not None,
         }
+
+    # ------------------------------------------------------------------
+    # Keep-alive bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`drain` has started."""
+        with self._drain_lock:
+            return self._draining
+
+    def track_idle(self, connection) -> bool:
+        """Register a keep-alive socket about to wait for a request.
+
+        Returns ``False`` when the server is draining — the handler
+        must close instead of reading, or it would hold the drain's
+        thread-join hostage until the socket timeout.
+        """
+        with self._idle_lock:
+            if self._draining:
+                return False
+            self._idle_sockets.add(connection)
+            return True
+
+    def untrack_idle(self, connection) -> None:
+        """Unregister a socket that got a request (or hit EOF)."""
+        with self._idle_lock:
+            self._idle_sockets.discard(connection)
+
+    def _shutdown_idle_sockets(self) -> None:
+        """Wake idle keep-alive readers so their threads can exit."""
+        with self._idle_lock:
+            idle = list(self._idle_sockets)
+        for connection in idle:
+            with contextlib.suppress(OSError):
+                connection.shutdown(socket.SHUT_RDWR)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def serve_forever(self, poll_interval: float = 0.5) -> None:
-        """Run the accept loop; returns after :meth:`drain`/``shutdown``."""
-        if self._draining:
-            return
-        self._loop_started.set()
+        """Run the accept loop; returns after :meth:`drain`/``shutdown``.
+
+        The started-flag flip and the draining check share the drain
+        lock: either a racing :meth:`drain` sees the flag and waits
+        for the loop via ``shutdown()``, or this call sees the drain
+        and never touches the (already closed) socket.
+        """
+        with self._drain_lock:
+            if self._draining:
+                return
+            self._loop_started.set()
         super().serve_forever(poll_interval)
 
     def start_background(self) -> "HomographHTTPServer":
@@ -223,64 +330,80 @@ class HomographHTTPServer(ThreadingHTTPServer):
         """Graceful shutdown: stop accepting, finish in-flight, close.
 
         Safe to call from any thread and idempotent.  Steps: stop the
-        accept loop, close the listening socket and join every
-        in-flight handler thread (their responses are delivered, not
-        cut), then :meth:`HomographIndex.close` — which itself waits
-        for admitted ``detect`` calls and releases the worker pool and
-        shared-memory segments.
+        accept loop, shut down idle keep-alive sockets (their handler
+        threads see EOF and exit), close the listening socket and join
+        every in-flight handler thread (their responses are delivered,
+        not cut), then close the workspace — every index drains its
+        admitted ``detect`` calls, queued async jobs land in their
+        cancelled terminal state, and the shared worker pool plus its
+        shared-memory segments are released last.  Pass
+        ``close_index=False`` to keep the workspace (and its indexes)
+        alive for reuse.
         """
         with self._drain_lock:
             already = self._draining
             self._draining = True
         if not already:
+            self._shutdown_idle_sockets()
             if self._loop_started.is_set():
                 self.shutdown()
             self.server_close()
         if self._thread is not None and self._thread is not \
                 threading.current_thread():
             self._thread.join()
+        # Not gated on `already`: a first drain(close_index=False)
+        # must not turn a later drain(close_index=True) into a leak.
+        # workspace.close() and jobs.drain() are both idempotent.
         if close_index:
-            self.index.close()
+            self.workspace.close()
+            # Queued jobs were cancelled by the workspace close; wait
+            # for stragglers so their snapshots are terminal.
+            self.jobs.drain(timeout=30.0)
 
     def __enter__(self) -> "HomographHTTPServer":
         """Enter a ``with`` block; the server itself is the target."""
         return self
 
     def __exit__(self, *exc) -> None:
-        """Drain (and close the index) on ``with``-block exit."""
+        """Drain (and close the workspace) on ``with``-block exit."""
         self.drain()
 
 
 def start_server(
-    index: HomographIndex,
+    workspace: Union[Workspace, HomographIndex],
     host: str = "127.0.0.1",
     port: int = 0,
     **options,
 ) -> HomographHTTPServer:
     """Construct a server and run its accept loop in the background.
 
-    The accept loop runs on a daemon thread; the returned server is
+    ``workspace`` is a :class:`~repro.api.Workspace` or a bare
+    :class:`HomographIndex` (adopted as the one-lake workspace).  The
+    accept loop runs on a daemon thread; the returned server is
     already reachable at ``server.url``.  Call
     :meth:`HomographHTTPServer.drain` (or use the server as a context
-    manager) to stop it and close the index.
+    manager) to stop it and close the workspace.
     """
-    server = HomographHTTPServer(index, (host, port), **options)
+    server = HomographHTTPServer(workspace, (host, port), **options)
     return server.start_background()
 
 
 class HomographRequestHandler(BaseHTTPRequestHandler):
-    """Routes one HTTP request onto the shared index.
+    """Routes one HTTP request onto the shared workspace.
 
     Instantiated per connection by :class:`HomographHTTPServer` (one
-    thread each); every route is a small parse step around an index
-    call, with failures normalized into :class:`_HTTPProblem`.
+    thread each, serving the connection's whole keep-alive lifetime);
+    every route is a small parse step around an index call, with
+    failures normalized into :class:`_HTTPProblem`.
     """
 
-    server_version = "DomainNetServe/1.0"
-    # HTTP/1.0 (no keep-alive): every response carries Content-Length
-    # and closes the connection, which keeps the drain semantics
-    # simple — joining handler threads never waits on an idle socket.
-    protocol_version = "HTTP/1.0"
+    server_version = "DomainNetServe/2.0"
+    # HTTP/1.1 with keep-alive: every response carries an exact
+    # Content-Length (errors included), so one connection can carry
+    # many requests.  Idle connections are tracked with the server
+    # and shut down on drain — joining handler threads never waits on
+    # an idle socket.
+    protocol_version = "HTTP/1.1"
     # Per-connection socket timeout: a stalled client (headers sent,
     # body never arriving) must not wedge a non-daemon handler thread
     # forever — drain() joins them all.
@@ -292,26 +415,153 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
         if not self.server.quiet:
             super().log_message(format, *args)
 
+    def handle(self) -> None:
+        """Serve the connection's requests until close or drain.
+
+        Between requests the socket is registered with the server as
+        *idle* so :meth:`HomographHTTPServer.drain` can shut it down;
+        it is unregistered the moment request bytes arrive, so a
+        drain never cuts a request that is already being processed —
+        its handler thread is simply joined and the response
+        delivered.
+        """
+        self.close_connection = True
+        self.handle_one_request()
+        if self.close_connection:
+            return
+        # One selector per connection, registered once: the idle wait
+        # runs between every keep-alive request, so per-wait selector
+        # construction would churn a kernel object per request.
+        # selectors (poll/epoll) rather than select.select, which
+        # raises on fds past FD_SETSIZE under many connections.
+        try:
+            selector = selectors.DefaultSelector()
+        except OSError:  # pragma: no cover - fd exhaustion
+            return
+        try:
+            selector.register(self.connection, selectors.EVENT_READ)
+        except (OSError, ValueError):  # pragma: no cover - closed
+            selector.close()
+            return
+        try:
+            while not self.close_connection:
+                if not self.server.track_idle(self.connection):
+                    break  # draining: do not start another idle read
+                try:
+                    ready = self._await_request(selector)
+                finally:
+                    self.server.untrack_idle(self.connection)
+                if not ready:
+                    break
+                self.handle_one_request()
+        finally:
+            selector.close()
+
+    def _await_request(self, selector) -> bool:
+        """Block until the idle socket has request bytes (or dies).
+
+        Returns ``False`` when the connection should close instead:
+        the idle timeout expired, the socket failed, or a drain shut
+        it down (which makes it readable — the subsequent read sees
+        EOF and closes cleanly, so readability is returned as
+        ``True`` there).
+        """
+        if self._has_buffered_bytes():
+            return True
+        try:
+            return bool(selector.select(self.timeout))
+        except (OSError, ValueError):  # closed under us
+            return False
+
+    def _has_buffered_bytes(self) -> bool:
+        """Whether ``rfile`` already buffered part of the next request.
+
+        A pipelining client can put two requests in one segment; the
+        buffered reader then over-reads the second one, and the raw
+        socket never turns readable for ``select``.  Peek with the
+        socket briefly non-blocking so an empty buffer answers
+        ``False`` instead of blocking.
+        """
+        try:
+            self.connection.settimeout(0)
+            try:
+                return bool(self.rfile.peek(1))
+            finally:
+                self.connection.settimeout(self.timeout)
+        except (BlockingIOError, InterruptedError):
+            return False
+        except (OSError, ValueError):  # closed under us
+            return False
+
+    def _accepts_gzip(self) -> bool:
+        """Whether the request advertised ``Accept-Encoding: gzip``.
+
+        Honors q-values: ``gzip;q=0`` is an explicit refusal, not an
+        acceptance.
+        """
+        raw = self.headers.get("Accept-Encoding", "")
+        for token in raw.split(","):
+            name, _, params = token.partition(";")
+            if name.strip().lower() not in ("gzip", "x-gzip"):
+                continue
+            quality = 1.0
+            for param in params.split(";"):
+                key, _, value = param.partition("=")
+                if key.strip().lower() == "q":
+                    try:
+                        quality = float(value.strip())
+                    except ValueError:
+                        quality = 0.0
+            if quality > 0.0:
+                # Any acceptable gzip-family token wins; keep
+                # scanning past refused aliases ('x-gzip;q=0, gzip').
+                return True
+        return False
+
     def _send_json(
         self,
         status: int,
         payload: Dict[str, object],
         extra_headers: Optional[Dict[str, str]] = None,
+        compress: bool = False,
     ) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        headers = dict(extra_headers or {})
+        if compress:
+            # Negotiated compression: the uncompressed shape stays
+            # available to clients that did not ask for gzip.
+            headers.setdefault("Vary", "Accept-Encoding")
+            if self._accepts_gzip():
+                buffer = io.BytesIO()
+                # mtime=0 keeps equal payloads byte-identical.
+                with gzip.GzipFile(
+                    fileobj=buffer, mode="wb", mtime=0
+                ) as stream:
+                    stream.write(body)
+                body = buffer.getvalue()
+                headers["Content-Encoding"] = "gzip"
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
-        for name, value in (extra_headers or {}).items():
+        for name, value in headers.items():
             self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(body)
+        # Count before the body write: a client that reads this
+        # response and immediately asks /stats must see it counted.
         self.server.count(ok=status < 400)
+        self.wfile.write(body)
 
     def _send_problem(self, problem: _HTTPProblem) -> None:
         headers = {}
         if problem.retry_after is not None:
             headers["Retry-After"] = str(problem.retry_after)
+        if problem.status == 401:
+            headers["WWW-Authenticate"] = "Bearer"
+        # An errored request may leave an unread body on the socket
+        # (auth failures, unknown routes); reusing the connection
+        # would parse those bytes as the next request line.  Close it.
+        self.close_connection = True
+        headers["Connection"] = "close"
         self._send_json(
             problem.status,
             {
@@ -356,6 +606,7 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
                 f"{self.server.max_body_bytes}-byte limit",
             )
         body = self.rfile.read(length) if length else b""
+        self._body_consumed = True
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -370,8 +621,29 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
             )
         return payload
 
-    def _check_open(self) -> None:
-        if self.server.index.closed:
+    def _authorize(self, segments: List[str]) -> None:
+        """Enforce bearer-token auth when the server has a token.
+
+        ``GET /healthz`` stays open so liveness probes keep working
+        without credentials.
+        """
+        token = self.server.auth_token
+        if token is None or segments == ["healthz"]:
+            return
+        supplied = self.headers.get("Authorization", "")
+        expected = f"Bearer {token}"
+        if not hmac.compare_digest(
+            supplied.encode("utf-8"), expected.encode("utf-8")
+        ):
+            raise _HTTPProblem(
+                401, "unauthorized",
+                "missing or invalid bearer token; send "
+                "'Authorization: Bearer <token>'",
+            )
+
+    @staticmethod
+    def _check_open(index: HomographIndex) -> None:
+        if index.closed:
             raise _HTTPProblem(
                 409, "index-closed",
                 "the index has been closed; the service is draining",
@@ -386,20 +658,24 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
                 retry_after=self.server.retry_after,
             )
 
-    def _detect(self, request: DetectRequest):
-        """Run one admitted detection, mapping index errors to HTTP."""
-        if request.measure not in available_measures():
+    @staticmethod
+    def _check_measure(measure: str) -> None:
+        if measure not in available_measures():
             raise _HTTPProblem(
                 404, "unknown-measure",
-                f"unknown measure {request.measure!r}; available: "
+                f"unknown measure {measure!r}; available: "
                 f"{', '.join(available_measures())}",
             )
-        self._check_open()
+
+    def _detect(self, index: HomographIndex, request: DetectRequest):
+        """Run one admitted detection, mapping index errors to HTTP."""
+        self._check_measure(request.measure)
+        self._check_open(index)
         self._admit()
         try:
-            return self.server.index.detect(request)
+            return index.detect(request)
         except RuntimeError as error:
-            if self.server.index.closed:
+            if index.closed:
                 raise _HTTPProblem(
                     409, "index-closed", str(error)
                 ) from None
@@ -407,17 +683,59 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
         finally:
             self.server.gate.release()
 
+    # -- routing -------------------------------------------------------
+    def _discard_unread_body(self) -> None:
+        """Drain a request body no handler read, keeping framing valid.
+
+        A GET/DELETE may legally carry a body; if nobody consumed it,
+        its bytes would be parsed as the next request line on this
+        keep-alive connection.  Small leftovers are read and dropped;
+        oversized or chunked ones just close the connection.
+        """
+        if self.close_connection or self._body_consumed:
+            return
+        if self.headers.get("Transfer-Encoding"):
+            self.close_connection = True  # framing we do not speak
+            return
+        try:
+            remaining = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            self.close_connection = True
+            return
+        if remaining <= 0:
+            return
+        if remaining > 1 << 20:
+            self.close_connection = True  # not worth draining
+            return
+        try:
+            while remaining > 0:
+                chunk = self.rfile.read(min(remaining, 65536))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+        except OSError:
+            # The response already went out; never raise past here —
+            # a second (error) response would corrupt the stream.
+            self.close_connection = True
+
     def _route(self, method: str) -> None:
         parts = urlsplit(self.path)
-        segments = [s for s in parts.path.split("/") if s]
+        # Split on raw slashes first, then percent-decode each
+        # segment: clients quote() names (tables, measures, job ids),
+        # and an encoded %2F stays inside its segment.
+        segments = [
+            unquote(s) for s in parts.path.split("/") if s
+        ]
         query = parse_qs(parts.query)
+        self._body_consumed = False
         try:
-            handler = self._resolve(method, segments)
-            handler(segments, query)
+            self._authorize(segments)
+            self._dispatch(method, segments, query)
+            self._discard_unread_body()
         except _HTTPProblem as problem:
             self._send_problem(problem)
         except ConnectionError:  # pragma: no cover - client went away
-            pass  # broken pipe / reset: nobody left to answer
+            self.close_connection = True  # broken pipe: stop reusing
         except Exception as error:  # noqa: BLE001 - last-resort mapping
             # The connection may already be half-written or dead (e.g.
             # the failure *was* a mid-response disconnect): attempt the
@@ -429,63 +747,250 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
                     f"{type(error).__name__}: {error}",
                 ))
             except (ConnectionError, TimeoutError, OSError):
-                pass  # pragma: no cover - dead connection
+                self.close_connection = True  # pragma: no cover
 
-    def _resolve(self, method: str, segments):
-        routes = {
-            ("GET", "healthz"): self._handle_healthz,
-            ("GET", "stats"): self._handle_stats,
-            ("GET", "ranking"): self._handle_ranking,
-            ("POST", "detect"): self._handle_detect,
-            ("POST", "tables"): self._handle_add_table,
-            ("DELETE", "tables"): self._handle_remove_table,
-        }
+    def _dispatch(self, method: str, segments: List[str], query) -> None:
+        """Top-level router: global, ``/lakes``, ``/jobs``, legacy."""
         head = segments[0] if segments else ""
-        handler = routes.get((method, head))
-        if handler is None:
+        if head == "healthz" and len(segments) == 1:
+            if method != "GET":
+                raise self._unknown_route(method, segments)
+            return self._handle_healthz()
+        if head == "stats" and len(segments) == 1:
+            if method != "GET":
+                raise self._unknown_route(method, segments)
+            return self._handle_stats()
+        if head == "lakes":
+            if len(segments) == 1:
+                if method != "GET":
+                    raise self._unknown_route(method, segments)
+                return self._handle_lakes()
+            name, rest = segments[1], segments[2:]
+            return self._lake_route(method, name, rest, query)
+        if head == "jobs":
+            if len(segments) != 2:
+                raise self._unknown_route(method, segments)
+            if method == "GET":
+                return self._handle_job_poll(segments[1])
+            if method == "DELETE":
+                return self._handle_job_cancel(segments[1])
+            raise self._unknown_route(method, segments)
+        # Legacy un-prefixed routes resolve against the default lake.
+        return self._lake_route(method, None, segments, query)
+
+    @staticmethod
+    def _unknown_route(method: str, segments: List[str]) -> _HTTPProblem:
+        return _HTTPProblem(
+            404, "unknown-route",
+            f"no such endpoint: {method} /{'/'.join(segments)}",
+        )
+
+    def _resolve_lake(
+        self, name: Optional[str]
+    ) -> Tuple[str, HomographIndex]:
+        """Map a lake name (``None`` = default) to its index or 404."""
+        workspace = self.server.workspace
+        if name is None:
+            default = workspace.default_name
+            if default is None:
+                raise _HTTPProblem(
+                    404, "unknown-lake",
+                    "no lakes are mounted on this server",
+                )
+            name = default
+        try:
+            return name, workspace.get(name)
+        except UnknownLakeError:
             raise _HTTPProblem(
-                404, "unknown-route",
-                f"no such endpoint: {method} /{'/'.join(segments)}",
-            )
-        return handler
+                404, "unknown-lake",
+                f"no lake named {name!r}; mounted: "
+                f"{', '.join(workspace.names()) or '(none)'}",
+            ) from None
 
-    # -- routes --------------------------------------------------------
-    def _handle_healthz(self, segments, query) -> None:
-        if self.server.index.closed:
+    def _lake_route(
+        self,
+        method: str,
+        name: Optional[str],
+        rest: List[str],
+        query,
+    ) -> None:
+        """Dispatch one lake-scoped operation (legacy or namespaced)."""
+        lake_name, index = self._resolve_lake(name)
+        head = rest[0] if rest else ""
+        if method == "POST" and rest == ["detect"]:
+            return self._handle_detect(lake_name, index, query)
+        if method == "GET" and head == "ranking" and len(rest) == 2:
+            return self._handle_ranking(index, rest[1], query)
+        if method == "POST" and rest == ["tables"]:
+            return self._handle_add_table(index)
+        if method == "DELETE" and head == "tables" and len(rest) == 2:
+            return self._handle_remove_table(index, rest[1])
+        if method == "GET" and rest == ["healthz"]:
+            return self._handle_lake_healthz(lake_name, index)
+        if method == "GET" and rest == ["stats"]:
+            return self._send_json(200, index.stats())
+        prefix = [] if name is None else ["lakes", name]
+        raise self._unknown_route(method, prefix + rest)
+
+    # -- global routes -------------------------------------------------
+    def _handle_healthz(self) -> None:
+        index = self.server.index
+        if self.server.workspace.closed or (
+            index is not None and index.closed
+        ):
             self._send_json(503, {"status": "closed"})
-        else:
-            self._send_json(
-                200,
-                {"status": "ok", "tables": len(self.server.index.lake)},
-            )
+            return
+        names = self.server.workspace.names()
+        self._send_json(
+            200,
+            {
+                "status": "ok",
+                "tables": 0 if index is None else len(index.lake),
+                "lakes": list(names),
+            },
+        )
 
-    def _handle_stats(self, segments, query) -> None:
-        stats = self.server.index.stats()
+    def _handle_stats(self) -> None:
+        """Merged snapshot: default-lake counters + per-lake blocks."""
+        workspace = self.server.workspace
+        workspace_stats = workspace.stats()
+        default = workspace_stats["default_lake"]
+        # Legacy shape first: the default lake's counters stay at the
+        # top level so single-lake dashboards keep reading.  Reuse
+        # the snapshot already taken for the `lakes` block instead of
+        # walking the index's lock twice per monitoring poll.
+        stats: Dict[str, object] = (
+            dict(workspace_stats["lakes"][default])
+            if default is not None
+            else {"closed": workspace.closed}
+        )
+        stats["lakes"] = workspace_stats["lakes"]
+        stats["default_lake"] = workspace_stats["default_lake"]
+        stats["workspace"] = {
+            "closed": workspace_stats["closed"],
+            "pool": workspace_stats["pool"],
+        }
+        stats["jobs"] = self.server.jobs.stats()
         stats["http"] = self.server.http_stats()
         self._send_json(200, stats)
 
-    def _handle_detect(self, segments, query) -> None:
-        if len(segments) != 1:
-            raise _HTTPProblem(404, "unknown-route", "POST /detect")
-        payload = self._read_json_body()
+    def _handle_lakes(self) -> None:
+        workspace = self.server.workspace
+        default = workspace.default_name
+        lakes = []
+        for name in workspace.names():
+            try:
+                index = workspace.get(name)
+            except UnknownLakeError:  # pragma: no cover - detach race
+                continue
+            lakes.append({
+                "name": name,
+                "tables": len(index.lake),
+                "default": name == default,
+                "closed": index.closed,
+            })
+        self._send_json(
+            200, {"lakes": lakes, "default": default}
+        )
+
+    def _handle_lake_healthz(
+        self, lake_name: str, index: HomographIndex
+    ) -> None:
+        if index.closed:
+            self._send_json(503, {"status": "closed", "lake": lake_name})
+        else:
+            self._send_json(200, {
+                "status": "ok",
+                "lake": lake_name,
+                "tables": len(index.lake),
+            })
+
+    # -- jobs ----------------------------------------------------------
+    def _handle_job_poll(self, job_id: str) -> None:
         try:
-            request = DetectRequest.from_dict(payload)
+            snapshot = self.server.jobs.get(job_id)
+        except UnknownJobError as error:
+            raise _HTTPProblem(
+                404, "unknown-job", str(error)
+            ) from None
+        self._send_json(200, snapshot)
+
+    def _handle_job_cancel(self, job_id: str) -> None:
+        try:
+            snapshot = self.server.jobs.cancel(job_id)
+        except UnknownJobError as error:
+            raise _HTTPProblem(
+                404, "unknown-job", str(error)
+            ) from None
+        self._send_json(200, snapshot)
+
+    # -- lake-scoped routes --------------------------------------------
+    def _parse_detect_request(self, payload) -> DetectRequest:
+        try:
+            return DetectRequest.from_dict(payload)
         except (TypeError, ValueError) as error:
             raise _HTTPProblem(
                 400, "invalid-request",
                 f"not a valid DetectRequest payload: {error}",
             ) from None
-        response = self._detect(request)
+
+    def _handle_detect(
+        self, lake_name: str, index: HomographIndex, query
+    ) -> None:
+        payload = self._read_json_body()
+        request = self._parse_detect_request(payload)
+        # Validate the paging knob up front: a bad ?top= must fail
+        # before the (potentially expensive) computation — or before
+        # a doomed async job is queued.
         top = self._int_param(query, "top", default=None, minimum=0)
+        if self._flag_param(query, "async"):
+            return self._handle_detect_async(
+                lake_name, index, request, top
+            )
+        response = self._detect(index, request)
         self._send_json(200, response.to_dict(top=top))
 
-    def _handle_ranking(self, segments, query) -> None:
-        if len(segments) != 2:
-            raise _HTTPProblem(
-                404, "unknown-route",
-                "ranking requests look like GET /ranking/<measure>",
+    def _handle_detect_async(
+        self,
+        lake_name: str,
+        index: HomographIndex,
+        request: DetectRequest,
+        top: Optional[int] = None,
+    ) -> None:
+        """``?async=1``: queue the request, answer 202 with a job id.
+
+        Async submissions are not admission-gated — they occupy an
+        index dispatcher slot, not a handler thread — but the measure
+        and index-open checks still apply, so an immediately-doomed
+        job fails here instead of as a polled error.  ``top`` carries
+        the synchronous route's ranking truncation into the job's
+        terminal payload.
+        """
+        self._check_measure(request.measure)
+        self._check_open(index)
+        try:
+            job_id = self.server.jobs.submit(
+                lake_name, index, request, top=top
             )
-        measure = segments[1]
+        except JobOverflowError as error:
+            raise _HTTPProblem(
+                503, "jobs-overloaded", str(error),
+                retry_after=self.server.retry_after,
+            ) from None
+        except RuntimeError as error:
+            raise _HTTPProblem(
+                409, "index-closed", str(error)
+            ) from None
+        self._send_json(202, {
+            "job": job_id,
+            "lake": lake_name,
+            "state": "queued",
+            "poll": f"/jobs/{job_id}",
+        })
+
+    def _handle_ranking(
+        self, index: HomographIndex, measure: str, query
+    ) -> None:
         request = DetectRequest(
             measure=measure,
             sample_size=self._int_param(query, "sample_size", None, 1),
@@ -504,7 +1009,7 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
                 400, "invalid-paging",
                 f"limit {limit} exceeds the {MAX_PAGE_LIMIT} maximum",
             )
-        response = self._detect(request)
+        response = self._detect(index, request)
         try:
             page = response.ranking.page(cursor=cursor, limit=limit)
         except ValueError as error:
@@ -513,12 +1018,10 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
             ) from None
         payload = page.to_dict()
         payload["cached"] = response.cached
-        self._send_json(200, payload)
+        self._send_json(200, payload, compress=True)
 
-    def _handle_add_table(self, segments, query) -> None:
-        if len(segments) != 1:
-            raise _HTTPProblem(404, "unknown-route", "POST /tables")
-        self._check_open()
+    def _handle_add_table(self, index: HomographIndex) -> None:
+        self._check_open(index)
         payload = self._read_json_body()
         name = payload.get("name")
         columns = payload.get("columns")
@@ -535,33 +1038,29 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
                 400, "invalid-table", str(error)
             ) from None
         try:
-            self.server.index.add_table(table)
+            index.add_table(table)
         except LakeError as error:
             raise _HTTPProblem(
                 409, "duplicate-table", str(error)
             ) from None
         self._send_json(
             201,
-            {"table": name, "tables": len(self.server.index.lake)},
+            {"table": name, "tables": len(index.lake)},
         )
 
-    def _handle_remove_table(self, segments, query) -> None:
-        if len(segments) != 2:
-            raise _HTTPProblem(
-                404, "unknown-route",
-                "table deletion looks like DELETE /tables/<name>",
-            )
-        self._check_open()
-        name = segments[1]
+    def _handle_remove_table(
+        self, index: HomographIndex, name: str
+    ) -> None:
+        self._check_open(index)
         try:
-            self.server.index.remove_table(name)
+            index.remove_table(name)
         except LakeError as error:
             raise _HTTPProblem(
                 404, "unknown-table", str(error)
             ) from None
         self._send_json(
             200,
-            {"table": name, "tables": len(self.server.index.lake)},
+            {"table": name, "tables": len(index.lake)},
         )
 
     # -- param parsing -------------------------------------------------
@@ -569,6 +1068,13 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
     def _str_param(query, name: str, default):
         values = query.get(name)
         return values[-1] if values else default
+
+    @staticmethod
+    def _flag_param(query, name: str) -> bool:
+        values = query.get(name)
+        if not values:
+            return False
+        return values[-1].strip().lower() in _TRUTHY
 
     @staticmethod
     def _int_param(query, name: str, default, minimum: int):

@@ -175,6 +175,44 @@ class TestGenerate:
         assert "1." in out
 
 
+class TestServeMounts:
+    def _mounts(self, argv):
+        from repro.cli import _serve_mounts, build_parser
+
+        return _serve_mounts(build_parser().parse_args(["serve"] + argv))
+
+    def test_positional_directories_mount_first(self, capsys):
+        # The DIR help text promises the first positional directory
+        # is the default lake — --lake entries must not jump ahead.
+        mounts = self._mounts(["zoo", "--lake", "cars=cars-dir"])
+        assert mounts == [("zoo", "zoo"), ("cars", "cars-dir")]
+
+    def test_basenames_deduplicate(self):
+        mounts = self._mounts(["a/lake", "b/lake", "--lake", "x=y"])
+        assert [name for name, _ in mounts] == ["lake", "lake-2", "x"]
+
+    def test_bad_lake_flag_is_rejected(self, capsys):
+        assert self._mounts(["--lake", "noequals"]) is None
+        assert "--lake expects NAME=DIR" in capsys.readouterr().err
+        assert self._mounts([]) is None
+        assert "nothing to serve" in capsys.readouterr().err
+
+    def test_duplicate_explicit_name_is_rejected(self, capsys):
+        assert self._mounts(["zoo", "--lake", "zoo=elsewhere"]) is None
+        assert "duplicate lake name" in capsys.readouterr().err
+
+    def test_missing_directory_is_a_clean_error(self, capsys):
+        # A traceback here would also leak already-attached indexes.
+        assert main(["serve", "/no/such/dir", "--port", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "/no/such/dir" in err
+
+    def test_nonpositive_job_ttl_is_rejected(self, csv_lake, capsys):
+        assert main(["serve", str(csv_lake), "--port", "0",
+                     "--job-ttl", "0"]) == 2
+        assert "--job-ttl" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command(self):
         with pytest.raises(SystemExit):

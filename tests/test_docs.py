@@ -65,3 +65,15 @@ def test_serving_docs_cover_http_api():
                    "Retry-After", "next_cursor", "drain",
                    "domainnet serve"):
         assert phrase in text, phrase
+
+
+def test_serving_docs_cover_multilake_and_jobs():
+    # The ISSUE-5 surface: workspaces, namespaced routes, async jobs,
+    # keep-alive/compression, and bearer auth.
+    text = (REPO_ROOT / "docs" / "serving.md").read_text()
+    for phrase in ("Workspace", "/lakes/", "GET /lakes",
+                   "async=1", "GET /jobs/", "DELETE /jobs/",
+                   "unknown-job", "unknown-lake", "keep-alive",
+                   "gzip", "Authorization: Bearer", "--auth-token",
+                   "DOMAINNET_TOKEN", "--lake", "job_ttl"):
+        assert phrase in text, phrase

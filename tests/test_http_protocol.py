@@ -5,10 +5,12 @@ connections so status codes, headers (``Retry-After``,
 ``Content-Type``), and the structured error body shape are asserted
 exactly — not through the convenience client's interpretation.
 
-The contract: 400 malformed request, 404 unknown measure / table /
-route, 409 closed index / duplicate table, 411 missing
-Content-Length, 413 oversized body, 503 + ``Retry-After`` on
-admission-queue overflow.
+The contract: 400 malformed request, 401 missing/bad bearer token
+(when auth is on), 404 unknown lake / measure / table / job / route,
+409 closed index / duplicate table, 411 missing Content-Length, 413
+oversized body, 503 + ``Retry-After`` on admission-queue overflow —
+on the namespaced ``/lakes/<name>/...`` routes exactly as on their
+legacy un-prefixed aliases.
 """
 
 import http.client
@@ -134,6 +136,61 @@ class TestMalformedRequests:
         )
         assert status == 404
         assert_error_shape(payload, 404, code)
+
+
+class TestNamespacedConformance:
+    """The /lakes/<name>/... routes share the legacy error surface."""
+
+    @pytest.mark.parametrize("method,path,code", [
+        ("POST", "/lakes/nope/detect", "unknown-lake"),
+        ("GET", "/lakes/nope/ranking/lcc", "unknown-lake"),
+        ("DELETE", "/lakes/nope/tables/T1", "unknown-lake"),
+        ("GET", "/lakes/nope/healthz", "unknown-lake"),
+        ("GET", "/lakes/default/ranking/page-rank", "unknown-measure"),
+        ("DELETE", "/lakes/default/tables/ghost", "unknown-table"),
+        ("GET", "/lakes/default/nope", "unknown-route"),
+        ("DELETE", "/lakes/default/detect", "unknown-route"),
+        ("GET", "/jobs/no-such-job", "unknown-job"),
+        ("DELETE", "/jobs/no-such-job", "unknown-job"),
+        ("POST", "/jobs/no-such-job", "unknown-route"),
+        ("POST", "/lakes", "unknown-route"),
+        ("DELETE", "/healthz", "unknown-route"),
+        ("POST", "/stats", "unknown-route"),
+    ])
+    def test_namespaced_404s(self, served, method, path, code):
+        # The adopted single-index workspace mounts the lake as
+        # "default", so /lakes/default/... is live and /lakes/nope
+        # is not.
+        server, _ = served
+        body = b"{}" if method == "POST" else None
+        headers = {"Content-Length": "2"} if body else {}
+        status, _, payload = raw_request(
+            server, method, path, body=body, headers=headers
+        )
+        assert status == 404, (method, path)
+        assert_error_shape(payload, 404, code)
+
+    def test_lakes_listing_shape(self, served):
+        server, index = served
+        status, _, payload = raw_request(server, "GET", "/lakes")
+        assert status == 200
+        assert payload == {
+            "default": "default",
+            "lakes": [{
+                "name": "default",
+                "tables": len(index.lake),
+                "default": True,
+                "closed": False,
+            }],
+        }
+
+    def test_bad_paging_on_namespaced_ranking_is_400(self, served):
+        server, _ = served
+        status, _, payload = raw_request(
+            server, "GET", "/lakes/default/ranking/lcc?limit=0"
+        )
+        assert status == 400
+        assert_error_shape(payload, 400, "invalid-paging")
 
 
 class TestUnknownNames:

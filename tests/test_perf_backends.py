@@ -242,6 +242,53 @@ class TestEdgeCases:
         np.testing.assert_allclose(serial, parallel, atol=1e-14)
 
 
+class TestWorkerExportCache:
+    def test_stale_exports_are_closed_not_retained(self, random_graph):
+        # Run the persistent worker task in-process with two
+        # generations of the same graph's export: the task carries
+        # the parent's live-export set, and any cached attachment
+        # outside it must be closed immediately — unlinked segments
+        # whose memory would otherwise stay pinned by the worker.
+        from repro.perf import backends as backends_module
+
+        def export(graph):
+            indptr_shm, indptr_spec = backends_module._export_shared_array(
+                graph.indptr)
+            indices_shm, indices_spec = (
+                backends_module._export_shared_array(graph.indices))
+            specs = (indptr_spec, indices_spec,
+                     graph.num_nodes, graph.num_values)
+            names = (indptr_spec[0], indices_spec[0])
+            return [indptr_shm, indices_shm], specs, names
+
+        shms_a, specs_a, names_a = export(random_graph)
+        shms_b, specs_b, names_b = export(random_graph)
+        common = {"variant": "attribute-jaccard"}
+        cache = backends_module._WORKER_EXPORTS
+        before = dict(cache)
+        try:
+            backends_module._persistent_worker_task(
+                ("lcc", (0, 2), common, specs_a, (names_a,)))
+            assert names_a in cache
+            # Generation swap: the parent dropped export A, B is live.
+            backends_module._persistent_worker_task(
+                ("lcc", (0, 2), common, specs_b, (names_b,)))
+            assert names_b in cache
+            assert names_a not in cache       # closed, not retained
+            # Two live exports coexist (the multi-lake case): re-add A
+            # with both names live and B must survive.
+            shms_a2, specs_a2, names_a2 = export(random_graph)
+            backends_module._persistent_worker_task(
+                ("lcc", (0, 2), common, specs_a2, (names_a2, names_b)))
+            assert names_a2 in cache and names_b in cache
+            shms_a.extend(shms_a2)
+        finally:
+            for key in [k for k in list(cache) if k not in before]:
+                backends_module._evict_worker_export(key)
+            backends_module._release_segments(shms_a)
+            backends_module._release_segments(shms_b)
+
+
 class TestGraphArraysFrozen:
     def test_csr_arrays_read_only(self, figure1_lake):
         graph = build_graph(figure1_lake)

@@ -1,10 +1,12 @@
-"""HTTP serving smoke: boot, drive, drain — and prove nothing leaks.
+"""HTTP serving smoke: boot two lakes, drive, drain — prove nothing leaks.
 
-The CI ``http-smoke`` job's entry point.  Serves the TUS *small*
-fixture through the real :mod:`repro.serving.http` stack (persistent
-2-worker pool included), drives every endpoint with the bundled
-:class:`repro.serving.client.HomographClient`, drains, and then fails
-on any of the leak classes an in-process test can miss:
+The CI ``http-smoke`` job's entry point.  Serves a two-lake
+:class:`repro.Workspace` (the TUS *small* fixture plus a second SB
+lake) through the real :mod:`repro.serving.http` stack — one shared
+persistent 2-worker pool across both lakes — drives the namespaced
+routes, the legacy aliases, and an async job to completion with the
+bundled :class:`repro.serving.client.HomographClient`, drains, and
+then fails on any of the leak classes an in-process test can miss:
 
 * a ``ResourceWarning`` raised anywhere during the run or surfaced by
   the final garbage-collection sweep (unclosed sockets, files);
@@ -20,6 +22,7 @@ Run directly (CI does)::
 from __future__ import annotations
 
 import gc
+import json
 import os
 import sys
 import threading
@@ -30,43 +33,79 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 
-def drive(client, lake_size: int) -> None:
-    """Exercise every endpoint once against the served TUS lake."""
+def drive(client, tus_size: int, sb_size: int) -> None:
+    """Exercise the multi-lake surface against the served workspace."""
     from repro import Table
 
     health = client.healthz()
     assert health["status"] == "ok", health
-    assert health["tables"] == lake_size, health
+    assert health["tables"] == tus_size, health       # default = tus
+    assert health["lakes"] == ["tus", "sb"], health
 
-    # Sampled betweenness keeps the smoke fast; the second call must
-    # come back from the score cache.
-    first = client.detect(measure="betweenness", sample_size=60, seed=7)
-    again = client.detect(measure="betweenness", sample_size=60, seed=7)
+    listing = client.lakes()
+    assert listing["default"] == "tus", listing
+    by_name = {lake["name"]: lake for lake in listing["lakes"]}
+    assert by_name["sb"]["tables"] == sb_size, listing
+
+    tus = client.lake("tus")
+    sb = client.lake("sb")
+
+    # Cross-lake: sampled betweenness on tus, LCC on sb — both ride
+    # the one shared pool; the repeated call must come from the cache.
+    first = tus.detect(measure="betweenness", sample_size=60, seed=7)
+    again = tus.detect(measure="betweenness", sample_size=60, seed=7)
     assert first.scores and not first.cached
     assert again.cached
     assert again.scores == first.scores
+    sb_response = sb.detect(measure="lcc")
+    assert sb_response.scores
+    assert set(sb_response.scores) != set(first.scores)
 
-    # Cursor pagination must cover the ranking exactly once.
-    walked = list(client.iter_ranking(
+    # Legacy un-prefixed routes alias the default (tus) lake.
+    legacy = client.detect(measure="betweenness", sample_size=60, seed=7)
+    assert legacy.cached and legacy.scores == first.scores
+
+    # Cursor pagination must cover the ranking exactly once (and the
+    # pages travel gzip-compressed — the client decompresses).
+    walked = list(tus.iter_ranking(
         "betweenness", limit=500, sample_size=60, seed=7
     ))
     assert walked == list(first.ranking), "paged traversal diverged"
 
-    # Live mutation through the API invalidates the caches.
-    client.add_table(Table.from_columns(
+    # Async job: submit on the sb lake, poll to completion, and check
+    # the terminal payload is byte-identical to the synchronous
+    # (cached) response.
+    job_id = sb.submit(measure="lcc")
+    async_response = client.wait(job_id, timeout=120.0)
+    assert async_response.cached      # the sync run above computed it
+    snapshot = client.poll(job_id)
+    sync_payload = json.dumps(
+        sb.detect(measure="lcc").to_dict(), sort_keys=True)
+    async_payload = json.dumps(snapshot["response"], sort_keys=True)
+    assert async_payload == sync_payload, "async/sync payloads diverged"
+    cancelled = client.cancel_job(job_id)             # finished: no-op
+    assert cancelled["state"] == "done", cancelled
+
+    # Live mutation through the namespaced API invalidates one lake.
+    tus.add_table(Table.from_columns(
         "smoke_extra", {"animal": ["Jaguar", "Jaguar"], "n": ["1", "2"]}
     ))
-    mutated = client.detect(
-        measure="betweenness", sample_size=60, seed=7
-    )
+    mutated = tus.detect(measure="betweenness", sample_size=60, seed=7)
     assert not mutated.cached
-    client.remove_table("smoke_extra")
+    sb_again = sb.detect(measure="lcc")
+    assert sb_again.cached, "sibling lake's cache was clobbered"
+    tus.remove_table("smoke_extra")
 
     stats = client.stats()
+    assert set(stats["lakes"]) == {"tus", "sb"}, stats
     assert stats["cache"]["misses"] >= 2, stats
     assert stats["http"]["rejected"] == 0, stats
+    assert stats["jobs"]["tracked"] == 1, stats
+    assert stats["workspace"]["pool"]["alive"] is True, stats
+    assert stats["workspace"]["pool"]["jobs"] == 2, stats
     print(f"drove {stats['http']['served']} responses; "
-          f"cache={stats['cache']}; pool={stats['pool']}")
+          f"cache={stats['cache']}; pool={stats['workspace']['pool']}; "
+          f"jobs={stats['jobs']}")
 
 
 def main() -> int:
@@ -74,9 +113,10 @@ def main() -> int:
     from repro import (
         ExecutionConfig,
         HomographClient,
-        HomographIndex,
+        Workspace,
         start_server,
     )
+    from repro.bench.synthetic import SBConfig, generate_sb
     from repro.bench.tus import TUSConfig, generate_tus
 
     shm_before = (
@@ -85,27 +125,33 @@ def main() -> int:
 
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always", ResourceWarning)
-        dataset = generate_tus(TUSConfig.small(seed=0))
-        print(f"TUS small: {len(dataset.lake)} tables, "
-              f"{dataset.lake.num_attributes} attributes")
-        index = HomographIndex(
-            dataset.lake,
+        tus_dataset = generate_tus(TUSConfig.small(seed=0))
+        sb_dataset = generate_sb(SBConfig(seed=0))
+        print(f"TUS small: {len(tus_dataset.lake)} tables; "
+              f"SB: {len(sb_dataset.lake)} tables")
+        workspace = Workspace(
             execution=ExecutionConfig(
                 backend="process", n_jobs=2, persistent=True
             ),
         )
-        server = start_server(index, port=0)
-        print(f"serving on {server.url}")
+        workspace.attach("tus", tus_dataset.lake)
+        workspace.attach("sb", sb_dataset.lake)
+        server = start_server(workspace, port=0)
+        print(f"serving {len(workspace)} lakes on {server.url}")
         try:
             client = HomographClient(server.url, timeout=120.0)
             client.wait_ready(timeout=30.0)
-            drive(client, lake_size=len(dataset.lake))
+            drive(
+                client,
+                tus_size=len(tus_dataset.lake),
+                sb_size=len(sb_dataset.lake),
+            )
         finally:
             server.drain()
-        assert index.closed
+        assert workspace.closed
 
         # Surface unclosed-resource finalizers now, inside the recorder.
-        del client, server, index, dataset
+        del client, server, workspace, tus_dataset, sb_dataset
         gc.collect()
         gc.collect()
 
@@ -134,8 +180,9 @@ def main() -> int:
         print(f"FAIL: {failure}", file=sys.stderr)
     if failures:
         return 1
-    print("http smoke OK: endpoints healthy, no ResourceWarnings, "
-          "no leaked threads, no leaked shared memory")
+    print("http smoke OK: two lakes on one pool, async job terminal, "
+          "no ResourceWarnings, no leaked threads, no leaked shared "
+          "memory")
     return 0
 
 
