@@ -40,6 +40,10 @@ Sub-packages
 ``repro.serving``
     Serving primitives: single-flight request coalescing used by
     :class:`HomographIndex` to serve concurrent traffic.
+``repro.snapshot``
+    Snapshot persistence: versioned on-disk artifacts
+    (``index.save`` / ``HomographIndex.load``) for millisecond
+    cold-starts and runtime lake mount/unmount.
 ``repro.datalake``
     Tables, lakes, CSV I/O, profiling, catalog statistics.
 ``repro.domains``
@@ -112,8 +116,15 @@ from .serving import (
     UnknownJobError,
     start_server,
 )
+from .snapshot import (
+    SnapshotCorruptionError,
+    SnapshotError,
+    SnapshotVersionError,
+    is_snapshot,
+    load_snapshot,
+)
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "BipartiteGraph",
@@ -144,6 +155,9 @@ __all__ = [
     "SerialBackend",
     "ServiceError",
     "SingleFlight",
+    "SnapshotCorruptionError",
+    "SnapshotError",
+    "SnapshotVersionError",
     "Table",
     "UnknownJobError",
     "UnknownLakeError",
@@ -157,9 +171,11 @@ __all__ = [
     "build_graph",
     "build_graph_from_columns",
     "dump_lake",
+    "is_snapshot",
     "lcc_score_map",
     "lcc_scores",
     "load_lake",
+    "load_snapshot",
     "normalize_value",
     "read_table",
     "register_measure",

@@ -192,6 +192,11 @@ class HomographIndex:
         self._owns_backend = backend is None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._closed = False
+        # Set by :meth:`load`: the snapshot directory whose mmap-backed
+        # CSR arrays the graph may hold views over.  close() drops the
+        # graph then, so the directory's file handles are released and
+        # the snapshot can be deleted even on strict filesystems.
+        self._snapshot_path = None
         # Admission control: detect() calls that passed the closed
         # check are counted here; close() rejects new calls, then
         # waits on `_drained` for the admitted ones to finish before
@@ -217,6 +222,83 @@ class HomographIndex:
         from ..datalake.csv_io import load_lake
 
         return cls(load_lake(directory), prune_candidates=prune_candidates)
+
+    # ------------------------------------------------------------------
+    # Snapshot persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> Dict[str, object]:
+        """Publish this index as an on-disk snapshot; returns its manifest.
+
+        Writes the lake, the (lazily built, if needed) CSR graph, the
+        vocabularies, attribute profiles, and every cached
+        ``(measure, config)`` response into ``path`` atomically — a
+        staging directory is hashed, manifested, fsynced, and renamed
+        into place, so a crash never leaves a torn snapshot.  Load it
+        back with :meth:`load` (or mount it via
+        ``Workspace.attach(name, path)``) to skip the graph build and
+        serve the cached configurations with ``cached=True``
+        immediately.
+        """
+        from ..snapshot.artifacts import build_snapshot
+
+        with self._lock:
+            graph = self.graph  # built lazily under the same RLock
+            graph_seconds = self._graph_seconds
+            lake = self._lake
+            prune = self._prune_candidates
+            responses = list(self._score_cache.values())
+        return build_snapshot(
+            path,
+            lake=lake,
+            graph=graph,
+            prune_candidates=prune,
+            graph_seconds=graph_seconds,
+            responses=responses,
+        )
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        execution: Optional[ExecutionConfig] = None,
+        backend: Optional[ExecutionBackend] = None,
+        verify: bool = True,
+        mmap: bool = True,
+    ) -> "HomographIndex":
+        """Rehydrate an index from a :meth:`save` snapshot.
+
+        The graph build is skipped: with ``mmap=True`` (default) the
+        CSR arrays are mapped read-only straight from the snapshot
+        files, so a cold start costs a manifest check plus two mmaps
+        instead of a full rebuild.  The score cache is pre-warmed with
+        every stored response — repeating a stored configuration
+        answers ``cached=True`` with byte-identical payloads.
+        ``verify=False`` skips the sha256 content-hash pass (format
+        and structural checks still run); ``execution``/``backend``
+        mirror the constructor.  Raises a typed
+        :class:`~repro.snapshot.SnapshotError` subclass on any
+        corrupt, truncated, or future-format snapshot.
+        """
+        from ..snapshot.artifacts import load_snapshot
+
+        loaded = load_snapshot(path, verify=verify, mmap=mmap)
+        index = cls(
+            loaded.lake,
+            prune_candidates=loaded.prune_candidates,
+            execution=execution,
+            backend=backend,
+        )
+        index._graph = loaded.graph
+        index._graph_seconds = loaded.graph_seconds
+        for response in loaded.responses:
+            index._score_cache[response.request.cache_key] = response
+        index._snapshot_path = loaded.path
+        return index
+
+    @property
+    def snapshot_path(self):
+        """The snapshot directory this index was loaded from, if any."""
+        return self._snapshot_path
 
     # ------------------------------------------------------------------
     # State
@@ -362,6 +444,16 @@ class HomographIndex:
                 backend.close()
             elif graph is not None:
                 backend.invalidate_export(graph)
+        if self._snapshot_path is not None:
+            # A snapshot-mounted graph holds mmap views over files in
+            # the snapshot directory; drop them so the open file
+            # handles are released and the directory can be deleted
+            # even on Windows-style strict filesystems.  The lake and
+            # cached responses stay readable, and the graph would
+            # rebuild losslessly from the lake if accessed again.
+            with self._lock:
+                self._graph = None
+                self._unpruned_graph = None
 
     def __enter__(self) -> "HomographIndex":
         """Enter a ``with`` block; the index itself is the target."""
@@ -636,6 +728,10 @@ class HomographIndex:
                     pool["segments"] = len(names)
             return {
                 "tables": len(self._lake),
+                "snapshot": (
+                    None if self._snapshot_path is None
+                    else str(self._snapshot_path)
+                ),
                 "graph_built": self._graph is not None,
                 "graph_seconds": self._graph_seconds,
                 "generation": self._generation,

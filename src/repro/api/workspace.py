@@ -135,6 +135,10 @@ class Workspace:
         if self._execution is None:
             return None
         with self._lock:
+            if self._closed:
+                # Resolving a backend after close would fork a pool
+                # nothing will ever tear down again.
+                raise WorkspaceError("Workspace is closed")
             if self._backend is None:
                 self._backend = resolve_backend(self._execution)
             return self._backend
@@ -150,36 +154,63 @@ class Workspace:
     ) -> HomographIndex:
         """Mount a lake under ``name``; returns its new index.
 
-        ``lake`` is a :class:`~repro.datalake.DataLake` or a directory
-        (``str`` / ``os.PathLike``) of ``*.csv`` tables to load.  The
-        index is constructed with the workspace's execution config and
-        the shared backend, so its queries ride the one pool.
+        ``lake`` is a :class:`~repro.datalake.DataLake`, a directory
+        (``str`` / ``os.PathLike``) of ``*.csv`` tables to load, or a
+        snapshot directory written by :meth:`HomographIndex.save`
+        (auto-detected by its ``manifest.json``) — the latter mounts
+        via :meth:`HomographIndex.load`, skipping the graph build and
+        pre-warming the score cache.  Either way the index rides the
+        workspace's execution config and shared backend, so its
+        queries share the one pool.
         """
         validate_lake_name(name)
-        if not isinstance(lake, DataLake):
-            from ..datalake.csv_io import load_lake
-
-            lake = load_lake(lake)
         prune = (
             self._prune_candidates
             if prune_candidates is None
             else prune_candidates
         )
-        with self._lock:
-            if self._closed:
-                raise WorkspaceError("Workspace is closed")
-            if name in self._indexes:
-                raise DuplicateLakeError(
-                    f"lake {name!r} is already attached"
+        index: Optional[HomographIndex] = None
+        if not isinstance(lake, DataLake):
+            from ..snapshot.store import is_snapshot
+
+            if is_snapshot(lake):
+                # The snapshot records its own prune setting; loading
+                # happens before the membership lock so a slow load
+                # (hash verification) never stalls sibling lookups.
+                index = HomographIndex.load(
+                    lake,
+                    execution=self._execution,
+                    backend=self._shared_backend(),
                 )
-            index = HomographIndex(
-                lake,
-                prune_candidates=prune,
-                execution=self._execution,
-                backend=self._shared_backend(),
-            )
-            self._indexes[name] = index
-            return index
+            else:
+                from ..datalake.csv_io import load_lake
+
+                lake = load_lake(lake)
+        preloaded = index
+        try:
+            with self._lock:
+                if self._closed:
+                    raise WorkspaceError("Workspace is closed")
+                if name in self._indexes:
+                    raise DuplicateLakeError(
+                        f"lake {name!r} is already attached"
+                    )
+                if index is None:
+                    index = HomographIndex(
+                        lake,
+                        prune_candidates=prune,
+                        execution=self._execution,
+                        backend=self._shared_backend(),
+                    )
+                self._indexes[name] = index
+                return index
+        except BaseException:
+            # A snapshot index that lost the membership race holds
+            # mmap handles over its directory: release them instead
+            # of leaking them until GC.
+            if preloaded is not None:
+                preloaded.close()
+            raise
 
     def attach_index(self, name: str, index: HomographIndex) -> None:
         """Mount an existing index under ``name``.

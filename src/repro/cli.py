@@ -13,6 +13,9 @@ Installed as the ``domainnet`` console script::
     domainnet stats path/to/csvs
     domainnet generate sb out/dir
     domainnet generate tus out/dir --seed 7
+    domainnet snapshot build path/to/csvs -o snap/ --warm lcc
+    domainnet snapshot info snap/
+    domainnet serve --snapshot snap/ --save-on-exit
 
 ``scan`` builds a :class:`repro.api.HomographIndex` over the lake and
 runs the full Figure-4 pipeline (graph construction, sampled
@@ -96,6 +99,21 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="NAME=DIR",
                        help="mount DIR as the lake NAME (repeatable; "
                             "combines with positional directories)")
+    serve.add_argument("--snapshot", action="append", default=None,
+                       metavar="PATH",
+                       help="mount a snapshot directory written by "
+                            "'domainnet snapshot build' (repeatable; "
+                            "mounts under its basename, skipping the "
+                            "graph build and pre-warming the score cache)")
+    serve.add_argument("--save-on-exit", action="store_true",
+                       help="on shutdown, write each snapshot-mounted "
+                            "lake (tables, graph, warmed rankings) back "
+                            "to its snapshot directory atomically")
+    serve.add_argument("--job-dir", default=None, metavar="DIR",
+                       help="persist finished async-job payloads to DIR "
+                            "and restore them on restart (default: the "
+                            "first snapshot's jobs/ directory, when "
+                            "--snapshot is used)")
     serve.add_argument("--auth-token", default=None,
                        help="require 'Authorization: Bearer TOKEN' on "
                             "every route except /healthz (default: the "
@@ -139,6 +157,39 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("benchmark", choices=("sb", "tus"))
     generate.add_argument("directory")
     generate.add_argument("--seed", type=int, default=0)
+
+    snapshot = commands.add_parser(
+        "snapshot",
+        help="build or inspect on-disk snapshots (fast server restarts)",
+    )
+    snapshot_commands = snapshot.add_subparsers(
+        dest="snapshot_command", required=True
+    )
+    build = snapshot_commands.add_parser(
+        "build",
+        help="build a lake's graph and write a versioned snapshot",
+    )
+    build.add_argument("directory", help="directory of *.csv tables")
+    build.add_argument("-o", "--output", required=True,
+                       help="snapshot directory to write (atomically "
+                            "replaced if it already exists)")
+    build.add_argument("--warm", metavar="MEASURES", default=None,
+                       help="comma-separated measures (e.g. "
+                            "'betweenness,lcc') to score now so the "
+                            "snapshot ships precomputed rankings")
+    build.add_argument("--sample", type=int, default=None,
+                       help="BC source samples for --warm betweenness "
+                            "(default: exact)")
+    build.add_argument("--seed", type=int, default=0)
+    build.add_argument("--no-prune", action="store_true",
+                       help="keep values that occur only once in the lake")
+    info = snapshot_commands.add_parser(
+        "info", help="print a snapshot's manifest (verifies hashes)"
+    )
+    info.add_argument("path", help="snapshot directory")
+    info.add_argument("--no-verify", action="store_true",
+                      help="skip content-hash verification (sizes and "
+                           "format version are still checked)")
     return parser
 
 
@@ -150,6 +201,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "snapshot":
+        if args.snapshot_command == "build":
+            return _cmd_snapshot_build(args)
+        return _cmd_snapshot_info(args)
     return _cmd_generate(args)
 
 
@@ -333,8 +388,13 @@ def _serve_mounts(args) -> Optional[List]:
             return None
         mounts.append((name, directory))
         taken.add(name)
+    for path in args.snapshot or []:
+        name = _lake_name_from_directory(path, taken)
+        mounts.append((name, path))
+        taken.add(name)
     if not mounts:
-        print("nothing to serve: pass directories and/or --lake NAME=DIR",
+        print("nothing to serve: pass directories, --lake NAME=DIR, "
+              "and/or --snapshot PATH",
               file=sys.stderr)
         return None
     return mounts
@@ -346,6 +406,7 @@ def _cmd_serve(args) -> int:
 
     from .api import Workspace, validate_lake_name
     from .serving.http import HomographHTTPServer
+    from .snapshot import SnapshotError, is_snapshot, jobs_dir
 
     mounts = _serve_mounts(args)
     if mounts is None:
@@ -373,9 +434,16 @@ def _cmd_serve(args) -> int:
     workspace = Workspace(
         execution=execution, prune_candidates=not args.no_prune
     )
+    # (name, snapshot_path) pairs for snapshot mounts: they get fast
+    # mmap loading now and, with --save-on-exit, a write-back later.
+    snapshot_mounts: List = []
     try:
         for name, directory in mounts:
             validate_lake_name(name)
+            if is_snapshot(directory):
+                workspace.attach(name, directory)
+                snapshot_mounts.append((name, directory))
+                continue
             lake = load_lake(directory)
             if len(lake) == 0:
                 print(f"no CSV tables found in {directory}",
@@ -383,6 +451,10 @@ def _cmd_serve(args) -> int:
                 workspace.close()
                 return 1
             workspace.attach(name, lake)
+    except SnapshotError as error:
+        workspace.close()
+        print(f"cannot mount snapshot: {error}", file=sys.stderr)
+        return 1
     except OSError as error:
         # Missing / unreadable directory: a message, not a traceback.
         workspace.close()
@@ -392,6 +464,14 @@ def _cmd_serve(args) -> int:
         workspace.close()
         print(str(error), file=sys.stderr)
         return 2
+    job_dir = args.job_dir
+    if job_dir is None and snapshot_mounts:
+        # Finished jobs ride the first snapshot's jobs/ spill area, so
+        # a snapshot-served deployment survives restarts by default.
+        spill = jobs_dir(snapshot_mounts[0][1])
+        job_dir = None if spill is None else str(spill)
+    if job_dir is not None:
+        options["job_dir"] = job_dir
     try:
         server = HomographHTTPServer(
             workspace, (args.host, args.port), **options
@@ -416,7 +496,74 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:
         print("interrupt: draining in-flight requests", flush=True)
     finally:
-        server.drain()
+        save = args.save_on_exit and snapshot_mounts
+        # With a write-back pending the workspace must outlive the
+        # drain; otherwise drain() owns the whole teardown as before.
+        server.drain(close_index=not save)
+        if save:
+            for name, path in snapshot_mounts:
+                try:
+                    workspace.get(name).save(path)
+                    print(f"saved snapshot {name!r} -> {path}",
+                          flush=True)
+                except Exception as error:  # noqa: BLE001 - report all
+                    print(f"failed to save snapshot {name!r}: {error}",
+                          file=sys.stderr)
+            workspace.close()
+            server.jobs.drain(timeout=30.0)
+    return 0
+
+
+def _cmd_snapshot_build(args) -> int:
+    """Build a lake's graph (optionally score it) and write a snapshot."""
+    warm: List[str] = []
+    if args.warm is not None:
+        warm = [m.strip() for m in args.warm.split(",") if m.strip()]
+        unknown = sorted(set(warm) - set(available_measures()))
+        if unknown:
+            print(f"--warm expects a comma-separated subset of "
+                  f"{', '.join(available_measures())}", file=sys.stderr)
+            return 2
+    lake = load_lake(args.directory)
+    if len(lake) == 0:
+        print("no CSV tables found", file=sys.stderr)
+        return 1
+    with HomographIndex(
+        lake, prune_candidates=not args.no_prune
+    ) as index:
+        graph = index.graph
+        for measure in warm:
+            # Only a sampled betweenness run carries sampling fields:
+            # they are part of the cache key, so warming with them set
+            # would never match a client's default request.
+            sample = args.sample if measure == "betweenness" else None
+            response = index.detect(
+                measure=measure,
+                sample_size=sample,
+                seed=args.seed if sample is not None else None,
+            )
+            print(f"warmed {measure} in "
+                  f"{response.measure_seconds:.1f}s")
+        manifest = index.save(args.output)
+    print(f"wrote snapshot to {args.output}: "
+          f"{len(lake)} tables, {graph.num_values} values, "
+          f"{graph.num_edges} edges, "
+          f"{manifest.get('scores', 0)} precomputed ranking(s)")
+    return 0
+
+
+def _cmd_snapshot_info(args) -> int:
+    """Print (and by default hash-verify) a snapshot's manifest."""
+    import json as _json
+
+    from .snapshot import SnapshotError, load_manifest
+
+    try:
+        manifest = load_manifest(args.path, verify=not args.no_verify)
+    except SnapshotError as error:
+        print(f"{type(error).__name__}: {error}", file=sys.stderr)
+        return 1
+    print(_json.dumps(manifest, indent=2, sort_keys=True))
     return 0
 
 

@@ -144,6 +144,78 @@ class BipartiteGraph:
             name: n_val + i for i, name in enumerate(self._attribute_names)
         }
 
+    @classmethod
+    def from_csr(
+        cls,
+        value_names: Sequence[str],
+        attribute_names: Sequence[str],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+    ) -> "BipartiteGraph":
+        """Adopt pre-built CSR arrays without re-deriving them.
+
+        The snapshot loader's constructor: ``indptr``/``indices`` are
+        taken by reference (they may be read-only ``np.memmap`` views
+        over a snapshot file), validated structurally — length,
+        monotonicity, symmetric edge count, index range — and frozen.
+        Raises :class:`GraphError` on any inconsistency.
+        """
+        n_val = len(value_names)
+        n = n_val + len(attribute_names)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise GraphError("CSR arrays must be one-dimensional")
+        if indptr.shape[0] != n + 1:
+            raise GraphError(
+                f"indptr has {indptr.shape[0]} entries; expected "
+                f"{n + 1} for {n} nodes"
+            )
+        if indptr.shape[0] and (
+            int(indptr[0]) != 0 or int(indptr[-1]) != indices.shape[0]
+        ):
+            raise GraphError(
+                "indptr does not span the indices array exactly"
+            )
+        if indptr.shape[0] > 1 and bool(np.any(np.diff(indptr) < 0)):
+            raise GraphError("indptr must be non-decreasing")
+        if indices.shape[0] % 2 != 0:
+            raise GraphError(
+                "symmetric CSR adjacency must hold an even entry count"
+            )
+        if indices.shape[0] and (
+            int(indices.min()) < 0 or int(indices.max()) >= n
+        ):
+            raise GraphError("neighbor id out of range")
+
+        graph = cls.__new__(cls)
+        graph._value_names = list(value_names)
+        graph._attribute_names = list(attribute_names)
+        if len(set(graph._value_names)) != len(graph._value_names):
+            raise GraphError("duplicate value names")
+        if len(set(graph._attribute_names)) != len(
+            graph._attribute_names
+        ):
+            raise GraphError("duplicate attribute names")
+        if indptr.dtype != np.int64 or indices.dtype != np.int64:
+            raise GraphError("CSR arrays must be int64")
+        # Held by reference, not via asarray: an np.memmap must keep
+        # its subclass (filename/offset) so the process backend can
+        # export it by file path instead of copying through /dev/shm.
+        graph._indptr = indptr
+        graph._indices = indices
+        # Adopted arrays keep the constructor's invariant: mmap-backed
+        # mode="r" arrays are already read-only, in-memory ones are
+        # frozen here.
+        graph._indptr.flags.writeable = False
+        graph._indices.flags.writeable = False
+        graph._value_ids = {
+            name: i for i, name in enumerate(graph._value_names)
+        }
+        graph._attribute_ids = {
+            name: n_val + i
+            for i, name in enumerate(graph._attribute_names)
+        }
+        return graph
+
     # ------------------------------------------------------------------
     # Size and id-space queries
     # ------------------------------------------------------------------

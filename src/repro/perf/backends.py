@@ -195,9 +195,19 @@ _WORKER_EXPORT_CAP = 8
 
 
 def _open_shared_array(spec):
-    """Attach one exported array; returns ``(array, shm)``.
+    """Attach one exported array; returns ``(array, shm_or_None)``.
 
-    Attaching registers the segment with the resource tracker as if
+    Two spec shapes exist (``spec[0]`` is a unique key either way):
+
+    * ``(name, shape, dtype)`` — a shared-memory segment exported by
+      :func:`_export_shared_array`; the returned handle must be kept
+      alive (and closed) by the caller.
+    * ``("file:...", path, offset, shape, dtype)`` — a file-backed
+      array (a snapshot's mmap-loaded CSR): the worker maps the file
+      read-only itself, no shared memory involved, and the handle
+      slot is ``None``.
+
+    Attaching a segment registers it with the resource tracker as if
     this worker owned it; it does not — the parent unlinks once it is
     done — and the duplicate registration makes the tracker spew
     KeyError noise at exit (bpo-39959).  Suppress registration for the
@@ -205,6 +215,14 @@ def _open_shared_array(spec):
     """
     from multiprocessing import shared_memory
 
+    if len(spec) == 5:
+        _key, path, offset, shape, dtype = spec
+        array = np.memmap(
+            path, dtype=np.dtype(dtype), mode="r",
+            offset=offset, shape=shape,
+        )
+        array.flags.writeable = False
+        return array, None
     name, shape, dtype = spec
     try:
         from multiprocessing import resource_tracker
@@ -226,7 +244,8 @@ def _open_shared_array(spec):
 def _attach_shared_array(spec) -> np.ndarray:
     """Attach an array for the worker's whole lifetime (per-call pools)."""
     array, shm = _open_shared_array(spec)
-    _WORKER_SHM.append(shm)
+    if shm is not None:
+        _WORKER_SHM.append(shm)
     return array
 
 
@@ -299,7 +318,9 @@ def _persistent_worker_task(task):
                 num_nodes=num_nodes,
                 num_values=num_values,
             ),
-            [indptr_shm, indices_shm],
+            # File-backed attachments have no segment handle; their
+            # mmap closes when the GraphContext is evicted.
+            [s for s in (indptr_shm, indices_shm) if s is not None],
         )
         _WORKER_EXPORTS[names] = entry
     else:
@@ -321,6 +342,37 @@ def _export_shared_array(array: np.ndarray):
     view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
     view[...] = array
     return shm, (shm.name, array.shape, array.dtype.str)
+
+
+def _export_array(array: np.ndarray):
+    """Export one CSR array by the cheapest route; ``(shm, spec)``.
+
+    A file-backed :class:`numpy.memmap` — a snapshot's
+    ``np.load(mmap_mode="r")`` array — is *not* copied back through
+    shared memory: its spec names the backing file and data offset,
+    and each worker maps the same file read-only (the page cache makes
+    that one physical copy system-wide).  Anything else is copied into
+    a fresh shared-memory segment as before; only then is the first
+    slot a live handle the caller must track.
+    """
+    filename = getattr(array, "filename", None)
+    offset = getattr(array, "offset", None)
+    if (
+        filename is not None
+        and offset is not None
+        and getattr(array, "mode", None) in ("r", "c")
+        and array.ndim == 1
+        and array.flags["C_CONTIGUOUS"]
+    ):
+        spec = (
+            f"file:{filename}@{int(offset)}",
+            str(filename),
+            int(offset),
+            array.shape,
+            array.dtype.str,
+        )
+        return None, spec
+    return _export_shared_array(array)
 
 
 def _release_segments(segments) -> None:
@@ -490,10 +542,11 @@ class ProcessBackend(ExecutionBackend):
             # id() reuse: the original graph died (its callback is
             # pending or suppressed) and `graph` recycled the address.
             self._drop_export_locked(key)
-        indptr_shm, indptr_spec = _export_shared_array(graph.indptr)
-        segments = [indptr_shm]
-        indices_shm, indices_spec = _export_shared_array(graph.indices)
-        segments.append(indices_shm)
+        indptr_shm, indptr_spec = _export_array(graph.indptr)
+        segments = [s for s in (indptr_shm,) if s is not None]
+        indices_shm, indices_spec = _export_array(graph.indices)
+        if indices_shm is not None:
+            segments.append(indices_shm)
         specs = (
             indptr_spec, indices_spec, graph.num_nodes, graph.num_values
         )
@@ -643,10 +696,12 @@ class ProcessBackend(ExecutionBackend):
         workers = min(self.jobs, len(payloads))
         segments = []
         try:
-            indptr_shm, indptr_spec = _export_shared_array(graph.indptr)
-            segments.append(indptr_shm)
-            indices_shm, indices_spec = _export_shared_array(graph.indices)
-            segments.append(indices_shm)
+            indptr_shm, indptr_spec = _export_array(graph.indptr)
+            if indptr_shm is not None:
+                segments.append(indptr_shm)
+            indices_shm, indices_spec = _export_array(graph.indices)
+            if indices_shm is not None:
+                segments.append(indices_shm)
             ctx = self._context()
             with ctx.Pool(
                 processes=workers,

@@ -253,6 +253,30 @@ class HomographClient:
         """``GET /lakes`` — the mounted lakes and the default name."""
         return self._request("GET", "/lakes")
 
+    def mount_lake(self, name: str, path: str) -> Dict[str, object]:
+        """``POST /lakes`` — mount a CSV directory or snapshot.
+
+        ``path`` is server-local: a directory of ``*.csv`` tables, or
+        a snapshot directory written by ``domainnet snapshot build`` /
+        :meth:`HomographIndex.save` (auto-detected; mounts via mmap
+        without rebuilding the graph).  Raises :class:`ServiceError`
+        with code ``duplicate-lake`` (409) when the name is taken.
+        """
+        return self._request(
+            "POST", "/lakes", payload={"name": name, "path": path}
+        )
+
+    def unmount_lake(self, name: str) -> Dict[str, object]:
+        """``DELETE /lakes/<name>`` — detach one lake at runtime.
+
+        Sibling lakes (and their in-flight requests) are unaffected;
+        unknown names raise :class:`ServiceError` with a 404.
+        """
+        return self._request(
+            "DELETE",
+            f"/lakes/{urllib.parse.quote(name, safe='')}",
+        )
+
     def detect(
         self,
         request: Optional[DetectRequest] = None,

@@ -12,6 +12,16 @@ Endpoints (all JSON; errors come back as
 
 ``GET /lakes``
     The mounted lakes: name, table count, and which is the default.
+``POST /lakes`` / ``DELETE /lakes/<name>``
+    Runtime mount/unmount.  The POST body is ``{"name": ...,
+    "path": ...}`` where ``path`` is a CSV directory or a snapshot
+    directory written by :meth:`HomographIndex.save` (auto-detected;
+    snapshots mount in milliseconds via mmap).  201 on success, 409
+    ``duplicate-lake`` when the name is taken, 400 for bad payloads,
+    unreadable paths, or corrupt snapshots.  DELETE detaches the
+    named lake — its index closes and its mmap/shared-memory exports
+    are released — without disturbing sibling lakes' in-flight
+    requests.
 ``POST /lakes/<name>/detect``
     Body is a :class:`~repro.api.DetectRequest` payload; the response
     is the full :class:`~repro.api.DetectResponse` payload.  ``?top=K``
@@ -84,9 +94,15 @@ from typing import Dict, List, Optional, Tuple, Union
 from urllib.parse import parse_qs, unquote, urlsplit
 
 from ..api import DetectRequest, HomographIndex, available_measures
-from ..api.workspace import UnknownLakeError, Workspace
+from ..api.workspace import (
+    DuplicateLakeError,
+    UnknownLakeError,
+    Workspace,
+    WorkspaceError,
+)
 from ..datalake.lake import LakeError
 from ..datalake.table import Table, TableError
+from ..snapshot.store import SnapshotError
 from .jobs import (
     DEFAULT_JOB_TTL,
     DEFAULT_MAX_JOBS,
@@ -187,6 +203,11 @@ class HomographHTTPServer(ThreadingHTTPServer):
         Seconds a finished async job stays pollable at
         ``GET /jobs/<id>`` before eviction, and the cap on tracked
         jobs (submits past it are 503s with ``Retry-After``).
+    job_dir:
+        Optional directory finished async-job payloads are spilled
+        to and restored from across restarts (see
+        :class:`~repro.serving.jobs.JobManager`); ``domainnet serve
+        --snapshot`` points it at the snapshot's ``jobs/`` directory.
     """
 
     # Handler threads are joined on server_close(): a drain must wait
@@ -205,13 +226,16 @@ class HomographHTTPServer(ThreadingHTTPServer):
         auth_token: Optional[str] = None,
         job_ttl: float = DEFAULT_JOB_TTL,
         max_jobs: int = DEFAULT_MAX_JOBS,
+        job_dir: Optional[str] = None,
     ) -> None:
         super().__init__(address, HomographRequestHandler)
         if isinstance(workspace, HomographIndex):
             index, workspace = workspace, Workspace()
             workspace.attach_index(DEFAULT_LAKE_NAME, index)
         self.workspace = workspace
-        self.jobs = JobManager(ttl=job_ttl, max_jobs=max_jobs)
+        self.jobs = JobManager(
+            ttl=job_ttl, max_jobs=max_jobs, persist_dir=job_dir
+        )
         self.max_body_bytes = max_body_bytes
         self.retry_after = retry_after
         self.quiet = quiet
@@ -762,10 +786,14 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
             return self._handle_stats()
         if head == "lakes":
             if len(segments) == 1:
-                if method != "GET":
-                    raise self._unknown_route(method, segments)
-                return self._handle_lakes()
+                if method == "GET":
+                    return self._handle_lakes()
+                if method == "POST":
+                    return self._handle_mount_lake()
+                raise self._unknown_route(method, segments)
             name, rest = segments[1], segments[2:]
+            if method == "DELETE" and not rest:
+                return self._handle_unmount_lake(name)
             return self._lake_route(method, name, rest, query)
         if head == "jobs":
             if len(segments) != 2:
@@ -892,6 +920,74 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
         self._send_json(
             200, {"lakes": lakes, "default": default}
         )
+
+    def _handle_mount_lake(self) -> None:
+        """``POST /lakes``: mount a CSV directory or snapshot at runtime.
+
+        The expensive part — loading CSVs, or verifying and mmapping a
+        snapshot — happens inside :meth:`Workspace.attach` *outside*
+        the membership lock, so mounting a large lake never stalls
+        sibling lakes' requests.
+        """
+        payload = self._read_json_body()
+        name = payload.get("name")
+        path = payload.get("path")
+        if not isinstance(name, str) or not isinstance(path, str):
+            raise _HTTPProblem(
+                400, "invalid-mount",
+                'mount payloads look like {"name": "zoo", '
+                '"path": "/data/zoo"} where path is a CSV directory '
+                "or a snapshot directory",
+            )
+        workspace = self.server.workspace
+        try:
+            index = workspace.attach(name, path)
+        except DuplicateLakeError as error:
+            raise _HTTPProblem(
+                409, "duplicate-lake", str(error)
+            ) from None
+        except ValueError as error:  # bad lake name
+            raise _HTTPProblem(
+                400, "invalid-mount", str(error)
+            ) from None
+        except SnapshotError as error:
+            raise _HTTPProblem(
+                400, "invalid-snapshot",
+                f"snapshot at {path!r} cannot be mounted: {error}",
+            ) from None
+        except WorkspaceError as error:
+            raise _HTTPProblem(
+                409, "workspace-closed", str(error)
+            ) from None
+        except (LakeError, OSError) as error:
+            raise _HTTPProblem(
+                400, "invalid-lake-path",
+                f"cannot load a lake from {path!r}: {error}",
+            ) from None
+        snapshot = index.snapshot_path
+        self._send_json(201, {
+            "lake": name,
+            "tables": len(index.lake),
+            "snapshot": None if snapshot is None else str(snapshot),
+        })
+
+    def _handle_unmount_lake(self, name: str) -> None:
+        """``DELETE /lakes/<name>``: detach and close one lake.
+
+        The detached index drains its admitted calls and releases its
+        graph export (shared-memory segments or snapshot mmap
+        handles); siblings keep serving throughout.
+        """
+        workspace = self.server.workspace
+        try:
+            workspace.detach(name)
+        except UnknownLakeError:
+            raise _HTTPProblem(
+                404, "unknown-lake",
+                f"no lake named {name!r}; mounted: "
+                f"{', '.join(workspace.names()) or '(none)'}",
+            ) from None
+        self._send_json(200, {"lake": name, "detached": True})
 
     def _handle_lake_healthz(
         self, lake_name: str, index: HomographIndex

@@ -26,15 +26,25 @@ after completion and then evicted lazily — a later ``get`` raises
 
 Job ids are ``uuid4`` hex strings, so ids never collide across
 managers, workspaces, or server restarts.
+
+With ``persist_dir`` set, every *terminal* snapshot is additionally
+spilled to ``<persist_dir>/<job_id>.json`` (atomic tmp + rename,
+best-effort) and restored on the next boot — a client that submitted
+before a restart can still poll its result afterwards, until the same
+TTL that governs in-memory eviction expires it.  ``domainnet serve
+--snapshot`` points this at the snapshot's ``jobs/`` directory.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
 import uuid
 from concurrent.futures import CancelledError
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
 from ..api.index import HomographIndex
 from ..api.requests import DetectRequest
@@ -68,7 +78,7 @@ class _JobRecord:
 
     __slots__ = (
         "id", "lake", "request", "future", "top",
-        "created_wall", "created", "finished", "payload",
+        "created_wall", "created", "finished", "payload", "stored",
     )
 
     def __init__(
@@ -83,6 +93,9 @@ class _JobRecord:
         self.created = now      # monotonic, for runtime/TTL math
         self.finished: Optional[float] = None
         self.payload: Optional[Dict[str, object]] = None
+        # A snapshot restored from persist_dir after a restart; when
+        # set there is no future, and this frozen dict *is* the job.
+        self.stored: Optional[Dict[str, object]] = None
 
 
 class JobManager:
@@ -101,6 +114,12 @@ class JobManager:
         :class:`JobOverflowError` instead of queueing without bound.
     clock:
         Monotonic clock, injectable for TTL tests.
+    persist_dir:
+        Optional directory terminal snapshots are spilled to (one
+        ``<job_id>.json`` each, atomic rename) and restored from on
+        construction.  Restored jobs obey the same TTL, measured in
+        wall-clock time across the restart.  ``None`` (default) keeps
+        results purely in memory, as before.
 
     All methods are thread-safe.
     """
@@ -110,6 +129,7 @@ class JobManager:
         ttl: float = DEFAULT_JOB_TTL,
         max_jobs: int = DEFAULT_MAX_JOBS,
         clock: Callable[[], float] = time.monotonic,
+        persist_dir: Optional[Union[str, "os.PathLike"]] = None,
     ) -> None:
         if ttl <= 0:
             # ttl=0 would evict a finished job on the very next
@@ -120,6 +140,16 @@ class JobManager:
         self._clock = clock
         self._lock = threading.Lock()
         self._jobs: Dict[str, _JobRecord] = {}
+        self._persist_dir: Optional[Path] = None
+        if persist_dir is not None:
+            self._persist_dir = Path(persist_dir)
+            self._persist_dir.mkdir(parents=True, exist_ok=True)
+            self._restore()
+
+    @property
+    def persist_dir(self) -> Optional[Path]:
+        """Where terminal snapshots are spilled, if anywhere."""
+        return self._persist_dir
 
     # ------------------------------------------------------------------
     # Submission
@@ -173,6 +203,9 @@ class JobManager:
         def _stamp_finished(_future) -> None:
             with self._lock:
                 record.finished = self._clock()
+            # Spill outside the lock: serializing a large response
+            # and fsync-renaming it must not stall polls.
+            self._persist_terminal(record)
 
         # Registered outside the lock: an already-finished future runs
         # the callback synchronously, and the callback takes the lock.
@@ -239,7 +272,12 @@ class JobManager:
     # Maintenance
     # ------------------------------------------------------------------
     def sweep(self) -> int:
-        """Evict finished jobs older than the TTL; returns the count."""
+        """Evict finished jobs older than the TTL; returns the count.
+
+        Eviction also deletes the job's spilled ``<id>.json`` (when
+        persistence is on), so the TTL bounds disk growth exactly as
+        it bounds memory growth.
+        """
         now = self._clock()
         with self._lock:
             expired = [
@@ -250,6 +288,12 @@ class JobManager:
             ]
             for job_id in expired:
                 del self._jobs[job_id]
+        if self._persist_dir is not None:
+            for job_id in expired:
+                try:
+                    (self._persist_dir / f"{job_id}.json").unlink()
+                except OSError:
+                    pass
         return len(expired)
 
     def drain(self, timeout: Optional[float] = None) -> None:
@@ -287,6 +331,8 @@ class JobManager:
     # ------------------------------------------------------------------
     @staticmethod
     def _state(record: _JobRecord) -> str:
+        if record.stored is not None:  # restored from persist_dir
+            return str(record.stored.get("state", "error"))
         future = record.future
         if future is None:  # reservation window inside submit()
             return "queued"
@@ -297,6 +343,10 @@ class JobManager:
         return "running" if future.running() else "queued"
 
     def _snapshot(self, record: _JobRecord) -> Dict[str, object]:
+        if record.stored is not None:
+            # Restored jobs are terminal and frozen: the spilled
+            # snapshot is the job, runtime included.
+            return dict(record.stored)
         state = self._state(record)
         finished = record.finished
         runtime = (
@@ -332,3 +382,74 @@ class JobManager:
                     "message": str(error),
                 }
         return payload
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _persist_terminal(self, record: _JobRecord) -> None:
+        """Best-effort spill of one finished job to ``persist_dir``.
+
+        Persistence must never take the serving path down: any
+        serialization or filesystem failure is swallowed and the job
+        simply stays memory-only (its TTL still applies).
+        """
+        if self._persist_dir is None:
+            return
+        try:
+            data = json.dumps(
+                {
+                    "job": self._snapshot(record),
+                    "finished_wall": time.time(),
+                },
+                sort_keys=True,
+            )
+            target = self._persist_dir / f"{record.id}.json"
+            tmp = target.with_suffix(".tmp")
+            tmp.write_text(data, encoding="utf-8")
+            os.replace(tmp, target)
+        except Exception:  # noqa: BLE001 - persistence is best-effort
+            pass
+
+    def _restore(self) -> None:
+        """Rehydrate terminal jobs spilled by a previous process.
+
+        Runs once, from ``__init__`` (no locking needed).  Expired or
+        unreadable files are deleted on sight; restore stops at the
+        ``max_jobs`` cap so a crashed-in-a-loop server cannot flood
+        memory with stale results.
+        """
+        assert self._persist_dir is not None
+        now_wall = time.time()
+        for path in sorted(self._persist_dir.glob("*.json")):
+            if len(self._jobs) >= self.max_jobs:
+                break
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+                stored = data["job"]
+                job_id = str(stored["id"])
+                age = max(0.0, now_wall - float(data["finished_wall"]))
+            except (OSError, ValueError, KeyError, TypeError):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            if age > self.ttl:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                continue
+            record = _JobRecord(
+                job_id,
+                str(stored.get("lake", "")),
+                request=None,
+                future=None,
+                now=self._clock(),
+                wall=float(stored.get("created_at", now_wall)),
+            )
+            # Back-date on the monotonic clock so the ordinary sweep
+            # math expires the restored job TTL-minus-age from now.
+            record.finished = self._clock() - age
+            record.stored = stored
+            self._jobs[job_id] = record

@@ -1,0 +1,58 @@
+"""Snapshot persistence: versioned on-disk lake artifacts.
+
+Rebuilding a served lake from CSVs — re-profiling, re-normalizing,
+re-building the bipartite graph, re-scoring — costs minutes at TUS
+scale; a restart or a new replica should not pay it.  This package
+turns a built :class:`~repro.api.HomographIndex` into a directory of
+versioned artifacts and back:
+
+* :mod:`repro.snapshot.store` — the container: atomic directory
+  publication (staging dir + fsync + rename), a ``manifest.json``
+  with format version, library version, and sha256 content hashes,
+  and the typed :class:`SnapshotError` surface loaders raise instead
+  of raw numpy/OS errors;
+* :mod:`repro.snapshot.artifacts` — the payload: CSR arrays saved
+  with :func:`numpy.save` and mapped back with
+  ``np.load(mmap_mode="r")``, vocabularies, the full lake, attribute
+  profiles, and the serialized score cache.
+
+The high-level entry points live on the API objects::
+
+    index.save("snapshots/zoo")                  # build + publish
+    index = HomographIndex.load("snapshots/zoo")  # mmap, no rebuild
+    workspace.attach("zoo", "snapshots/zoo")      # auto-detected
+
+and the CLI mirrors them as ``domainnet snapshot build`` /
+``domainnet serve --snapshot``.  See ``docs/persistence.md`` for the
+format and the zero-downtime restart recipe.
+"""
+
+from .artifacts import (
+    LoadedSnapshot,
+    build_snapshot,
+    jobs_dir,
+    load_snapshot,
+)
+from .store import (
+    FORMAT_VERSION,
+    SnapshotCorruptionError,
+    SnapshotError,
+    SnapshotVersionError,
+    is_snapshot,
+    load_manifest,
+    write_snapshot,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "LoadedSnapshot",
+    "SnapshotCorruptionError",
+    "SnapshotError",
+    "SnapshotVersionError",
+    "build_snapshot",
+    "is_snapshot",
+    "jobs_dir",
+    "load_manifest",
+    "load_snapshot",
+    "write_snapshot",
+]

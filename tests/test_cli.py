@@ -150,6 +150,48 @@ class TestStats:
         assert " 2 " in out  # two tables
 
 
+class TestSnapshotCommands:
+    def test_build_and_info_round_trip(self, csv_lake, tmp_path, capsys):
+        target = tmp_path / "snap"
+        assert main(["snapshot", "build", str(csv_lake),
+                     "-o", str(target), "--warm", "lcc"]) == 0
+        out = capsys.readouterr().out
+        assert "warmed lcc" in out
+        assert "1 precomputed ranking(s)" in out
+        assert main(["snapshot", "info", str(target)]) == 0
+        import json
+
+        manifest = json.loads(capsys.readouterr().out)
+        assert manifest["format"] >= 1
+        assert manifest["scores"] == 1
+
+    def test_warmed_measure_matches_default_request(
+        self, csv_lake, tmp_path
+    ):
+        # The warmed cache entry must be keyed like a client's plain
+        # detect(measure=...) — sampling fields poison the cache key,
+        # so build must not set them for unsampled measures.
+        from repro import HomographIndex
+
+        target = tmp_path / "snap"
+        assert main(["snapshot", "build", str(csv_lake),
+                     "-o", str(target), "--warm", "lcc,betweenness"]) == 0
+        with HomographIndex.load(target) as loaded:
+            assert loaded.detect(measure="lcc").cached
+            assert loaded.detect(measure="betweenness").cached
+
+    def test_build_rejects_unknown_warm_measure(self, csv_lake,
+                                                tmp_path, capsys):
+        assert main(["snapshot", "build", str(csv_lake),
+                     "-o", str(tmp_path / "snap"),
+                     "--warm", "page-rank"]) == 2
+        assert "--warm expects" in capsys.readouterr().err
+
+    def test_info_rejects_non_snapshot(self, tmp_path, capsys):
+        assert main(["snapshot", "info", str(tmp_path)]) == 1
+        assert "SnapshotCorruptionError" in capsys.readouterr().err
+
+
 class TestGenerate:
     def test_generate_sb(self, tmp_path, capsys):
         out_dir = tmp_path / "sb"

@@ -153,7 +153,6 @@ class TestNamespacedConformance:
         ("GET", "/jobs/no-such-job", "unknown-job"),
         ("DELETE", "/jobs/no-such-job", "unknown-job"),
         ("POST", "/jobs/no-such-job", "unknown-route"),
-        ("POST", "/lakes", "unknown-route"),
         ("DELETE", "/healthz", "unknown-route"),
         ("POST", "/stats", "unknown-route"),
     ])
@@ -169,6 +168,17 @@ class TestNamespacedConformance:
         )
         assert status == 404, (method, path)
         assert_error_shape(payload, 404, code)
+
+    def test_mount_route_is_live_but_validates_payload(self, served):
+        # POST /lakes is a real mount endpoint since the snapshot PR:
+        # an empty payload is a 400 from validation, not a routing 404.
+        server, _ = served
+        status, _, payload = raw_request(
+            server, "POST", "/lakes", body=b"{}",
+            headers={"Content-Length": "2"},
+        )
+        assert status == 400
+        assert_error_shape(payload, 400, "invalid-mount")
 
     def test_lakes_listing_shape(self, served):
         server, index = served

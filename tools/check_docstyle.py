@@ -3,8 +3,8 @@
 A dependency-free stand-in for the ``pydocstyle`` / ``ruff D`` rules
 this repo cares about (the container pins its toolchain, so the
 checker is stdlib-``ast`` only).  Enforced over ``repro.api``,
-``repro.perf``, and ``repro.serving`` — the packages whose surface
-``docs/api.md`` documents:
+``repro.perf``, ``repro.serving``, and ``repro.snapshot`` — the
+packages whose surface ``docs/api.md`` documents:
 
 * **D100** — every module has a docstring;
 * **D101/D102/D103** — every public class / method / function has a
@@ -37,6 +37,7 @@ CHECKED_PACKAGES = (
     REPO_ROOT / "src" / "repro" / "api",
     REPO_ROOT / "src" / "repro" / "perf",
     REPO_ROOT / "src" / "repro" / "serving",
+    REPO_ROOT / "src" / "repro" / "snapshot",
 )
 
 #: Summary lines may end a sentence or introduce an indented block.

@@ -17,6 +17,12 @@ then fails on any of the leak classes an in-process test can miss:
 Run directly (CI does)::
 
     python -W error::ResourceWarning tools/http_smoke.py
+
+``--snapshot`` runs the persistence scenario instead: build a
+TUS-small snapshot, serve it (job spill in the snapshot's ``jobs/``
+area), drive a cache-hit detect plus an async job, *kill* the server,
+restart from the same snapshot, and prove the finished job and the
+warmed cache both survived — under exactly the same leak checks.
 """
 
 from __future__ import annotations
@@ -25,7 +31,9 @@ import gc
 import json
 import os
 import sys
+import tempfile
 import threading
+import time
 import warnings
 from pathlib import Path
 
@@ -108,8 +116,8 @@ def drive(client, tus_size: int, sb_size: int) -> None:
           f"jobs={stats['jobs']}")
 
 
-def main() -> int:
-    """Run the smoke; non-zero exit on any failure or leak."""
+def scenario_multilake() -> None:
+    """The original smoke: two lakes, one pool, drive and drain."""
     from repro import (
         ExecutionConfig,
         HomographClient,
@@ -119,39 +127,130 @@ def main() -> int:
     from repro.bench.synthetic import SBConfig, generate_sb
     from repro.bench.tus import TUSConfig, generate_tus
 
+    tus_dataset = generate_tus(TUSConfig.small(seed=0))
+    sb_dataset = generate_sb(SBConfig(seed=0))
+    print(f"TUS small: {len(tus_dataset.lake)} tables; "
+          f"SB: {len(sb_dataset.lake)} tables")
+    workspace = Workspace(
+        execution=ExecutionConfig(
+            backend="process", n_jobs=2, persistent=True
+        ),
+    )
+    workspace.attach("tus", tus_dataset.lake)
+    workspace.attach("sb", sb_dataset.lake)
+    server = start_server(workspace, port=0)
+    print(f"serving {len(workspace)} lakes on {server.url}")
+    try:
+        client = HomographClient(server.url, timeout=120.0)
+        client.wait_ready(timeout=30.0)
+        drive(
+            client,
+            tus_size=len(tus_dataset.lake),
+            sb_size=len(sb_dataset.lake),
+        )
+    finally:
+        server.drain()
+    assert workspace.closed
+
+
+def scenario_snapshot() -> None:
+    """The persistence smoke: snapshot, serve, kill, restart, verify."""
+    from repro import (
+        HomographClient,
+        HomographIndex,
+        Workspace,
+        start_server,
+    )
+    from repro.bench.tus import TUSConfig, generate_tus
+    from repro.snapshot import jobs_dir, load_manifest
+
+    dataset = generate_tus(TUSConfig.small(seed=0))
+    with tempfile.TemporaryDirectory(prefix="domainnet-snap-") as tmp:
+        snap = Path(tmp) / "tus"
+        started = time.monotonic()
+        with HomographIndex(dataset.lake) as builder:
+            builder.detect(measure="lcc")       # ship a warm ranking
+            builder.save(snap)
+        build_seconds = time.monotonic() - started
+        manifest = load_manifest(snap)
+        print(f"built snapshot in {build_seconds:.2f}s "
+              f"({manifest['graph']['num_edges']} edges, "
+              f"{manifest['scores']} warm score(s))")
+
+        # First server generation: mount the snapshot, spill jobs
+        # into its jobs/ area, complete one async job.
+        workspace = Workspace()
+        started = time.monotonic()
+        workspace.attach("tus", str(snap))
+        load_seconds = time.monotonic() - started
+        print(f"mounted snapshot in {load_seconds*1000:.1f}ms")
+        assert load_seconds < build_seconds, "snapshot load too slow"
+        server = start_server(
+            workspace, port=0, job_dir=str(jobs_dir(snap))
+        )
+        try:
+            client = HomographClient(
+                server.url, timeout=120.0, lake="tus"
+            )
+            client.wait_ready(timeout=30.0)
+            warm = client.detect(measure="lcc")
+            assert warm.cached, "snapshot cache was not pre-warmed"
+            job_id = client.submit(measure="lcc")
+            HomographClient(server.url, timeout=120.0).wait(
+                job_id, timeout=120.0
+            )
+        finally:
+            server.drain()        # the "kill": full teardown
+        assert workspace.closed
+        del client, server, workspace
+        gc.collect()
+
+        # Second generation: a brand-new process would do exactly
+        # this — same snapshot, same job_dir, nothing else shared.
+        workspace = Workspace()
+        workspace.attach("tus", str(snap))
+        server = start_server(
+            workspace, port=0, job_dir=str(jobs_dir(snap))
+        )
+        try:
+            base = HomographClient(server.url, timeout=120.0)
+            base.wait_ready(timeout=30.0)
+            job = base.poll(job_id)
+            assert job["state"] == "done", job
+            assert job["response"]["measure"] == "lcc", job
+            print("finished job survived the restart")
+            again = HomographClient(
+                server.url, timeout=120.0, lake="tus"
+            ).detect(measure="lcc")
+            assert again.cached, "restart lost the warmed cache"
+
+            # Runtime mount/unmount over HTTP, against a second copy.
+            second = Path(tmp) / "tus2"
+            with HomographIndex(dataset.lake) as builder:
+                builder.save(second)
+            mounted = base.mount_lake("tus2", str(second))
+            assert mounted["snapshot"] == str(second), mounted
+            assert base.unmount_lake("tus2")["detached"] is True
+        finally:
+            server.drain()
+        del base, server, workspace
+        gc.collect()  # release mmap handles before the tempdir dies
+
+
+def main() -> int:
+    """Run the smoke; non-zero exit on any failure or leak."""
+    scenario = (
+        scenario_snapshot if "--snapshot" in sys.argv[1:]
+        else scenario_multilake
+    )
     shm_before = (
         set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else None
     )
 
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always", ResourceWarning)
-        tus_dataset = generate_tus(TUSConfig.small(seed=0))
-        sb_dataset = generate_sb(SBConfig(seed=0))
-        print(f"TUS small: {len(tus_dataset.lake)} tables; "
-              f"SB: {len(sb_dataset.lake)} tables")
-        workspace = Workspace(
-            execution=ExecutionConfig(
-                backend="process", n_jobs=2, persistent=True
-            ),
-        )
-        workspace.attach("tus", tus_dataset.lake)
-        workspace.attach("sb", sb_dataset.lake)
-        server = start_server(workspace, port=0)
-        print(f"serving {len(workspace)} lakes on {server.url}")
-        try:
-            client = HomographClient(server.url, timeout=120.0)
-            client.wait_ready(timeout=30.0)
-            drive(
-                client,
-                tus_size=len(tus_dataset.lake),
-                sb_size=len(sb_dataset.lake),
-            )
-        finally:
-            server.drain()
-        assert workspace.closed
-
+        scenario()
         # Surface unclosed-resource finalizers now, inside the recorder.
-        del client, server, workspace, tus_dataset, sb_dataset
         gc.collect()
         gc.collect()
 
@@ -180,9 +279,8 @@ def main() -> int:
         print(f"FAIL: {failure}", file=sys.stderr)
     if failures:
         return 1
-    print("http smoke OK: two lakes on one pool, async job terminal, "
-          "no ResourceWarnings, no leaked threads, no leaked shared "
-          "memory")
+    print(f"http smoke OK ({scenario.__name__}): no ResourceWarnings, "
+          f"no leaked threads, no leaked shared memory")
     return 0
 
 
