@@ -4,8 +4,10 @@ The one-shot ``DomainNet.from_lake(...).detect(...)`` surface rebuilds
 and rescores from scratch on every use; a service cannot afford that.
 The index keeps the lake, builds the bipartite graph lazily, caches
 scores per ``(measure, config)``, and supports incremental
-``add_table``/``remove_table`` that invalidate instead of forcing the
-caller to re-instantiate::
+``add_table``/``remove_table``/``replace_table`` that *splice* the
+delta into the built graph and patch the cached scores in place —
+O(delta) per mutation, bit-identical to a from-scratch rebuild — with
+full invalidation as the always-correct fallback::
 
     from repro import DetectRequest, HomographIndex
 
@@ -13,8 +15,9 @@ caller to re-instantiate::
     response = index.detect(DetectRequest(measure="betweenness",
                                           sample_size=1000, seed=7))
     index.detect(measure="betweenness", sample_size=1000, seed=7)  # cache hit
-    index.add_table(new_table)       # invalidates graph + score cache
-    index.detect(measure="lcc")      # recomputed on the updated lake
+    index.add_table(new_table)       # CSR splice + scoped score patch
+    index.detect(measure="lcc")      # served from the patched cache
+    index.last_mutation              # delta stats of the add
 
 Graph construction is deferred until a query (or the ``graph``
 property) needs it, so a burst of ``add_table`` calls costs one
@@ -49,6 +52,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.builder import build_graph
 from ..core.communities import MeaningEstimate, estimate_meanings
+from ..core.delta import LakeLedger, plan_mutation, table_column_counts
 from ..core.errors import HomographClassification, classify_homographs
 from ..core.graph import BipartiteGraph
 from ..core.ranking import HomographRanking
@@ -56,6 +60,7 @@ from ..datalake.lake import DataLake
 from ..datalake.table import Table
 from ..perf.backends import (
     ExecutionBackend,
+    SerialBackend,
     backend_stats,
     resolve_backend,
     use_backend,
@@ -64,6 +69,7 @@ from ..perf.config import ExecutionConfig
 # Submodule import (not the package) keeps repro.api importable from
 # repro.serving.http / .client, which import this package in turn.
 from ..serving.singleflight import SingleFlight
+from .maintenance import affected_nodes, patch_entry
 from .measures import run_measure
 from .requests import DetectRequest, DetectResponse
 
@@ -89,19 +95,41 @@ class CacheInfo:
     coalesced: int = 0
 
 
+@dataclass
+class _CacheEntry:
+    """One stored score-cache slot.
+
+    ``generation`` records which graph generation the response was
+    computed (or last patched) against — the eager-eviction invariant
+    is that every live entry's generation equals the index's.
+    ``state`` is the measure's opaque maintenance payload
+    (``MeasureOutput.state``), ``None`` for snapshot-loaded entries
+    and custom measures, which delta mutation therefore evicts.
+    """
+
+    response: DetectResponse
+    generation: int
+    state: Optional[object] = None
+
+
 def execute_request(
     graph: BipartiteGraph,
     request: DetectRequest,
     graph_seconds: float = 0.0,
+    state_out: Optional[Dict] = None,
 ) -> DetectResponse:
     """Run one detection request against a pre-built graph (no caching).
 
     The stateless core of :meth:`HomographIndex.detect`, also used by
-    the legacy ``DomainNet`` shim.
+    the legacy ``DomainNet`` shim.  ``state_out``, when given, receives
+    the measure's maintenance payload under ``"state"`` so a caching
+    caller can patch the result across lake mutations.
     """
     start = time.perf_counter()
     output = run_measure(graph, request)
     measure_seconds = time.perf_counter() - start
+    if state_out is not None:
+        state_out["state"] = output.state
     ranking = HomographRanking(
         output.scores, descending=output.descending, measure=request.measure
     )
@@ -173,10 +201,17 @@ class HomographIndex:
         self._graph: Optional[BipartiteGraph] = None
         self._graph_seconds = 0.0
         self._unpruned_graph: Optional[BipartiteGraph] = None
-        self._score_cache: Dict[Tuple, DetectResponse] = {}
+        self._score_cache: Dict[Tuple, _CacheEntry] = {}
         self._cache_hits = 0
         self._cache_misses = 0
         self._coalesced = 0
+        # Delta-mutation state: the lake ledger (occurrence counts +
+        # rebuild-order ranks) is built lazily before the first delta
+        # splice and maintained in O(delta) afterwards; it is dropped
+        # whenever the graph is (invalidate / fallback).  The last
+        # mutation's delta statistics are kept for stats()/serving.
+        self._ledger: Optional[LakeLedger] = None
+        self._last_mutation: Optional[Dict[str, object]] = None
         # Serving state: one reentrant lock guards every mutable field
         # above; the single-flight group deduplicates concurrent
         # computations; generation stamps detect() runs so a result
@@ -246,7 +281,9 @@ class HomographIndex:
             graph_seconds = self._graph_seconds
             lake = self._lake
             prune = self._prune_candidates
-            responses = list(self._score_cache.values())
+            responses = [
+                entry.response for entry in self._score_cache.values()
+            ]
         return build_snapshot(
             path,
             lake=lake,
@@ -291,7 +328,11 @@ class HomographIndex:
         index._graph = loaded.graph
         index._graph_seconds = loaded.graph_seconds
         for response in loaded.responses:
-            index._score_cache[response.request.cache_key] = response
+            # Snapshot responses carry no maintenance state (it never
+            # serializes), so the first delta mutation evicts them.
+            index._score_cache[response.request.cache_key] = _CacheEntry(
+                response=response, generation=0, state=None
+            )
         index._snapshot_path = loaded.path
         return index
 
@@ -355,23 +396,186 @@ class HomographIndex:
     # Incremental updates
     # ------------------------------------------------------------------
     def add_table(self, table: Table) -> None:
-        """Add a table; graph and score caches are invalidated lazily."""
+        """Add a table, splicing the delta into graph and score caches.
+
+        With a built graph the mutation is O(delta): the CSR arrays are
+        patched via :meth:`~repro.core.graph.BipartiteGraph.splice_rows`
+        and cached scores are maintained in place (bit-identical to a
+        rebuild) instead of dropped.  Without one — or when the delta
+        planner declines — the caches invalidate as before and the next
+        query rebuilds.  :attr:`last_mutation` reports which path ran.
+        """
         with self._lock:
+            if self._graph is None:
+                self._lake.add_table(table)
+                self._mutate_fallback("add", table.name, "graph-unbuilt")
+                return
+            self._ensure_ledger()
+            added = table_column_counts(table)
             self._lake.add_table(table)
-            self.invalidate()
+            self._delta_mutate("add", table.name, [], added)
 
     def remove_table(self, name: str) -> Table:
-        """Remove and return a table, invalidating caches."""
+        """Remove and return a table; delta semantics of :meth:`add_table`."""
         with self._lock:
+            if self._graph is None:
+                table = self._lake.remove_table(name)
+                self._mutate_fallback("remove", name, "graph-unbuilt")
+                return table
+            self._ensure_ledger()
             table = self._lake.remove_table(name)
-            self.invalidate()
+            removed = table_column_counts(table)
+            self._delta_mutate("remove", name, removed, [])
             return table
 
     def replace_table(self, table: Table) -> None:
-        """Replace the same-named table, invalidating caches."""
+        """Replace the same-named table; delta semantics of :meth:`add_table`.
+
+        The replace is normalized to "all old columns removed, all new
+        columns added" — same-named columns may still differ in content.
+        """
         with self._lock:
+            if self._graph is None:
+                self._lake.replace_table(table)
+                self._mutate_fallback("replace", table.name, "graph-unbuilt")
+                return
+            self._ensure_ledger()
+            old = self._lake.table(table.name)
+            removed = table_column_counts(old)
+            added = table_column_counts(table)
             self._lake.replace_table(table)
-            self.invalidate()
+            self._delta_mutate("replace", table.name, removed, added)
+
+    @property
+    def last_mutation(self) -> Optional[Dict[str, object]]:
+        """Delta statistics of the most recent table mutation.
+
+        ``None`` until the first mutation; otherwise a JSON-safe dict
+        with ``op``, ``table``, ``delta_values``, ``delta_edges``,
+        ``recomputed_sources``, ``splice_seconds``, ``patched_entries``,
+        ``evicted_entries``, ``generation``, and ``fallback`` (``None``
+        when the splice path ran, else the reason the mutation fell
+        back to full invalidation).
+        """
+        with self._lock:
+            return dict(self._last_mutation) if self._last_mutation else None
+
+    def _min_occurrences(self) -> int:
+        """The graph build threshold this index uses."""
+        return 2 if self._prune_candidates else 1
+
+    def _ensure_ledger(self) -> None:
+        """Build the lake ledger (pre-mutation state) if absent."""
+        if self._ledger is None:
+            self._ledger = LakeLedger.from_lake(self._lake)
+
+    def _patch_backend(self) -> ExecutionBackend:
+        """The backend score maintenance runs on.
+
+        A live persistent backend serves the delta recomputes from its
+        warm pool and keyed export; otherwise maintenance runs serially
+        — the recompute is shipped as a single ordered chunk either
+        way, so the backend choice never changes the bits.
+        """
+        backend = self._backend
+        if backend is not None and getattr(backend, "persistent", False):
+            return backend
+        return SerialBackend()
+
+    def _mutate_fallback(self, op: str, name: str, reason: str) -> None:
+        """Record a mutation served by full invalidation (caller locked)."""
+        self._ledger = None
+        self.invalidate()
+        self._last_mutation = {
+            "op": op,
+            "table": name,
+            "fallback": reason,
+            "delta_values": None,
+            "delta_edges": None,
+            "recomputed_sources": None,
+            "splice_seconds": None,
+            "patched_entries": 0,
+            "evicted_entries": 0,
+            "generation": self._generation,
+        }
+
+    def _delta_mutate(
+        self, op: str, name: str, removed: list, added: list
+    ) -> None:
+        """Splice one applied lake mutation into graph + score caches.
+
+        Called under the lock with the lake already mutated and the
+        ledger still describing the pre-mutation state.  Plans the
+        splice, patches every cached entry that supports maintenance
+        (evicting the rest — including any entry from a superseded
+        generation, so a churning lake cannot grow the cache), and
+        commits graph, caches, and generation atomically.  Any failure
+        degrades to :meth:`_mutate_fallback`, which is always correct.
+        """
+        start = time.perf_counter()
+        try:
+            spec = plan_mutation(
+                self._graph, self._ledger, self._lake,
+                removed, added, self._min_occurrences(),
+            )
+            if spec is None:
+                self._mutate_fallback(op, name, "planner")
+                return
+            new_graph, delta = self._graph.splice_rows(spec)
+        except Exception:
+            self._mutate_fallback(op, name, "splice")
+            return
+        splice_seconds = time.perf_counter() - start
+
+        try:
+            mask = affected_nodes(new_graph, delta)
+            backend = self._patch_backend()
+            new_cache: Dict[Tuple, _CacheEntry] = {}
+            patched = evicted = recomputed = 0
+            for key, entry in self._score_cache.items():
+                if entry.generation != self._generation:
+                    evicted += 1  # stale generation: evict eagerly
+                    continue
+                result = patch_entry(
+                    entry.response, entry.state, new_graph, delta,
+                    mask, backend,
+                )
+                if result is None:
+                    evicted += 1
+                    continue
+                new_cache[key] = _CacheEntry(
+                    response=result.response,
+                    generation=self._generation + 1,
+                    state=result.state,
+                )
+                patched += 1
+                recomputed += result.recomputed
+        except Exception:
+            self._mutate_fallback(op, name, "maintenance")
+            return
+
+        old_graph = self._graph
+        self._generation += 1
+        self._graph = new_graph
+        self._graph_seconds = splice_seconds
+        self._unpruned_graph = None
+        self._score_cache = new_cache
+        if self._backend is not None:
+            # Only the superseded graph's keyed export is dropped; the
+            # pool (and siblings' exports on a shared backend) stay.
+            self._backend.invalidate_export(old_graph)
+        self._last_mutation = {
+            "op": op,
+            "table": name,
+            "fallback": None,
+            "delta_values": delta.delta_values,
+            "delta_edges": delta.delta_edges,
+            "recomputed_sources": recomputed,
+            "splice_seconds": splice_seconds,
+            "patched_entries": patched,
+            "evicted_entries": evicted,
+            "generation": self._generation,
+        }
 
     def invalidate(self) -> None:
         """Drop the graph and score caches (call after direct lake edits).
@@ -388,6 +592,7 @@ class HomographIndex:
             self._graph_seconds = 0.0
             self._unpruned_graph = None
             self._score_cache.clear()
+            self._ledger = None
             self._generation += 1
             if self._backend is not None:
                 if self._owns_backend:
@@ -541,7 +746,7 @@ class HomographIndex:
             hit = self._score_cache.get(request.cache_key)
             if hit is not None:
                 self._cache_hits += 1
-                return self._serve(hit, cached=True)
+                return self._serve(hit.response, cached=True)
             # Admitted: close() now waits for this call to finish
             # instead of tearing the backend down underneath it.
             self._active += 1
@@ -572,7 +777,7 @@ class HomographIndex:
                 if hit is not None:
                     self._cache_hits += 1
                     served_from_cache[0] = True
-                    return hit
+                    return hit.response
             with self._lock:
                 graph = self.graph  # built once, lazily
                 # Stamp the generation the graph was *built* under (a
@@ -586,16 +791,22 @@ class HomographIndex:
             backend = self._serving_backend() if use_default else None
             scope = use_backend(backend) if backend is not None \
                 else nullcontext()
+            state_box: Dict[str, object] = {}
             with scope:
                 response = execute_request(
-                    graph, request, graph_seconds=graph_seconds
+                    graph, request, graph_seconds=graph_seconds,
+                    state_out=state_box,
                 )
             with self._lock:
                 self._cache_misses += 1
                 # A mutation may have landed while we computed; serve
                 # the (then-stale) result but never cache it.
                 if self._generation == built_generation:
-                    self._score_cache[request.cache_key] = response
+                    self._score_cache[request.cache_key] = _CacheEntry(
+                        response=response,
+                        generation=built_generation,
+                        state=state_box.get("state"),
+                    )
             return response
 
         response, leader = self._singleflight.do(
@@ -744,6 +955,10 @@ class HomographIndex:
                     "size": len(self._score_cache),
                     "coalesced": self._coalesced,
                 },
+                "mutation": (
+                    dict(self._last_mutation)
+                    if self._last_mutation else None
+                ),
                 "pool": pool,
             }
 

@@ -26,7 +26,9 @@ suspicious).  Returning a plain mapping is also accepted and treated as
 a descending score map with no parameters.
 
 The two paper measures are registered as built-ins on import, under
-their historical names ``"betweenness"`` and ``"lcc"``.
+their historical names ``"betweenness"`` and ``"lcc"``, alongside
+``"rk"`` — the Riondato–Kornaropoulos sampled betweenness (§3.3) with
+its knobs carried in ``request.options``.
 """
 
 from __future__ import annotations
@@ -70,12 +72,16 @@ class MeasureOutput:
     ``scores`` maps each value name to its score; ``descending`` is the
     ranking direction (``True``: high score = more homograph-like);
     ``parameters`` records the knobs that produced the scores so results
-    stay reproducible once serialized.
+    stay reproducible once serialized.  ``state`` is an optional opaque
+    maintenance payload (raw accumulators, chunk counts) that lets delta
+    mutation patch a cached result instead of recomputing it — it never
+    serializes and is dropped on snapshot save/load.
     """
 
     scores: Mapping[str, float]
     descending: bool = True
     parameters: Dict[str, object] = field(default_factory=dict)
+    state: Optional[object] = None
 
 
 @runtime_checkable
@@ -165,12 +171,14 @@ def _betweenness_measure(
     graph: BipartiteGraph, request: "DetectRequest"
 ) -> MeasureOutput:
     """Betweenness centrality (Hypothesis 3.5): homographs score HIGH."""
+    state: Dict[str, object] = {}
     scores = betweenness_score_map(
         graph,
         sample_size=request.sample_size,
         seed=request.seed,
         endpoints=request.endpoints,
         execution=request.execution,
+        state_out=state,
     )
     return MeasureOutput(
         scores=scores,
@@ -180,6 +188,7 @@ def _betweenness_measure(
             "seed": request.seed,
             "endpoints": request.endpoints,
         },
+        state=state or None,
     )
 
 
@@ -195,4 +204,52 @@ def _lcc_measure(
         scores=scores,
         descending=False,
         parameters={"variant": request.lcc_variant},
+        state={"kind": "lcc", "variant": request.lcc_variant},
+    )
+
+
+@register_measure("rk")
+def _rk_measure(
+    graph: BipartiteGraph, request: "DetectRequest"
+) -> MeasureOutput:
+    """Riondato–Kornaropoulos sampled betweenness (§3.3's alternative).
+
+    Knobs ride in ``request.options`` (``epsilon``, ``delta``, ``c``,
+    ``max_samples``); the seed is the request seed.  Scores are on the
+    exact-betweenness normalized scale, so homographs score HIGH.
+    """
+    from ..core.approx import riondato_kornaropoulos_bc
+
+    epsilon = float(request.option("epsilon", 0.05))
+    delta = float(request.option("delta", 0.1))
+    c = float(request.option("c", 0.5))
+    max_samples = request.option("max_samples", None)
+    if max_samples is not None:
+        max_samples = int(max_samples)
+    state: Dict[str, object] = {}
+    scores = riondato_kornaropoulos_bc(
+        graph,
+        epsilon=epsilon,
+        delta=delta,
+        c=c,
+        seed=request.seed,
+        max_samples=max_samples,
+        execution=request.execution,
+        state_out=state,
+    )
+    score_map = {
+        graph.value_name(v): float(scores[v])
+        for v in range(graph.num_values)
+    }
+    return MeasureOutput(
+        scores=score_map,
+        descending=True,
+        parameters={
+            "epsilon": epsilon,
+            "delta": delta,
+            "c": c,
+            "seed": request.seed,
+            "max_samples": max_samples,
+        },
+        state=state or None,
     )

@@ -41,6 +41,7 @@ def riondato_kornaropoulos_bc(
     seed: Optional[int] = None,
     max_samples: Optional[int] = None,
     execution: Optional["ExecutionConfig"] = None,
+    state_out: Optional[dict] = None,
 ) -> np.ndarray:
     """Estimate betweenness for every node by shortest-path sampling.
 
@@ -66,6 +67,11 @@ def riondato_kornaropoulos_bc(
         the same sampled paths however the samples are chunked across
         workers.  Scores agree to float-association tolerance across
         chunkings, and bit-identically with a pinned ``chunk_size``.
+    state_out:
+        Optional dict filled with the maintenance state incremental
+        mutation needs to patch this result later: the raw (pre-scale)
+        accumulator over value nodes, the sample count, and the
+        effective chunk count.  See ``repro.api.maintenance``.
 
     Returns
     -------
@@ -110,6 +116,18 @@ def riondato_kornaropoulos_bc(
         )
     if partials:
         scores = tree_sum(partials)
+
+    if state_out is not None:
+        # Raw accumulator *before* the n/(n-2) rescale: patching
+        # carries these floats bitwise for untouched components and
+        # replays only the affected samples, then rescales once.
+        state_out.update(
+            kind="rk",
+            acc_values=scores[: graph.num_values].copy(),
+            chunks=len(payloads),
+            samples=int(r),
+            nodes=int(n),
+        )
 
     # The estimate approximates BC(w) / (n (n-1)) in the unordered-pair
     # convention the sampler uses; rescale onto the exact scores' scale

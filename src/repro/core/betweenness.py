@@ -42,6 +42,7 @@ def betweenness_scores(
     endpoints: str = "all",
     strategy: str = "uniform",
     execution: Optional["ExecutionConfig"] = None,
+    state_out: Optional[dict] = None,
 ) -> np.ndarray:
     """Betweenness centrality of every node, indexed by node id.
 
@@ -74,6 +75,12 @@ def betweenness_scores(
         process; a process backend fans the per-source dependency
         accumulations across cores.  Results agree with serial to
         float tolerance (bit-exactly when ``chunk_size`` is pinned).
+    state_out:
+        Optional dict filled with the maintenance state incremental
+        mutation needs to patch this result later: the raw
+        (pre-normalization) value-node accumulator, the effective
+        chunk count, and the source-selection parameters.  See
+        ``repro.api.maintenance``.
 
     Returns
     -------
@@ -146,6 +153,21 @@ def betweenness_scores(
         )
     if partials:
         scores = tree_sum(partials)
+
+    if state_out is not None:
+        # Raw value-node accumulator *before* normalization: patching
+        # carries these floats bitwise for untouched components, then
+        # renormalizes — recovering raw from normalized scores would
+        # not round-trip bit-exactly.
+        state_out.update(
+            kind="brandes",
+            raw_values=scores[: graph.num_values].copy(),
+            chunks=len(payloads),
+            eligible=int(eligible.size),
+            sampled=sources is not eligible,
+            strategy=strategy,
+            normalized=normalized,
+        )
 
     # Raw accumulation counts each unordered pair twice (once per
     # direction); normalize by ordered endpoint pairs, or halve.
@@ -221,6 +243,7 @@ def betweenness_score_map(
     normalized: bool = True,
     endpoints: str = "all",
     execution: Optional["ExecutionConfig"] = None,
+    state_out: Optional[dict] = None,
 ) -> Dict[str, float]:
     """Betweenness of *value* nodes keyed by value name."""
     scores = betweenness_scores(
@@ -230,6 +253,7 @@ def betweenness_score_map(
         normalized=normalized,
         endpoints=endpoints,
         execution=execution,
+        state_out=state_out,
     )
     return {
         graph.value_name(v): float(scores[v])

@@ -17,6 +17,7 @@ its *value neighbors* ``N(v)`` from the paper.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -24,6 +25,91 @@ import numpy as np
 
 class GraphError(ValueError):
     """Raised on invalid graph construction or queries."""
+
+
+@dataclass(frozen=True)
+class SpliceSpec:
+    """One CSR splice, expressed as vocabulary maps plus edge inserts.
+
+    Every mutation is normalized to drops and inserts: a node whose
+    adjacency row changes is *dropped* (``-1`` in its map) and
+    *reinserted* with an explicit edge list, so the splice never has to
+    express in-place row edits.  Both maps must be monotonic over the
+    surviving ids (survivors keep their relative order) — that is what
+    lets :meth:`BipartiteGraph.splice_rows` merge the carried adjacency
+    with the inserted edges in one linear pass instead of a global
+    re-sort, and it is what keeps per-component float summation order
+    identical to a from-scratch rebuild (see docs/architecture.md,
+    "Incremental maintenance").
+
+    Attributes
+    ----------
+    value_names, attribute_names:
+        The post-splice vocabularies, in rebuild order.
+    value_map:
+        ``old value id -> new value id`` (``-1`` drops the row).
+    attribute_map:
+        ``old attribute index -> new attribute index`` (``-1`` drops).
+    new_edges:
+        ``(k, 2)`` array of ``(new value id, new attribute index)``
+        edges to insert; must not duplicate carried edges.
+    """
+
+    value_names: List[str]
+    attribute_names: List[str]
+    value_map: np.ndarray
+    attribute_map: np.ndarray
+    new_edges: np.ndarray
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """What a :meth:`BipartiteGraph.splice_rows` call touched.
+
+    ``node_map`` maps every old node id to its new id (``-1`` =
+    dropped).  ``frontier_old`` / ``frontier_new`` are the structural
+    change points: old-space endpoints of removed edges and new-space
+    endpoints of inserted edges.  Score maintenance seeds its
+    affected-component search from the union of both frontiers (old
+    side mapped forward); everything unreachable from them is
+    bit-identical to the pre-splice graph.
+    """
+
+    node_map: np.ndarray
+    frontier_old: np.ndarray
+    frontier_new: np.ndarray
+    num_values_old: int
+    num_values_new: int
+    num_nodes_new: int
+    values_added: int
+    values_removed: int
+    edges_added: int
+    edges_removed: int
+
+    @property
+    def value_map(self) -> np.ndarray:
+        """The value-node slice of ``node_map``."""
+        return self.node_map[: self.num_values_old]
+
+    @property
+    def ids_stable(self) -> bool:
+        """Whether every old node kept its id (no adds, drops, shifts)."""
+        return self.node_map.size == self.num_nodes_new and bool(
+            np.array_equal(
+                self.node_map,
+                np.arange(self.node_map.size, dtype=np.int64),
+            )
+        )
+
+    @property
+    def delta_values(self) -> int:
+        """Value rows written by the splice (drops + inserts)."""
+        return self.values_added + self.values_removed
+
+    @property
+    def delta_edges(self) -> int:
+        """Edges written by the splice (removed + inserted)."""
+        return self.edges_added + self.edges_removed
 
 
 def frontier_edges(
@@ -386,6 +472,142 @@ class BipartiteGraph:
             [np.searchsorted(values, vals), np.searchsorted(attrs, src_attr)]
         )
         return BipartiteGraph(value_names, attr_names, edges)
+
+    # ------------------------------------------------------------------
+    # Incremental splicing
+    # ------------------------------------------------------------------
+    def splice_rows(
+        self, spec: SpliceSpec
+    ) -> Tuple["BipartiteGraph", GraphDelta]:
+        """Patch the CSR arrays into a new graph without a full rebuild.
+
+        Applies a :class:`SpliceSpec` — vocabulary maps plus explicit
+        edge inserts — in O(E + delta): the surviving adjacency entries
+        are carried over by one vectorized remap (their sort order is
+        preserved because the maps are monotonic), the inserted
+        symmetric edges are sorted on their own, and the two sorted
+        runs merge with two ``searchsorted`` calls, the same
+        lexsort-order invariant the constructor establishes.  The
+        receiver is never modified (its arrays stay frozen, so
+        concurrent readers — and snapshot-mounted ``mmap`` views — are
+        safe); copy-on-write happens only for the spliced arrays.
+
+        Returns the new graph plus a :class:`GraphDelta` describing the
+        touched node ids and edge counts.  Raises :class:`GraphError`
+        on non-monotonic maps, out-of-range ids, or duplicate edge
+        inserts.
+        """
+        n_val_old = self.num_values
+        n_attr_old = self.num_attributes
+        n_old = self.num_nodes
+        n_val_new = len(spec.value_names)
+        n_attr_new = len(spec.attribute_names)
+        n_new = n_val_new + n_attr_new
+
+        value_map = np.ascontiguousarray(spec.value_map, dtype=np.int64)
+        attr_map = np.ascontiguousarray(spec.attribute_map, dtype=np.int64)
+        if value_map.shape != (n_val_old,) or attr_map.shape != (n_attr_old,):
+            raise GraphError("splice maps must cover the old vocabularies")
+        if value_map.size and int(value_map.max()) >= n_val_new:
+            raise GraphError("value_map points past the new vocabulary")
+        if attr_map.size and int(attr_map.max()) >= n_attr_new:
+            raise GraphError("attribute_map points past the new vocabulary")
+        node_map = np.concatenate([
+            value_map,
+            np.where(attr_map >= 0, attr_map + n_val_new, -1),
+        ])
+
+        # Carry every old adjacency entry whose endpoints both survive.
+        old_src = np.repeat(
+            np.arange(n_old, dtype=np.int64), np.diff(self._indptr)
+        )
+        mapped_src = node_map[old_src]
+        mapped_dst = node_map[self._indices]
+        carry = (mapped_src >= 0) & (mapped_dst >= 0)
+        carried_src = mapped_src[carry]
+        carried_dst = mapped_dst[carry]
+        carried_key = carried_src * n_new + carried_dst
+        if carried_key.size > 1 and bool(np.any(np.diff(carried_key) <= 0)):
+            raise GraphError(
+                "splice maps must be monotonic over surviving ids"
+            )
+
+        new_edges = np.asarray(spec.new_edges, dtype=np.int64)
+        if new_edges.size == 0:
+            new_edges = new_edges.reshape(0, 2)
+        if new_edges.ndim != 2 or new_edges.shape[1] != 2:
+            raise GraphError(
+                "new_edges must be (value_id, attribute_id) pairs"
+            )
+        if new_edges.size:
+            if new_edges[:, 0].min() < 0 or new_edges[:, 0].max() >= n_val_new:
+                raise GraphError("inserted value id out of range")
+            if new_edges[:, 1].min() < 0 or new_edges[:, 1].max() >= n_attr_new:
+                raise GraphError("inserted attribute id out of range")
+
+        # Symmetrize and sort the inserted edges on the same
+        # (src, dst) key the carried entries are already sorted by.
+        ins_v = new_edges[:, 0]
+        ins_a = new_edges[:, 1] + n_val_new
+        ins_src = np.concatenate([ins_v, ins_a])
+        ins_dst = np.concatenate([ins_a, ins_v])
+        ins_key = ins_src * n_new + ins_dst
+        order = np.argsort(ins_key, kind="stable")
+        ins_key = ins_key[order]
+        ins_src = ins_src[order]
+        ins_dst = ins_dst[order]
+        if ins_key.size > 1 and bool(np.any(np.diff(ins_key) == 0)):
+            raise GraphError("duplicate edge insert")
+        if ins_key.size and carried_key.size:
+            pos = np.searchsorted(carried_key, ins_key)
+            pos_clipped = np.minimum(pos, carried_key.size - 1)
+            if bool(np.any(carried_key[pos_clipped] == ins_key)):
+                raise GraphError("inserted edge already present")
+
+        # Two-way merge of the sorted runs: each element's final slot
+        # is its own rank plus the count of smaller elements in the
+        # other run — no global sort.
+        total = carried_key.size + ins_key.size
+        merged_dst = np.empty(total, dtype=np.int64)
+        merged_dst[
+            np.arange(carried_key.size)
+            + np.searchsorted(ins_key, carried_key)
+        ] = carried_dst
+        merged_dst[
+            np.arange(ins_key.size)
+            + np.searchsorted(carried_key, ins_key)
+        ] = ins_dst
+        counts = (
+            np.bincount(carried_src, minlength=n_new)
+            + np.bincount(ins_src, minlength=n_new)
+        )
+        new_indptr = np.zeros(n_new + 1, dtype=np.int64)
+        new_indptr[1:] = np.cumsum(counts)
+
+        graph = BipartiteGraph.from_csr(
+            spec.value_names,
+            spec.attribute_names,
+            new_indptr,
+            np.ascontiguousarray(merged_dst),
+        )
+
+        survivors = int(np.count_nonzero(value_map >= 0))
+        frontier_old = np.unique(old_src[~carry])
+        frontier_new = np.unique(ins_src)
+        delta = GraphDelta(
+            node_map=node_map,
+            frontier_old=frontier_old,
+            frontier_new=frontier_new,
+            num_values_old=n_val_old,
+            num_values_new=n_val_new,
+            num_nodes_new=n_new,
+            values_added=n_val_new - survivors,
+            values_removed=n_val_old - survivors,
+            edges_added=int(new_edges.shape[0]),
+            edges_removed=self.num_edges
+            - int(carried_key.size) // 2,
+        )
+        return graph, delta
 
     # ------------------------------------------------------------------
     # Interop

@@ -69,22 +69,24 @@ def lcc_scores(
     return scores
 
 
-def _lcc_attribute_jaccard_range(
-    indptr: np.ndarray, indices: np.ndarray, lo: int, hi: int
+def _lcc_attribute_jaccard_ids(
+    indptr: np.ndarray, indices: np.ndarray, ids: np.ndarray
 ) -> np.ndarray:
-    """Vectorized attribute-set Jaccard averaging for values ``[lo, hi)``.
+    """Vectorized attribute-set Jaccard averaging for the given values.
 
     For a value ``u``, concatenating the value lists of every attribute
     in ``A(u)`` yields each co-occurring value ``v`` exactly
     ``|A(u) ∩ A(v)|`` times, so one ``np.unique(..., return_counts=True)``
     call gives all intersection sizes at once and the Jaccard follows
     from the value degrees.  Cost is linear in the total size of ``u``'s
-    attributes rather than quadratic in ``|N(u)|``.
+    attributes rather than quadratic in ``|N(u)|``.  Each value's score
+    is independent, so any subset computes bit-identically to the full
+    sweep — the property delta maintenance relies on.
     """
-    scores = np.zeros(hi - lo, dtype=np.float64)
+    scores = np.zeros(ids.size, dtype=np.float64)
     degrees = np.diff(indptr)
 
-    for u in range(lo, hi):
+    for i, u in enumerate(ids):
         attrs = indices[indptr[u]:indptr[u + 1]]
         if attrs.size == 0:
             continue
@@ -96,21 +98,31 @@ def _lcc_attribute_jaccard_range(
         if neighbors.size == 0:
             continue
         union = degrees[u] + degrees[neighbors] - inter
-        scores[u - lo] = float(np.mean(inter / union))
+        scores[i] = float(np.mean(inter / union))
     return scores
 
 
-def _lcc_value_neighbors_range(
+def _lcc_attribute_jaccard_range(
     indptr: np.ndarray, indices: np.ndarray, lo: int, hi: int
 ) -> np.ndarray:
-    """Literal Eq. 1 over ``[lo, hi)``: Jaccard on value-neighbor sets.
+    """Attribute-set Jaccard averaging for the contiguous ``[lo, hi)``."""
+    return _lcc_attribute_jaccard_ids(
+        indptr, indices, np.arange(lo, hi, dtype=np.int64)
+    )
+
+
+def _lcc_value_neighbors_ids(
+    indptr: np.ndarray, indices: np.ndarray, ids: np.ndarray
+) -> np.ndarray:
+    """Literal Eq. 1 for the given values: Jaccard on value neighbors.
 
     ``N(v)`` arrays are cached across the loop since neighbors share
     attributes heavily (the cache is per chunk, so chunking trades a
     little recomputation for parallelism).  O(|N(u)|^2)-ish per node —
-    ablation use only.
+    ablation use only.  Like the attribute-Jaccard variant, per-value
+    scores are subset-independent and bit-exact under any chunking.
     """
-    scores = np.zeros(hi - lo, dtype=np.float64)
+    scores = np.zeros(ids.size, dtype=np.float64)
     cache: Dict[int, np.ndarray] = {}
 
     def neighbor_set(v: int) -> np.ndarray:
@@ -120,8 +132,8 @@ def _lcc_value_neighbors_range(
             cache[v] = cached
         return cached
 
-    for u in range(lo, hi):
-        n_u = neighbor_set(u)
+    for i, u in enumerate(ids):
+        n_u = neighbor_set(int(u))
         if n_u.size == 0:
             continue
         total = 0.0
@@ -131,8 +143,17 @@ def _lcc_value_neighbors_range(
             inter = np.intersect1d(n_u, n_v, assume_unique=True).size
             union = size_u + n_v.size - inter
             total += inter / union if union else 0.0
-        scores[u - lo] = total / size_u
+        scores[i] = total / size_u
     return scores
+
+
+def _lcc_value_neighbors_range(
+    indptr: np.ndarray, indices: np.ndarray, lo: int, hi: int
+) -> np.ndarray:
+    """Literal Eq. 1 for the contiguous value range ``[lo, hi)``."""
+    return _lcc_value_neighbors_ids(
+        indptr, indices, np.arange(lo, hi, dtype=np.int64)
+    )
 
 
 def lcc_score_map(

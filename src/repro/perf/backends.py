@@ -132,6 +132,33 @@ class ExecutionBackend(abc.ABC):
     ) -> List:
         """Run ``kernel`` over every payload, in payload order."""
 
+    def map_sources(
+        self,
+        graph,
+        kernel: str,
+        sources: np.ndarray,
+        weights: np.ndarray,
+        common: Mapping,
+    ) -> np.ndarray:
+        """Run one accumulator kernel over an explicit source subset.
+
+        The delta-maintenance entry point: the subset is shipped as a
+        *single ordered chunk*, so the kernel's sequential float
+        accumulation order matches what the same sources contributed
+        inside a one-chunk full run — the property that makes patched
+        scores bit-identical to a rebuild.  On a persistent process
+        backend the call reuses the pool and the graph's keyed export
+        (no re-export of unchanged arrays); the result is the partial
+        score vector, ``zeros`` when the subset is empty.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        if sources.size == 0:
+            return np.zeros(graph.num_nodes, dtype=np.float64)
+        partials = self.map_chunks(
+            graph, kernel, [(sources, np.asarray(weights))], common
+        )
+        return partials[0]
+
     def close(self) -> None:
         """Release any long-lived resources (pool, shared memory)."""
 

@@ -18,6 +18,9 @@ Three kernels cover the paper's hot paths:
 * ``"lcc"`` — local clustering coefficients for one contiguous range
   of value nodes; partial = ``(lo, hi, segment)``, stitched by the
   caller.
+* ``"lcc_subset"`` — the same math over an explicit id set; partial =
+  ``(ids, segment)``.  Used by delta maintenance to recompute only the
+  values a splice touched.
 """
 
 from __future__ import annotations
@@ -29,7 +32,12 @@ import numpy as np
 
 from ..core.approx import _sample_shortest_path
 from ..core.betweenness import _single_source_dependency
-from ..core.lcc import _lcc_attribute_jaccard_range, _lcc_value_neighbors_range
+from ..core.lcc import (
+    _lcc_attribute_jaccard_ids,
+    _lcc_attribute_jaccard_range,
+    _lcc_value_neighbors_ids,
+    _lcc_value_neighbors_range,
+)
 
 
 @dataclass(frozen=True)
@@ -133,6 +141,26 @@ def rk_kernel(
         if path:
             acc[path] += inv_r
     return acc
+
+
+@register_kernel("lcc_subset")
+def lcc_subset_kernel(
+    ctx: GraphContext,
+    payload: np.ndarray,
+    common: Mapping,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """LCC scores for an explicit set of value-node ids.
+
+    Delta maintenance recomputes only the values whose neighborhoods a
+    splice touched; per-value independence makes the subset result
+    bit-identical to the same slots of a full sweep.
+    """
+    ids = np.asarray(payload, dtype=np.int64)
+    if common["variant"] == "attribute-jaccard":
+        segment = _lcc_attribute_jaccard_ids(ctx.indptr, ctx.indices, ids)
+    else:
+        segment = _lcc_value_neighbors_ids(ctx.indptr, ctx.indices, ids)
+    return ids, segment
 
 
 @register_kernel("lcc")

@@ -1141,7 +1141,11 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
             ) from None
         self._send_json(
             201,
-            {"table": name, "tables": len(index.lake)},
+            {
+                "table": name,
+                "tables": len(index.lake),
+                "mutation": index.last_mutation,
+            },
         )
 
     def _handle_remove_table(
@@ -1156,7 +1160,11 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
             ) from None
         self._send_json(
             200,
-            {"table": name, "tables": len(index.lake)},
+            {
+                "table": name,
+                "tables": len(index.lake),
+                "mutation": index.last_mutation,
+            },
         )
 
     # -- param parsing -------------------------------------------------

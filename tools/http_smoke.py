@@ -156,8 +156,10 @@ def scenario_multilake() -> None:
 def scenario_snapshot() -> None:
     """The persistence smoke: snapshot, serve, kill, restart, verify."""
     from repro import (
+        DataLake,
         HomographClient,
         HomographIndex,
+        Table,
         Workspace,
         start_server,
     )
@@ -219,10 +221,50 @@ def scenario_snapshot() -> None:
             assert job["state"] == "done", job
             assert job["response"]["measure"] == "lcc", job
             print("finished job survived the restart")
-            again = HomographClient(
+            tus_client = HomographClient(
                 server.url, timeout=120.0, lake="tus"
-            ).detect(measure="lcc")
+            )
+            again = tus_client.detect(measure="lcc")
             assert again.cached, "restart lost the warmed cache"
+
+            # Mutate-then-detect on the snapshot-mounted (read-only
+            # mmap) lake: a freshly computed ranking carries
+            # maintenance state, so the add splices the CSR arrays
+            # (copy-on-write — the snapshot files stay untouched) and
+            # patches the ranking instead of dropping it.
+            fresh = tus_client.detect(
+                measure="lcc", lcc_variant="value-neighbors"
+            )
+            assert not fresh.cached
+            extra = Table.from_columns(
+                "smoke_delta",
+                {"a": ["zz-a", "zz-b", "zz-a"],
+                 "b": ["zz-b", "zz-c", "zz-c"]},
+            )
+            body = tus_client.add_table(extra)
+            mutation = body["mutation"]
+            assert mutation["fallback"] is None, mutation
+            assert mutation["patched_entries"] >= 1, mutation
+            assert mutation["delta_values"] > 0, mutation
+            patched = tus_client.detect(
+                measure="lcc", lcc_variant="value-neighbors"
+            )
+            assert patched.cached, "patched entry must serve as a hit"
+            oracle_lake = DataLake(t for t in dataset.lake)
+            oracle_lake.add_table(extra)
+            with HomographIndex(oracle_lake) as oracle:
+                want = oracle.detect(
+                    measure="lcc", lcc_variant="value-neighbors"
+                )
+                assert patched.scores == want.scores, (
+                    "patched snapshot-mounted scores diverged from a "
+                    "from-scratch rebuild"
+                )
+            removed = tus_client.remove_table("smoke_delta")
+            assert removed["mutation"]["op"] == "remove", removed
+            print("snapshot-mounted mutate-then-detect: delta splice "
+                  f"patched {mutation['patched_entries']} entr(y/ies), "
+                  f"parity vs rebuild held")
 
             # Runtime mount/unmount over HTTP, against a second copy.
             second = Path(tmp) / "tus2"
