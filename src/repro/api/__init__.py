@@ -42,6 +42,7 @@ from .workspace import (
     Workspace,
     WorkspaceError,
     validate_lake_name,
+    validate_lake_quota,
 )
 
 __all__ = [
@@ -66,4 +67,5 @@ __all__ = [
     "run_measure",
     "unregister_measure",
     "validate_lake_name",
+    "validate_lake_quota",
 ]

@@ -819,6 +819,33 @@ class HomographIndex:
                 self._coalesced += 1
         return self._serve(response, cached=True)
 
+    def is_warm(
+        self,
+        request: Optional[DetectRequest] = None,
+        **overrides,
+    ) -> bool:
+        """Whether this request would serve without fresh pool work.
+
+        ``True`` when the configuration's response is already cached,
+        or when an identical computation is in flight right now — a
+        :meth:`detect` call would coalesce onto it as a single-flight
+        follower instead of computing.  A snapshot, not a reservation:
+        the admission gate uses it as a scheduling hint (warm requests
+        are admitted ahead of fresh computations under overload), so a
+        rare stale answer costs one mis-prioritized request, nothing
+        more.  ``False`` once the index is closed.
+        """
+        request = self._coerce_request(request, overrides)
+        with self._lock:
+            if self._closed:
+                return False
+            if request.cache_key in self._score_cache:
+                return True
+            generation = self._generation
+        return self._singleflight.contains(
+            (generation, request.cache_key)
+        )
+
     def asubmit(
         self,
         request: Optional[DetectRequest] = None,

@@ -63,6 +63,25 @@ class DuplicateLakeError(WorkspaceError):
     """Raised when attaching a lake under a name already in use."""
 
 
+def validate_lake_quota(quota: Optional[int]) -> Optional[int]:
+    """Check that ``quota`` is a legal per-lake admission quota.
+
+    ``None`` (no explicit quota — the server derives one) passes
+    through; anything else must be an ``int >= 1``.  Returns the value
+    unchanged; raises :class:`ValueError` otherwise.  ``bool`` is
+    rejected explicitly — ``True`` is an ``int`` to ``isinstance`` but
+    never a sane quota.
+    """
+    if quota is None:
+        return None
+    if isinstance(quota, bool) or not isinstance(quota, int) or quota < 1:
+        raise ValueError(
+            f"invalid lake quota {quota!r}: expected an integer >= 1 "
+            "(or None for the server-derived default)"
+        )
+    return quota
+
+
 def validate_lake_name(name: str) -> str:
     """Check that ``name`` is a legal (URL-safe) lake name.
 
@@ -113,6 +132,9 @@ class Workspace:
         self._prune_candidates = prune_candidates
         self._lock = threading.RLock()
         self._indexes: "OrderedDict[str, HomographIndex]" = OrderedDict()
+        # Explicit per-lake admission quotas (lakes without an entry
+        # get the server-derived share); see quota()/set_quota().
+        self._quotas: Dict[str, int] = {}
         self._backend: Optional[ExecutionBackend] = None
         self._closed = False
 
@@ -151,6 +173,7 @@ class Workspace:
         name: str,
         lake: Union[DataLake, str, "object"],
         prune_candidates: Optional[bool] = None,
+        quota: Optional[int] = None,
     ) -> HomographIndex:
         """Mount a lake under ``name``; returns its new index.
 
@@ -161,9 +184,12 @@ class Workspace:
         via :meth:`HomographIndex.load`, skipping the graph build and
         pre-warming the score cache.  Either way the index rides the
         workspace's execution config and shared backend, so its
-        queries share the one pool.
+        queries share the one pool.  ``quota`` optionally pins this
+        lake's admission quota (see :meth:`set_quota`) atomically with
+        the mount.
         """
         validate_lake_name(name)
+        validate_lake_quota(quota)
         prune = (
             self._prune_candidates
             if prune_candidates is None
@@ -203,6 +229,8 @@ class Workspace:
                         backend=self._shared_backend(),
                     )
                 self._indexes[name] = index
+                if quota is not None:
+                    self._quotas[name] = quota
                 return index
         except BaseException:
             # A snapshot index that lost the membership race holds
@@ -212,16 +240,23 @@ class Workspace:
                 preloaded.close()
             raise
 
-    def attach_index(self, name: str, index: HomographIndex) -> None:
+    def attach_index(
+        self,
+        name: str,
+        index: HomographIndex,
+        quota: Optional[int] = None,
+    ) -> None:
         """Mount an existing index under ``name``.
 
         The index keeps whatever execution machinery it was built
         with (it does *not* join the shared pool); the workspace takes
         over its lifecycle — ``detach``/``close`` will close it.  This
         is the adoption path the HTTP server uses for the legacy
-        single-index constructor.
+        single-index constructor.  ``quota`` pins the lake's admission
+        quota, as :meth:`attach` documents.
         """
         validate_lake_name(name)
+        validate_lake_quota(quota)
         with self._lock:
             if self._closed:
                 raise WorkspaceError("Workspace is closed")
@@ -230,21 +265,54 @@ class Workspace:
                     f"lake {name!r} is already attached"
                 )
             self._indexes[name] = index
+            if quota is not None:
+                self._quotas[name] = quota
 
     def detach(self, name: str) -> HomographIndex:
         """Unmount ``name``: close its index, release its export.
 
         Siblings and the shared backend are untouched (the index's
         ``close`` only drops its own graph export on a shared
-        backend).  Returns the closed index — its lake and cached
-        state remain readable.
+        backend).  Any explicit admission quota for the name is
+        forgotten with it.  Returns the closed index — its lake and
+        cached state remain readable.
         """
         with self._lock:
             index = self._indexes.pop(name, None)
+            self._quotas.pop(name, None)
         if index is None:
             raise UnknownLakeError(f"no lake named {name!r}")
         index.close()
         return index
+
+    def quota(self, name: str) -> Optional[int]:
+        """The explicit admission quota for ``name``, or ``None``.
+
+        ``None`` means no override was set: the HTTP server derives
+        the lake's share of the global gate instead (see
+        ``docs/serving.md``).  Unknown names also answer ``None`` —
+        quotas are advisory scheduling state, not membership.
+        """
+        with self._lock:
+            return self._quotas.get(name)
+
+    def set_quota(self, name: str, quota: Optional[int]) -> None:
+        """Pin (or clear, with ``None``) the admission quota of a lake.
+
+        The quota caps how many compute requests the HTTP front-end
+        admits concurrently for this lake; the workspace only stores
+        it.  Raises :class:`UnknownLakeError` for unattached names and
+        :class:`ValueError` for quotas that are not ``None`` or an
+        ``int >= 1``.
+        """
+        validate_lake_quota(quota)
+        with self._lock:
+            if name not in self._indexes:
+                raise UnknownLakeError(f"no lake named {name!r}")
+            if quota is None:
+                self._quotas.pop(name, None)
+            else:
+                self._quotas[name] = quota
 
     def get(self, name: str) -> HomographIndex:
         """The index mounted at ``name`` (raises UnknownLakeError)."""
@@ -302,6 +370,7 @@ class Workspace:
         """
         with self._lock:
             members = list(self._indexes.items())
+            quotas = dict(self._quotas)
             backend = self._backend
             closed = self._closed
             default = next(iter(self._indexes), None)
@@ -309,6 +378,7 @@ class Workspace:
             "lakes": {name: index.stats() for name, index in members},
             "default_lake": default,
             "closed": closed,
+            "quotas": quotas,
             "pool": backend_stats(
                 backend, configured=self._execution is not None
             ),

@@ -8,6 +8,11 @@
   controlled injection (paper §4.3).
 * :mod:`repro.bench.scale` — the NYC-scale lake and footnote-9
   subgraph extraction (paper §5.4).
+* :mod:`repro.bench.loadgen` — closed-loop HTTP load generator for
+  the serving tier (kept out of this namespace so importing the data
+  generators never pulls in the serving client; import it directly).
+* :mod:`repro.bench.report` — shared ``BENCH_*.json`` schema
+  validation and section-update helpers.
 """
 
 from .ground_truth import LakeGroundTruth, label_lake, meanings_range

@@ -1,0 +1,138 @@
+"""The shared shape of ``BENCH_*.json`` artifacts.
+
+Every PR's benchmark writes a ``BENCH_PR<n>.json`` at the repo root so
+reviewers can diff numbers across commits.  Until PR 8 the shape was a
+convention enforced by eyeball; this module makes it a contract:
+
+* a report is a non-empty JSON object;
+* it carries a ``_meta`` object (scale knob, notes, machine facts);
+* every other top-level key is a non-empty *section* object whose
+  leaves are JSON-safe scalars (strings, bools, finite numbers,
+  ``None``) or lists/objects of the same — no NaN/Infinity, which
+  ``json.dumps`` would happily emit and every strict parser would
+  then reject.
+
+:func:`validate_bench_report` returns the list of violations (empty
+means conformant) so ``tests/test_bench_schema.py`` can assert on
+every artifact in one parametrized sweep.  :func:`update_bench_section`
+is the read-modify-write helper benchmarks use so two tests touching
+the same ``BENCH_*.json`` (e.g. the mixed-load and fairness scenarios
+of PR 8) compose instead of clobbering each other.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Union
+
+_SCALARS = (str, bool, int, float, type(None))
+
+
+def validate_bench_report(data: object) -> List[str]:
+    """Check one parsed ``BENCH_*.json`` against the shared schema.
+
+    Returns a list of human-readable problems; an empty list means the
+    report conforms.  The checks, in order: top level is a non-empty
+    dict, ``_meta`` exists and is a dict, at least one non-meta
+    section exists, every section is a non-empty dict, and every leaf
+    value is a JSON-safe scalar or a list/dict of the same with finite
+    numbers throughout.
+    """
+    problems: List[str] = []
+    if not isinstance(data, dict):
+        return [f"top level must be an object, got {type(data).__name__}"]
+    if not data:
+        return ["report is empty"]
+    meta = data.get("_meta")
+    if meta is None:
+        problems.append("missing '_meta' section")
+    elif not isinstance(meta, dict):
+        problems.append(
+            f"'_meta' must be an object, got {type(meta).__name__}"
+        )
+    sections = {key: value for key, value in data.items() if key != "_meta"}
+    if not sections:
+        problems.append("no result sections besides '_meta'")
+    for name, section in sections.items():
+        if not isinstance(section, dict):
+            problems.append(
+                f"section {name!r} must be an object, "
+                f"got {type(section).__name__}"
+            )
+            continue
+        if not section:
+            problems.append(f"section {name!r} is empty")
+    for name, value in data.items():
+        problems.extend(_check_value(name, value))
+    return problems
+
+
+def _check_value(path: str, value: object) -> List[str]:
+    """Recursively verify one value is JSON-safe with finite numbers."""
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return []
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and not math.isfinite(value):
+            return [f"{path}: non-finite number {value!r}"]
+        return []
+    if isinstance(value, list):
+        problems: List[str] = []
+        for index, item in enumerate(value):
+            problems.extend(_check_value(f"{path}[{index}]", item))
+        return problems
+    if isinstance(value, dict):
+        problems = []
+        for key, item in value.items():
+            if not isinstance(key, str):
+                problems.append(
+                    f"{path}: non-string key {key!r}"
+                )
+                continue
+            problems.extend(_check_value(f"{path}.{key}", item))
+        return problems
+    return [f"{path}: non-JSON value of type {type(value).__name__}"]
+
+
+def update_bench_section(
+    path: Union[str, Path],
+    section: str,
+    payload: Mapping[str, object],
+    meta: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Merge one section into a ``BENCH_*.json``, creating it if absent.
+
+    Reads the existing report (tolerating a missing or unreadable
+    file by starting fresh), replaces ``report[section]``, merges
+    ``meta`` keys into ``_meta``, validates the result against the
+    shared schema (raising ``ValueError`` on violations — a benchmark
+    must never publish a malformed artifact), and writes it back with
+    the repo-wide ``indent=2, sort_keys=True`` convention.  Returns
+    the full report that was written.
+    """
+    path = Path(path)
+    report: Dict[str, object] = {}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            loaded = None
+        if isinstance(loaded, dict):
+            report = loaded
+    report[section] = dict(payload)
+    existing_meta = report.get("_meta")
+    merged_meta: Dict[str, object] = (
+        dict(existing_meta) if isinstance(existing_meta, dict) else {}
+    )
+    if meta:
+        merged_meta.update(meta)
+    report["_meta"] = merged_meta
+    problems = validate_bench_report(report)
+    if problems:
+        raise ValueError(
+            f"refusing to write malformed {path.name}: "
+            + "; ".join(problems)
+        )
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return report

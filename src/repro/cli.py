@@ -145,6 +145,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--retry-after", type=int, default=None,
                        help="Retry-After seconds sent with 503 "
                             "rejections (default 1)")
+    serve.add_argument("--lake-quota", type=int, default=None,
+                       metavar="N",
+                       help="concurrent compute requests admitted per "
+                            "lake (default: each lake's fair share, "
+                            "max-concurrent // number of lakes with a "
+                            "floor of 1; 0 disables per-lake fairness, "
+                            "restoring the single global gate)")
+    serve.add_argument("--request-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-connection socket timeout: stalled "
+                            "clients get a 408 and their connection "
+                            "closed (default 60)")
 
     stats = commands.add_parser(
         "stats", help="print catalog statistics for a CSV lake"
@@ -421,6 +433,18 @@ def _cmd_serve(args) -> int:
         options["max_concurrent"] = args.max_concurrent
     if args.retry_after is not None:
         options["retry_after"] = args.retry_after
+    if args.lake_quota is not None:
+        if args.lake_quota < 0:
+            print("--lake-quota must be >= 0 (0 turns fairness off)",
+                  file=sys.stderr)
+            return 2
+        options["lake_quota"] = args.lake_quota
+    if args.request_timeout is not None:
+        if args.request_timeout <= 0:
+            print("--request-timeout must be > 0 seconds",
+                  file=sys.stderr)
+            return 2
+        options["request_timeout"] = args.request_timeout
     if args.job_ttl is not None:
         if args.job_ttl <= 0:
             print("--job-ttl must be > 0 seconds", file=sys.stderr)

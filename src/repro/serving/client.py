@@ -26,20 +26,32 @@ call to one of them, and jobs run detections asynchronously::
     response = client.wait(job_id)            # blocks; DetectResponse
 
 Failures come back as :class:`ServiceError` carrying the server's
-structured error payload (``status``, ``code``, ``message``) plus the
-``Retry-After`` hint on 503s; a job that ends in its error state
-raises :class:`JobFailed` from :meth:`HomographClient.wait`.
+structured error payload (``status``, ``code``, ``message``, and the
+``lake`` a lake-scoped 503 names) plus the ``Retry-After`` hint on
+503s; a job that ends in its error state raises :class:`JobFailed`
+from :meth:`HomographClient.wait`.
+
+Two knobs matter under load.  ``keep_alive=True`` switches the
+transport from one-shot ``urllib`` opens to a persistent HTTP/1.1
+connection (reconnecting transparently when the server closes it), so
+a load-generator worker pays the TCP handshake once, not per request.
+``retry_overloaded=N`` retries admission rejections (any 503 —
+``over-capacity``, ``lake-over-capacity``, ``jobs-overloaded``) up to
+N times, sleeping the server's ``Retry-After`` between attempts (or
+``retry_backoff`` seconds when set).  A keep-alive client is not
+thread-safe: give each worker thread its own.
 """
 
 from __future__ import annotations
 
 import gzip
+import http.client
 import json
 import time
 import urllib.error
 import urllib.parse
 import urllib.request
-from typing import Dict, Iterator, Mapping, Optional
+from typing import Dict, Iterator, Mapping, Optional, Tuple
 
 from ..api import DetectRequest, DetectResponse
 from ..core.ranking import RankedValue
@@ -59,6 +71,9 @@ class ServiceError(RuntimeError):
         ``"unknown"`` when the body was not the service's error shape.
     retry_after:
         Parsed ``Retry-After`` header in seconds, when present.
+    lake:
+        The lake a lake-scoped rejection names in its error body
+        (``lake-over-capacity``), else ``None``.
     """
 
     def __init__(
@@ -67,12 +82,101 @@ class ServiceError(RuntimeError):
         code: str,
         message: str,
         retry_after: Optional[int] = None,
+        lake: Optional[str] = None,
     ) -> None:
         super().__init__(f"[{status} {code}] {message}")
         self.status = status
         self.code = code
         self.message = message
         self.retry_after = retry_after
+        self.lake = lake
+
+    @property
+    def overloaded(self) -> bool:
+        """Whether this is a retryable 503 admission rejection."""
+        return self.status == 503
+
+    @property
+    def scope(self) -> Optional[str]:
+        """Which gate rejected an overloaded request.
+
+        ``"lake"`` for a per-lake quota rejection, ``"global"`` for
+        the service-wide gate or the async-job cap, ``None`` for
+        errors that are not admission rejections.
+        """
+        if self.code == "lake-over-capacity":
+            return "lake"
+        if self.code in ("over-capacity", "jobs-overloaded"):
+            return "global"
+        return None
+
+
+class _KeepAliveTransport:
+    """One persistent HTTP/1.1 connection, reconnecting when stale.
+
+    The server may close a keep-alive connection at any time (error
+    responses do, drains do, idle timeouts do); a request that dies
+    on a *reused* connection is retried exactly once on a fresh one —
+    the classic keep-alive race — while failures on a fresh
+    connection, and timeouts anywhere, propagate.  ``reconnects``
+    counts the races for diagnostics.  Not thread-safe.
+    """
+
+    def __init__(self, base_url: str, timeout: float) -> None:
+        parts = urllib.parse.urlsplit(base_url)
+        if parts.scheme != "http":
+            raise ValueError(
+                f"keep-alive transport speaks plain http, "
+                f"got {base_url!r}"
+            )
+        self._host = parts.hostname or "127.0.0.1"
+        self._port = parts.port or 80
+        self._timeout = timeout
+        self._connection: Optional[http.client.HTTPConnection] = None
+        self.reconnects = 0
+
+    def request(
+        self,
+        method: str,
+        target: str,
+        body: Optional[bytes],
+        headers: Mapping[str, str],
+    ) -> Tuple[int, "http.client.HTTPMessage", bytes]:
+        """One request/response cycle; returns (status, headers, body)."""
+        last_error: Optional[BaseException] = None
+        for attempt in (0, 1):
+            fresh = self._connection is None
+            if fresh:
+                self._connection = http.client.HTTPConnection(
+                    self._host, self._port, timeout=self._timeout
+                )
+            connection = self._connection
+            try:
+                connection.request(
+                    method, target, body=body, headers=dict(headers)
+                )
+                response = connection.getresponse()
+                payload = response.read()
+            except (http.client.HTTPException, OSError) as error:
+                self.close()
+                if fresh or attempt or isinstance(error, TimeoutError):
+                    raise
+                self.reconnects += 1
+                last_error = error
+                continue
+            if response.will_close:
+                # The server asked for the connection to close (it
+                # does on every error response); honor it so the next
+                # request starts clean instead of racing a FIN.
+                self.close()
+            return response.status, response.msg, payload
+        raise last_error  # pragma: no cover - loop always returns
+
+    def close(self) -> None:
+        """Drop the current connection (the next request redials)."""
+        connection, self._connection = self._connection, None
+        if connection is not None:
+            connection.close()
 
 
 class JobFailed(RuntimeError):
@@ -110,6 +214,20 @@ class HomographClient:
         via the ``/lakes/<name>/...`` routes.  ``None`` (default)
         uses the legacy un-prefixed routes, i.e. the server's default
         lake.  Prefer :meth:`lake` to construct scoped handles.
+    keep_alive:
+        Reuse one persistent HTTP/1.1 connection across requests
+        (reconnecting when the server closes it) instead of opening a
+        socket per request.  :meth:`lake` handles share the parent's
+        connection.  A keep-alive client is not thread-safe; call
+        :meth:`close` (or use the client as a context manager) when
+        done so the socket does not linger.
+    retry_overloaded / retry_backoff:
+        Retry any 503 admission rejection (``over-capacity``,
+        ``lake-over-capacity``, ``jobs-overloaded``) up to
+        ``retry_overloaded`` times before raising, sleeping the
+        server's ``Retry-After`` between attempts — or exactly
+        ``retry_backoff`` seconds when set (load generators set it
+        small to keep the closed loop tight).  Default: no retries.
     """
 
     def __init__(
@@ -118,19 +236,35 @@ class HomographClient:
         timeout: float = 60.0,
         token: Optional[str] = None,
         lake: Optional[str] = None,
+        keep_alive: bool = False,
+        retry_overloaded: int = 0,
+        retry_backoff: Optional[float] = None,
+        _transport: Optional[_KeepAliveTransport] = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
         self.token = token
         self.lake_name = lake
+        self.keep_alive = keep_alive
+        self.retry_overloaded = retry_overloaded
+        self.retry_backoff = retry_backoff
         self._prefix = (
             f"/lakes/{urllib.parse.quote(lake, safe='')}" if lake else ""
         )
+        if _transport is not None:
+            self._transport: Optional[_KeepAliveTransport] = _transport
+        elif keep_alive:
+            self._transport = _KeepAliveTransport(self.base_url, timeout)
+        else:
+            self._transport = None
 
     def lake(self, name: str) -> "HomographClient":
         """A handle scoped to one named lake (``/lakes/<name>/...``).
 
-        The handle shares this client's base URL, timeout, and token::
+        The handle shares this client's base URL, timeout, token,
+        retry policy — and, under ``keep_alive``, the parent's one
+        persistent connection (so a worker holding several handles
+        still owns a single socket)::
 
             tus = client.lake("tus")
             tus.detect(measure="betweenness")     # POST /lakes/tus/detect
@@ -140,7 +274,28 @@ class HomographClient:
             timeout=self.timeout,
             token=self.token,
             lake=name,
+            keep_alive=self.keep_alive,
+            retry_overloaded=self.retry_overloaded,
+            retry_backoff=self.retry_backoff,
+            _transport=self._transport,
         )
+
+    def close(self) -> None:
+        """Close the persistent connection (no-op without keep-alive).
+
+        Safe to call repeatedly; a later request simply redials.
+        Closing a :meth:`lake` handle closes the shared connection.
+        """
+        if self._transport is not None:
+            self._transport.close()
+
+    def __enter__(self) -> "HomographClient":
+        """Enter a ``with`` block; the client itself is the target."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Close the persistent connection on ``with``-block exit."""
+        self.close()
 
     # ------------------------------------------------------------------
     # Transport
@@ -153,11 +308,40 @@ class HomographClient:
         query: Optional[Mapping[str, object]] = None,
         headers: Optional[Mapping[str, str]] = None,
     ) -> Dict[str, object]:
-        url = self.base_url + path
+        attempts = 0
+        while True:
+            try:
+                return self._request_once(
+                    method, path, payload, query, headers
+                )
+            except ServiceError as error:
+                if (
+                    not error.overloaded
+                    or attempts >= self.retry_overloaded
+                ):
+                    raise
+                attempts += 1
+                delay = self.retry_backoff
+                if delay is None:
+                    delay = float(
+                        1 if error.retry_after is None
+                        else error.retry_after
+                    )
+                time.sleep(delay)
+
+    def _request_once(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping],
+        query: Optional[Mapping[str, object]],
+        headers: Optional[Mapping[str, str]],
+    ) -> Dict[str, object]:
+        target = path
         if query:
             pairs = {k: str(v) for k, v in query.items() if v is not None}
             if pairs:
-                url += "?" + urllib.parse.urlencode(pairs)
+                target += "?" + urllib.parse.urlencode(pairs)
         data = None
         request_headers = {"Accept": "application/json"}
         if self.token is not None:
@@ -167,42 +351,74 @@ class HomographClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             request_headers["Content-Type"] = "application/json"
+        if self._transport is not None:
+            status, response_headers, body = self._transport.request(
+                method, target, data, request_headers
+            )
+            if status >= 400:
+                raise self._error_from_parts(
+                    status, "", response_headers, body
+                )
+            return self._decode_body(
+                body, response_headers.get("Content-Encoding", "")
+            )
         request = urllib.request.Request(
-            url, data=data, headers=request_headers, method=method
+            self.base_url + target,
+            data=data, headers=request_headers, method=method,
         )
         try:
             with urllib.request.urlopen(
                 request, timeout=self.timeout
             ) as response:
-                body = response.read()
-                encoding = response.headers.get("Content-Encoding", "")
-                if encoding.lower() == "gzip":
-                    body = gzip.decompress(body)
-                return json.loads(body.decode("utf-8"))
+                return self._decode_body(
+                    response.read(),
+                    response.headers.get("Content-Encoding", ""),
+                )
         except urllib.error.HTTPError as error:
             raise self._service_error(error) from None
 
     @staticmethod
-    def _service_error(error: urllib.error.HTTPError) -> ServiceError:
-        status = error.code
-        code, message = "unknown", error.reason
+    def _decode_body(body: bytes, encoding: str) -> Dict[str, object]:
+        if encoding.lower() == "gzip":
+            body = gzip.decompress(body)
+        return json.loads(body.decode("utf-8"))
+
+    @staticmethod
+    def _error_from_parts(
+        status: int, reason: str, headers, body: bytes
+    ) -> ServiceError:
+        """Build a :class:`ServiceError` from a raw error response."""
+        code, message, lake = "unknown", reason, None
         try:
-            body = json.loads(error.read().decode("utf-8"))
-            details = body.get("error", {})
+            details = json.loads(body.decode("utf-8")).get("error", {})
             code = str(details.get("code", code))
             message = str(details.get("message", message))
+            if details.get("lake") is not None:
+                lake = str(details["lake"])
         except Exception:  # noqa: BLE001 - non-JSON error body
             pass
-        finally:
-            error.close()
         retry_after = None
-        raw = error.headers.get("Retry-After")
+        raw = headers.get("Retry-After")
         if raw is not None:
             try:
                 retry_after = int(raw)
             except ValueError:
                 pass
-        return ServiceError(status, code, message, retry_after)
+        return ServiceError(status, code, message, retry_after, lake)
+
+    @classmethod
+    def _service_error(
+        cls, error: urllib.error.HTTPError
+    ) -> ServiceError:
+        try:
+            body = error.read()
+        except Exception:  # noqa: BLE001 - already-broken stream
+            body = b""
+        finally:
+            error.close()
+        return cls._error_from_parts(
+            error.code, error.reason, error.headers, body
+        )
 
     def _scoped(self, path: str) -> str:
         """Apply the lake prefix to a lake-level route."""
@@ -253,18 +469,26 @@ class HomographClient:
         """``GET /lakes`` — the mounted lakes and the default name."""
         return self._request("GET", "/lakes")
 
-    def mount_lake(self, name: str, path: str) -> Dict[str, object]:
+    def mount_lake(
+        self,
+        name: str,
+        path: str,
+        quota: Optional[int] = None,
+    ) -> Dict[str, object]:
         """``POST /lakes`` — mount a CSV directory or snapshot.
 
         ``path`` is server-local: a directory of ``*.csv`` tables, or
         a snapshot directory written by ``domainnet snapshot build`` /
         :meth:`HomographIndex.save` (auto-detected; mounts via mmap
-        without rebuilding the graph).  Raises :class:`ServiceError`
-        with code ``duplicate-lake`` (409) when the name is taken.
+        without rebuilding the graph).  ``quota`` (integer >= 1) pins
+        the new lake's admission quota atomically with the mount.
+        Raises :class:`ServiceError` with code ``duplicate-lake``
+        (409) when the name is taken.
         """
-        return self._request(
-            "POST", "/lakes", payload={"name": name, "path": path}
-        )
+        payload: Dict[str, object] = {"name": name, "path": path}
+        if quota is not None:
+            payload["quota"] = quota
+        return self._request("POST", "/lakes", payload=payload)
 
     def unmount_lake(self, name: str) -> Dict[str, object]:
         """``DELETE /lakes/<name>`` — detach one lake at runtime.

@@ -16,7 +16,9 @@ Endpoints (all JSON; errors come back as
     Runtime mount/unmount.  The POST body is ``{"name": ...,
     "path": ...}`` where ``path`` is a CSV directory or a snapshot
     directory written by :meth:`HomographIndex.save` (auto-detected;
-    snapshots mount in milliseconds via mmap).  201 on success, 409
+    snapshots mount in milliseconds via mmap); an optional
+    ``"quota"`` (integer >= 1) pins the new lake's admission quota
+    atomically with the mount.  201 on success, 409
     ``duplicate-lake`` when the name is taken, 400 for bad payloads,
     unreadable paths, or corrupt snapshots.  DELETE detaches the
     named lake — its index closes and its mmap/shared-memory exports
@@ -52,9 +54,23 @@ keep working as aliases for the *default* (first-mounted) lake.
 
 Error surface: 400 malformed request, 401 missing/bad bearer token
 (when ``auth_token`` is configured; ``/healthz`` stays open for
-probes), 404 unknown lake/measure/table/job/route, 409 closed
+probes), 404 unknown lake/measure/table/job/route, 408
+``request-timeout`` when a client stalls mid-request-body, 409 closed
 index or duplicate table, 411/413 body-length problems, and 503 with
-``Retry-After`` when the bounded admission gate is full.
+``Retry-After`` when admission is refused — ``over-capacity`` when
+the *global* gate is full, ``lake-over-capacity`` (with the lake's
+name in the error body) when only the requesting lake's quota is.
+
+Admission is two-level (see :class:`_AdmissionGate`): a global cap of
+``max_concurrent`` fresh computations, and a per-lake quota — an
+explicit override from :meth:`Workspace.set_quota` / the ``POST
+/lakes`` mount option, else the server's ``lake_quota``, else the
+derived fair share ``max(1, max_concurrent // n_lakes)`` — so one hot
+lake cannot starve its siblings.  *Warm* requests (the response is
+cached, or an identical computation is in flight to coalesce onto)
+cost no pool work and are admitted through a separate follower lane
+ahead of fresh computations under overload.  ``lake_quota=0`` turns
+fairness off entirely, restoring the PR-4 single global gate.
 
 Shutdown is a drain, not a kill: :meth:`HomographHTTPServer.drain`
 stops accepting connections, shuts down idle keep-alive sockets,
@@ -117,6 +133,9 @@ DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
 DEFAULT_MAX_CONCURRENT = 32
 #: Default ``Retry-After`` (seconds) sent with a 503 rejection.
 DEFAULT_RETRY_AFTER = 1
+#: Default per-connection socket timeout (seconds): a stalled client
+#: must not wedge a non-daemon handler thread forever.
+DEFAULT_REQUEST_TIMEOUT = 60.0
 #: Default (and maximum) ``limit`` for ranking pages.
 DEFAULT_PAGE_LIMIT = 100
 MAX_PAGE_LIMIT = 10_000
@@ -135,47 +154,201 @@ class _HTTPProblem(Exception):
         code: str,
         message: str,
         retry_after: Optional[int] = None,
+        lake: Optional[str] = None,
     ) -> None:
         super().__init__(message)
         self.status = status
         self.code = code
         self.message = message
         self.retry_after = retry_after
+        self.lake = lake
+
+
+class _Admission:
+    """One granted admission slot; hand it back to the gate's release."""
+
+    __slots__ = ("lake", "follower")
+
+    def __init__(self, lake: str, follower: bool) -> None:
+        self.lake = lake
+        self.follower = follower
 
 
 class _AdmissionGate:
-    """Bounded admission for compute endpoints: acquire or 503.
+    """Two-level bounded admission: a global cap plus per-lake quotas.
 
-    A plain counter under a lock (not a semaphore) so ``in_flight``
-    stays observable for ``/stats`` and rejections never block a
-    handler thread.
+    Plain counters under one lock (not semaphores) so occupancy stays
+    observable for ``/stats`` and rejections never block a handler
+    thread.  Admission for a *fresh* computation requires both levels:
+
+    * global — at most ``limit`` fresh computations in flight;
+    * per lake — at most the lake's *effective quota* of them, which
+      is the explicit per-lake override when one is set, else the
+      gate-wide ``lake_quota``, else the derived fair share
+      ``max(1, limit // n_lakes)``.
+
+    A global rejection answers ``over-capacity`` (legacy code); a
+    quota rejection answers ``lake-over-capacity`` with the lake's
+    name, so a client hammering one lake learns *its* lake is the
+    problem while siblings keep serving.  The global check runs
+    first: when both levels are saturated the answer is the
+    service-wide condition, and a single-lake server (quota ==
+    limit) keeps its PR-4 error surface bit-for-bit.
+
+    *Warm* requests — the caller proved the response is cached or
+    coalescible onto an in-flight computation — cost no pool work, so
+    under overload they are admitted ahead of fresh computations
+    through a separate follower lane (its own ``limit``-sized bound,
+    only there to cap handler threads).  ``lake_quota=0`` disables
+    fairness *and* the follower lane: one global gate over every
+    request, exactly the pre-quota behavior (the load harness uses it
+    as the starvation control).
     """
 
-    def __init__(self, limit: int) -> None:
+    def __init__(
+        self, limit: int, lake_quota: Optional[int] = None
+    ) -> None:
         self.limit = max(1, limit)
+        self.lake_quota = lake_quota
         self._lock = threading.Lock()
-        self._in_flight = 0
-        self.rejected = 0
+        self._fresh = 0
+        self._followers = 0
+        self._lake_fresh: Dict[str, int] = {}
+        self._lake_rejected: Dict[str, int] = {}
+        self._rejected_global = 0
+        self._admitted_followers = 0
 
-    def try_acquire(self) -> bool:
-        """Claim a slot without blocking; ``False`` when saturated."""
-        with self._lock:
-            if self._in_flight >= self.limit:
-                self.rejected += 1
-                return False
-            self._in_flight += 1
-            return True
+    @property
+    def fair(self) -> bool:
+        """Whether per-lake quotas (and the follower lane) are on."""
+        return self.lake_quota != 0
 
-    def release(self) -> None:
-        """Return a slot claimed by :meth:`try_acquire`."""
+    def effective_quota(
+        self, n_lakes: int, override: Optional[int] = None
+    ) -> Optional[int]:
+        """The quota one lake is held to right now (``None`` = off).
+
+        Resolution order: the lake's explicit ``override``, else the
+        gate-wide ``lake_quota``, else the derived share
+        ``max(1, limit // n_lakes)`` — the floor of one slot
+        guarantees every mounted lake can always make progress.
+        """
+        if not self.fair:
+            return None
+        if override is not None:
+            return max(1, override)
+        if self.lake_quota is not None:
+            return max(1, self.lake_quota)
+        return max(1, self.limit // max(1, n_lakes))
+
+    def try_acquire(
+        self,
+        lake: str,
+        n_lakes: int = 1,
+        quota: Optional[int] = None,
+        warm: bool = False,
+    ) -> Union[_Admission, str]:
+        """Claim a slot without blocking.
+
+        Returns an :class:`_Admission` token (pass it to
+        :meth:`release`) or the rejection scope: ``"global"`` when
+        the global cap is exhausted, ``"lake"`` when only this lake's
+        quota is.  ``quota`` is the lake's explicit override (or
+        ``None``); ``warm`` routes the request through the follower
+        lane when fairness is on.
+        """
         with self._lock:
-            self._in_flight -= 1
+            if warm and self.fair:
+                if self._followers < self.limit:
+                    self._followers += 1
+                    self._admitted_followers += 1
+                    return _Admission(lake, follower=True)
+                # Lane full (pathological): fall through to the
+                # fresh-computation rules rather than fail outright.
+            if self._fresh >= self.limit:
+                self._rejected_global += 1
+                return "global"
+            effective = self.effective_quota(n_lakes, quota)
+            if (
+                effective is not None
+                and self._lake_fresh.get(lake, 0) >= effective
+            ):
+                self._lake_rejected[lake] = (
+                    self._lake_rejected.get(lake, 0) + 1
+                )
+                return "lake"
+            self._fresh += 1
+            self._lake_fresh[lake] = self._lake_fresh.get(lake, 0) + 1
+            return _Admission(lake, follower=False)
+
+    def release(self, admission: _Admission) -> None:
+        """Return the slot claimed by :meth:`try_acquire`."""
+        with self._lock:
+            if admission.follower:
+                self._followers -= 1
+                return
+            self._fresh -= 1
+            remaining = self._lake_fresh.get(admission.lake, 0) - 1
+            if remaining <= 0:
+                # Drop zeroed entries so detached lakes do not pin
+                # dict slots forever on a long-lived server.
+                self._lake_fresh.pop(admission.lake, None)
+            else:
+                self._lake_fresh[admission.lake] = remaining
 
     @property
     def in_flight(self) -> int:
-        """Requests currently holding a slot."""
+        """Requests currently holding a slot (fresh + followers)."""
         with self._lock:
-            return self._in_flight
+            return self._fresh + self._followers
+
+    @property
+    def rejected(self) -> int:
+        """Total rejections, both scopes (legacy ``/stats`` counter)."""
+        with self._lock:
+            return (
+                self._rejected_global
+                + sum(self._lake_rejected.values())
+            )
+
+    def stats(
+        self, lake_quotas: Dict[str, Optional[int]]
+    ) -> Dict[str, object]:
+        """The ``gate`` block of ``GET /stats``.
+
+        ``lake_quotas`` maps every *mounted* lake to its explicit
+        override (or ``None``); lakes that were detached after
+        accruing counters stay listed so their rejection history
+        remains visible.
+        """
+        n_lakes = max(1, len(lake_quotas))
+        with self._lock:
+            names = (
+                set(lake_quotas)
+                | set(self._lake_fresh)
+                | set(self._lake_rejected)
+            )
+            lakes = {
+                name: {
+                    "in_flight": self._lake_fresh.get(name, 0),
+                    "quota": self.effective_quota(
+                        n_lakes, lake_quotas.get(name)
+                    ),
+                    "rejected": self._lake_rejected.get(name, 0),
+                }
+                for name in sorted(names)
+            }
+            return {
+                "limit": self.limit,
+                "lake_quota": self.lake_quota,
+                "fair": self.fair,
+                "in_flight": self._fresh + self._followers,
+                "fresh_in_flight": self._fresh,
+                "followers_in_flight": self._followers,
+                "admitted_followers": self._admitted_followers,
+                "rejected_global": self._rejected_global,
+                "lakes": lakes,
+            }
 
 
 class HomographHTTPServer(ThreadingHTTPServer):
@@ -195,6 +368,21 @@ class HomographHTTPServer(ThreadingHTTPServer):
         (read it back from :attr:`url` / ``server_address``).
     max_body_bytes / max_concurrent / retry_after:
         The protocol limits documented in the module docstring.
+    lake_quota:
+        Per-lake cap on concurrently admitted fresh computations.
+        ``None`` (default) derives each lake's fair share of the
+        global gate — ``max(1, max_concurrent // n_lakes)``,
+        re-derived as lakes mount and unmount; an explicit integer
+        pins every lake (per-lake overrides from
+        :meth:`Workspace.set_quota` or the ``POST /lakes`` mount
+        option still win); ``0`` disables per-lake fairness entirely,
+        restoring the single global gate.
+    request_timeout:
+        Per-connection socket timeout in seconds.  A client that
+        stalls mid-request-body gets a 408 ``request-timeout`` and
+        its connection closed instead of wedging a handler thread
+        (and, between requests, the idle keep-alive wait uses the
+        same bound).
     auth_token:
         When set, every route except ``GET /healthz`` requires
         ``Authorization: Bearer <token>``; failures are structured
@@ -214,6 +402,12 @@ class HomographHTTPServer(ThreadingHTTPServer):
     # for in-flight requests instead of abandoning them mid-response.
     daemon_threads = False
     allow_reuse_address = True
+    # socketserver's default listen backlog is 5; a burst of
+    # concurrent clients dialing at once (the load harness spawns its
+    # whole worker fleet simultaneously) overflows that and surfaces
+    # as connection resets on first write.  The kernel caps this at
+    # net.core.somaxconn, so a large value is safe everywhere.
+    request_queue_size = 128
 
     def __init__(
         self,
@@ -227,7 +421,23 @@ class HomographHTTPServer(ThreadingHTTPServer):
         job_ttl: float = DEFAULT_JOB_TTL,
         max_jobs: int = DEFAULT_MAX_JOBS,
         job_dir: Optional[str] = None,
+        lake_quota: Optional[int] = None,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
     ) -> None:
+        if lake_quota is not None and (
+            isinstance(lake_quota, bool)
+            or not isinstance(lake_quota, int)
+            or lake_quota < 0
+        ):
+            raise ValueError(
+                f"invalid lake_quota {lake_quota!r}: expected None, "
+                "0 (fairness off), or an integer >= 1"
+            )
+        if not request_timeout or request_timeout <= 0:
+            raise ValueError(
+                f"invalid request_timeout {request_timeout!r}: "
+                "expected a positive number of seconds"
+            )
         super().__init__(address, HomographRequestHandler)
         if isinstance(workspace, HomographIndex):
             index, workspace = workspace, Workspace()
@@ -238,9 +448,10 @@ class HomographHTTPServer(ThreadingHTTPServer):
         )
         self.max_body_bytes = max_body_bytes
         self.retry_after = retry_after
+        self.request_timeout = request_timeout
         self.quiet = quiet
         self.auth_token = auth_token
-        self.gate = _AdmissionGate(max_concurrent)
+        self.gate = _AdmissionGate(max_concurrent, lake_quota=lake_quota)
         self._served = 0
         self._errors = 0
         self._counters_lock = threading.Lock()
@@ -274,9 +485,19 @@ class HomographHTTPServer(ThreadingHTTPServer):
                 self._errors += 1
 
     def http_stats(self) -> Dict[str, object]:
-        """HTTP-layer counters (the ``http`` block of ``GET /stats``)."""
+        """HTTP-layer counters (the ``http`` block of ``GET /stats``).
+
+        The legacy flat counters stay (``rejected`` totals both
+        rejection scopes); ``gate`` breaks admission down per lake —
+        occupancy, effective quota, and rejections — plus the
+        follower-lane counters.
+        """
         with self._counters_lock:
             served, errors = self._served, self._errors
+        workspace = self.workspace
+        quotas = {
+            name: workspace.quota(name) for name in workspace.names()
+        }
         return {
             "served": served,
             "errors": errors,
@@ -285,6 +506,7 @@ class HomographHTTPServer(ThreadingHTTPServer):
             "max_concurrent": self.gate.limit,
             "max_body_bytes": self.max_body_bytes,
             "auth": self.auth_token is not None,
+            "gate": self.gate.stats(quotas),
         }
 
     # ------------------------------------------------------------------
@@ -430,8 +652,18 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     # Per-connection socket timeout: a stalled client (headers sent,
     # body never arriving) must not wedge a non-daemon handler thread
-    # forever — drain() joins them all.
-    timeout = 60
+    # forever — drain() joins them all.  setup() replaces this class
+    # fallback with the server's configured request_timeout.
+    timeout = DEFAULT_REQUEST_TIMEOUT
+
+    def setup(self) -> None:
+        """Apply the server's request timeout before the socket setup.
+
+        ``StreamRequestHandler.setup`` reads ``self.timeout`` when it
+        configures the connection, so the override must land first.
+        """
+        self.timeout = self.server.request_timeout
+        super().setup()
 
     # -- plumbing ------------------------------------------------------
     def log_message(self, format, *args):  # noqa: A002 - stdlib name
@@ -586,16 +818,15 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
         # would parse those bytes as the next request line.  Close it.
         self.close_connection = True
         headers["Connection"] = "close"
+        error: Dict[str, object] = {
+            "status": problem.status,
+            "code": problem.code,
+            "message": problem.message,
+        }
+        if problem.lake is not None:
+            error["lake"] = problem.lake
         self._send_json(
-            problem.status,
-            {
-                "error": {
-                    "status": problem.status,
-                    "code": problem.code,
-                    "message": problem.message,
-                }
-            },
-            extra_headers=headers,
+            problem.status, {"error": error}, extra_headers=headers
         )
 
     def _read_json_body(self) -> Dict[str, object]:
@@ -673,14 +904,46 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
                 "the index has been closed; the service is draining",
             )
 
-    def _admit(self) -> None:
-        """Claim an admission slot or fail with 503 + Retry-After."""
-        if not self.server.gate.try_acquire():
-            raise _HTTPProblem(
-                503, "over-capacity",
-                f"all {self.server.gate.limit} compute slots are busy",
-                retry_after=self.server.retry_after,
+    def _admit(
+        self, lake_name: str, warm: bool
+    ) -> _Admission:
+        """Claim an admission slot or fail with 503 + Retry-After.
+
+        ``warm`` (the caller probed :meth:`HomographIndex.is_warm`)
+        routes the request through the gate's follower lane — cached
+        or coalescible responses are admitted ahead of fresh
+        computations under overload.  A global rejection keeps the
+        legacy ``over-capacity`` code; a quota rejection answers
+        ``lake-over-capacity`` with the lake's name in the body.
+        """
+        workspace = self.server.workspace
+        gate = self.server.gate
+        outcome = gate.try_acquire(
+            lake_name,
+            n_lakes=len(workspace),
+            quota=workspace.quota(lake_name),
+            warm=warm,
+        )
+        if isinstance(outcome, _Admission):
+            return outcome
+        if outcome == "lake":
+            quota = gate.effective_quota(
+                max(1, len(workspace)), workspace.quota(lake_name)
             )
+            raise _HTTPProblem(
+                503, "lake-over-capacity",
+                f"lake {lake_name!r} is over its quota of {quota} "
+                f"concurrent computation(s); sibling lakes are "
+                f"unaffected",
+                retry_after=self.server.retry_after,
+                lake=lake_name,
+            )
+        raise _HTTPProblem(
+            503, "over-capacity",
+            f"all {gate.limit} compute slots are busy",
+            retry_after=self.server.retry_after,
+            lake=lake_name,
+        )
 
     @staticmethod
     def _check_measure(measure: str) -> None:
@@ -691,11 +954,16 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
                 f"{', '.join(available_measures())}",
             )
 
-    def _detect(self, index: HomographIndex, request: DetectRequest):
+    def _detect(
+        self,
+        lake_name: str,
+        index: HomographIndex,
+        request: DetectRequest,
+    ):
         """Run one admitted detection, mapping index errors to HTTP."""
         self._check_measure(request.measure)
         self._check_open(index)
-        self._admit()
+        admission = self._admit(lake_name, warm=index.is_warm(request))
         try:
             return index.detect(request)
         except RuntimeError as error:
@@ -705,7 +973,7 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
                 ) from None
             raise
         finally:
-            self.server.gate.release()
+            self.server.gate.release(admission)
 
     # -- routing -------------------------------------------------------
     def _discard_unread_body(self) -> None:
@@ -757,9 +1025,29 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
             self._dispatch(method, segments, query)
             self._discard_unread_body()
         except _HTTPProblem as problem:
-            self._send_problem(problem)
+            # The client may have hung up while its request was being
+            # rejected (a stalled body closed under us reads as
+            # malformed): deliver the verdict best-effort, never let
+            # the failed delivery escape as a second error.
+            try:
+                self._send_problem(problem)
+            except (ConnectionError, TimeoutError, OSError):
+                self.close_connection = True
         except ConnectionError:  # pragma: no cover - client went away
             self.close_connection = True  # broken pipe: stop reusing
+        except TimeoutError:
+            # The client stalled mid-request (body bytes never came).
+            # Its *receive* side may still be reading: attempt a 408
+            # so it learns why, but never let a second socket error
+            # escape — the connection closes either way.
+            try:
+                self._send_problem(_HTTPProblem(
+                    408, "request-timeout",
+                    f"no request bytes for {self.timeout:g}s; "
+                    f"closing the connection",
+                ))
+            except (ConnectionError, TimeoutError, OSError):
+                self.close_connection = True
         except Exception as error:  # noqa: BLE001 - last-resort mapping
             # The connection may already be half-written or dead (e.g.
             # the failure *was* a mid-response disconnect): attempt the
@@ -848,7 +1136,7 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
         if method == "POST" and rest == ["detect"]:
             return self._handle_detect(lake_name, index, query)
         if method == "GET" and head == "ranking" and len(rest) == 2:
-            return self._handle_ranking(index, rest[1], query)
+            return self._handle_ranking(lake_name, index, rest[1], query)
         if method == "POST" and rest == ["tables"]:
             return self._handle_add_table(index)
         if method == "DELETE" and head == "tables" and len(rest) == 2:
@@ -932,16 +1220,18 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
         payload = self._read_json_body()
         name = payload.get("name")
         path = payload.get("path")
+        quota = payload.get("quota")
         if not isinstance(name, str) or not isinstance(path, str):
             raise _HTTPProblem(
                 400, "invalid-mount",
                 'mount payloads look like {"name": "zoo", '
                 '"path": "/data/zoo"} where path is a CSV directory '
-                "or a snapshot directory",
+                "or a snapshot directory (optional \"quota\": this "
+                "lake's admission quota, an integer >= 1)",
             )
         workspace = self.server.workspace
         try:
-            index = workspace.attach(name, path)
+            index = workspace.attach(name, path, quota=quota)
         except DuplicateLakeError as error:
             raise _HTTPProblem(
                 409, "duplicate-lake", str(error)
@@ -969,6 +1259,7 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
             "lake": name,
             "tables": len(index.lake),
             "snapshot": None if snapshot is None else str(snapshot),
+            "quota": quota,
         })
 
     def _handle_unmount_lake(self, name: str) -> None:
@@ -1043,7 +1334,7 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
             return self._handle_detect_async(
                 lake_name, index, request, top
             )
-        response = self._detect(index, request)
+        response = self._detect(lake_name, index, request)
         self._send_json(200, response.to_dict(top=top))
 
     def _handle_detect_async(
@@ -1085,7 +1376,11 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
         })
 
     def _handle_ranking(
-        self, index: HomographIndex, measure: str, query
+        self,
+        lake_name: str,
+        index: HomographIndex,
+        measure: str,
+        query,
     ) -> None:
         request = DetectRequest(
             measure=measure,
@@ -1105,7 +1400,7 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
                 400, "invalid-paging",
                 f"limit {limit} exceeds the {MAX_PAGE_LIMIT} maximum",
             )
-        response = self._detect(index, request)
+        response = self._detect(lake_name, index, request)
         try:
             page = response.ranking.page(cursor=cursor, limit=limit)
         except ValueError as error:

@@ -90,3 +90,14 @@ class SingleFlight:
         """Number of keys currently being computed (diagnostics)."""
         with self._lock:
             return len(self._flights)
+
+    def contains(self, key: Hashable) -> bool:
+        """Whether ``key`` has a computation in flight right now.
+
+        A snapshot, not a reservation: the flight may finish the
+        instant after this returns.  Callers use it as a scheduling
+        hint — "a :meth:`do` with this key would coalesce" — never as
+        a correctness guarantee.
+        """
+        with self._lock:
+            return key in self._flights

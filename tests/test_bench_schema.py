@@ -1,0 +1,106 @@
+"""Every published ``BENCH_*.json`` artifact obeys the shared schema.
+
+The repo-root ``BENCH_PR<n>.json`` files are the cross-PR performance
+record; a malformed one (missing ``_meta``, empty sections, NaN that
+``json.dumps`` happily emits) silently breaks the diffing story.  One
+parametrized sweep validates every artifact present in the checkout,
+and the negative cases pin the validator itself.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.report import update_bench_section, validate_bench_report
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ARTIFACTS = sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def test_at_least_one_artifact_is_checked_in():
+    assert ARTIFACTS, "no BENCH_*.json at the repo root"
+
+
+@pytest.mark.parametrize(
+    "path", ARTIFACTS, ids=[path.name for path in ARTIFACTS]
+)
+def test_artifact_conforms_to_schema(path):
+    problems = validate_bench_report(json.loads(path.read_text()))
+    assert problems == [], f"{path.name}: {problems}"
+
+
+class TestValidator:
+    def test_conformant_report_passes(self):
+        report = {
+            "_meta": {"scale": "default"},
+            "results": {"p99_ms": 1.5, "series": [1, 2, 3]},
+        }
+        assert validate_bench_report(report) == []
+
+    @pytest.mark.parametrize("data,needle", [
+        ([], "must be an object"),
+        ({}, "empty"),
+        ({"results": {"x": 1}}, "missing '_meta'"),
+        ({"_meta": []}, "'_meta' must be an object"),
+        ({"_meta": {}}, "no result sections"),
+        ({"_meta": {}, "results": 3}, "must be an object"),
+        ({"_meta": {}, "results": {}}, "is empty"),
+        ({"_meta": {}, "results": {"x": float("nan")}}, "non-finite"),
+        ({"_meta": {}, "results": {"x": float("inf")}}, "non-finite"),
+        (
+            {"_meta": {}, "results": {"x": [1, float("-inf")]}},
+            "non-finite",
+        ),
+        ({"_meta": {}, "results": {"x": {1: 2}}}, "non-string key"),
+        ({"_meta": {}, "results": {"x": object()}}, "non-JSON value"),
+    ])
+    def test_violations_are_reported(self, data, needle):
+        problems = validate_bench_report(data)
+        assert problems, f"expected a violation for {data!r}"
+        assert any(needle in problem for problem in problems), problems
+
+
+class TestUpdateBenchSection:
+    def test_creates_then_merges_sections(self, tmp_path):
+        path = tmp_path / "BENCH_TEST.json"
+        update_bench_section(
+            path, "alpha", {"x": 1}, meta={"scale": "smoke"}
+        )
+        update_bench_section(
+            path, "beta", {"y": 2}, meta={"note": "second"}
+        )
+        report = json.loads(path.read_text())
+        # Both sections survive, and _meta keys merge across calls.
+        assert report["alpha"] == {"x": 1}
+        assert report["beta"] == {"y": 2}
+        assert report["_meta"] == {"scale": "smoke", "note": "second"}
+
+    def test_section_update_replaces_in_place(self, tmp_path):
+        path = tmp_path / "BENCH_TEST.json"
+        update_bench_section(path, "alpha", {"x": 1}, meta={"s": 1})
+        update_bench_section(path, "alpha", {"x": 2}, meta={"s": 1})
+        assert json.loads(path.read_text())["alpha"] == {"x": 2}
+
+    def test_corrupt_existing_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "BENCH_TEST.json"
+        path.write_text("{not json")
+        update_bench_section(path, "alpha", {"x": 1}, meta={"s": 1})
+        assert json.loads(path.read_text())["alpha"] == {"x": 1}
+
+    def test_refuses_to_write_malformed_payload(self, tmp_path):
+        path = tmp_path / "BENCH_TEST.json"
+        with pytest.raises(ValueError, match="malformed"):
+            update_bench_section(
+                path, "alpha", {"x": float("nan")}, meta={"s": 1}
+            )
+        assert not path.exists()
+
+    def test_written_file_uses_sorted_two_space_style(self, tmp_path):
+        path = tmp_path / "BENCH_TEST.json"
+        update_bench_section(path, "alpha", {"b": 1, "a": 2}, meta={})
+        text = path.read_text()
+        assert text == json.dumps(
+            json.loads(text), indent=2, sort_keys=True
+        ) + "\n"
+        assert text.index('"a"') < text.index('"b"')

@@ -23,6 +23,7 @@ import pytest
 from repro import (
     HomographIndex,
     MeasureOutput,
+    Workspace,
     register_measure,
     start_server,
     unregister_measure,
@@ -407,3 +408,278 @@ class TestQueueOverflow:
             assert status == 200
         finally:
             server.drain()
+
+
+def _occupy(server, path, gated_measure, results):
+    """Park one gated-measure request on ``path``; returns the thread.
+
+    The caller must ``release`` the gate and join the thread; the
+    request's ``(status, headers, payload)`` lands in ``results``.
+    """
+    body = json.dumps({"measure": "gated-http-test"}).encode()
+
+    def run():
+        results.append(raw_request(
+            server, "POST", path, body=body,
+            headers={"Content-Length": str(len(body))},
+        ))
+
+    thread = threading.Thread(target=run)
+    thread.start()
+    assert gated_measure["started"].wait(10)
+    return thread
+
+
+@pytest.fixture
+def fair_pair(figure1_lake, gated_measure):
+    """Two lakes behind a 2-slot gate: the fair share is 1 slot each."""
+    from tests.test_workspace import make_cars_lake
+
+    workspace = Workspace()
+    workspace.attach("zoo", figure1_lake)
+    workspace.attach("cars", make_cars_lake())
+    server = start_server(
+        workspace, port=0, max_concurrent=2, retry_after=3
+    )
+    yield server, gated_measure
+    gated_measure["release"].set()
+    server.drain()
+
+
+class TestPerLakeQuota:
+    """Conformance rows for the two-level admission gate (PR 8)."""
+
+    @pytest.mark.parametrize("method,path,body", [
+        ("POST", "/lakes/zoo/detect",
+         json.dumps({"measure": "lcc"}).encode()),
+        ("GET", "/lakes/zoo/ranking/lcc", None),
+    ])
+    def test_quota_exceeded_is_lake_scoped_503(
+        self, fair_pair, method, path, body
+    ):
+        server, gate = fair_pair
+        results = []
+        occupant = _occupy(
+            server, "/lakes/zoo/detect", gate, results
+        )
+        try:
+            headers = (
+                {"Content-Length": str(len(body))} if body else None
+            )
+            status, response_headers, payload = raw_request(
+                server, method, path, body=body, headers=headers
+            )
+            # The zoo quota (1 of 2 slots) is exhausted: rejected with
+            # the lake-scoped code, the lake's name in the body, and a
+            # Retry-After — while a whole global slot is still free.
+            assert status == 503
+            assert response_headers["Retry-After"] == "3"
+            assert_error_shape(payload, 503, "lake-over-capacity")
+            assert payload["error"]["lake"] == "zoo"
+            assert "quota" in payload["error"]["message"]
+        finally:
+            gate["release"].set()
+            occupant.join(30)
+        assert results[0][0] == 200
+
+    def test_sibling_lake_keeps_serving(self, fair_pair):
+        server, gate = fair_pair
+        results = []
+        occupant = _occupy(
+            server, "/lakes/zoo/detect", gate, results
+        )
+        try:
+            body = json.dumps({"measure": "lcc"}).encode()
+            status, _, payload = raw_request(
+                server, "POST", "/lakes/cars/detect", body=body,
+                headers={"Content-Length": str(len(body))},
+            )
+            assert status == 200
+            assert payload["measure"] == "lcc"
+        finally:
+            gate["release"].set()
+            occupant.join(30)
+
+    def test_global_exhaustion_is_distinguishable(self, fair_pair):
+        # Both codes exist on one server: quota trips answer
+        # lake-over-capacity, filling the *whole* gate answers the
+        # legacy over-capacity — a client can tell which wall it hit.
+        server, gate = fair_pair
+        results = []
+        zoo = _occupy(server, "/lakes/zoo/detect", gate, results)
+        # The shared "started" event is already set by the first
+        # occupant, so _occupy cannot vouch for the second: poll the
+        # gate until both fresh slots are genuinely held.
+        cars = _occupy(server, "/lakes/cars/detect", gate, results)
+        try:
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                _, _, stats = raw_request(server, "GET", "/stats")
+                if stats["http"]["gate"]["fresh_in_flight"] == 2:
+                    break
+                time.sleep(0.02)
+            assert stats["http"]["gate"]["fresh_in_flight"] == 2
+            body = json.dumps({"measure": "lcc"}).encode()
+            status, _, payload = raw_request(
+                server, "POST", "/lakes/cars/detect", body=body,
+                headers={"Content-Length": str(len(body))},
+            )
+            assert status == 503
+            assert_error_shape(payload, 503, "over-capacity")
+            assert payload["error"]["lake"] == "cars"
+        finally:
+            gate["release"].set()
+            zoo.join(30)
+            cars.join(30)
+        assert [result[0] for result in results] == [200, 200]
+
+    def test_stats_expose_per_lake_gate_occupancy(self, fair_pair):
+        server, gate = fair_pair
+        results = []
+        occupant = _occupy(
+            server, "/lakes/zoo/detect", gate, results
+        )
+        try:
+            body = json.dumps({"measure": "lcc"}).encode()
+            raw_request(              # one rejected zoo request
+                server, "POST", "/lakes/zoo/detect", body=body,
+                headers={"Content-Length": str(len(body))},
+            )
+            status, _, stats = raw_request(server, "GET", "/stats")
+            assert status == 200
+            gate_stats = stats["http"]["gate"]
+            assert gate_stats["limit"] == 2
+            assert gate_stats["fair"] is True
+            assert gate_stats["fresh_in_flight"] == 1
+            zoo = gate_stats["lakes"]["zoo"]
+            assert zoo["in_flight"] == 1
+            assert zoo["quota"] == 1
+            assert zoo["rejected"] == 1
+            cars = gate_stats["lakes"]["cars"]
+            assert cars["in_flight"] == 0
+            assert cars["rejected"] == 0
+        finally:
+            gate["release"].set()
+            occupant.join(30)
+
+    def test_coalesced_duplicate_rides_the_follower_lane(
+        self, figure1_lake, gated_measure
+    ):
+        # A request identical to one already in flight coalesces onto
+        # it instead of burning (or being refused) a fresh-compute
+        # slot — under overload, followers are admitted first.
+        index = HomographIndex(figure1_lake)
+        server = start_server(index, port=0, max_concurrent=1)
+        try:
+            results = []
+            occupant = _occupy(server, "/detect", gated_measure, results)
+            follower_results = []
+
+            def follow():
+                body = json.dumps(
+                    {"measure": "gated-http-test"}
+                ).encode()
+                follower_results.append(raw_request(
+                    server, "POST", "/detect", body=body,
+                    headers={"Content-Length": str(len(body))},
+                ))
+
+            follower = threading.Thread(target=follow)
+            follower.start()
+            deadline = time.monotonic() + 10
+            followers_seen = 0
+            while time.monotonic() < deadline:
+                _, _, stats = raw_request(server, "GET", "/stats")
+                followers_seen = \
+                    stats["http"]["gate"]["followers_in_flight"]
+                if followers_seen:
+                    break
+                time.sleep(0.02)
+            assert followers_seen == 1
+            assert stats["http"]["gate"]["fresh_in_flight"] == 1
+            gated_measure["release"].set()
+            occupant.join(30)
+            follower.join(30)
+            # Both callers got the answer; the computation ran once.
+            assert results[0][0] == 200
+            assert follower_results[0][0] == 200
+            assert follower_results[0][2]["ranking"] == \
+                results[0][2]["ranking"]
+            _, _, stats = raw_request(server, "GET", "/stats")
+            assert stats["http"]["gate"]["admitted_followers"] >= 1
+        finally:
+            gated_measure["release"].set()
+            server.drain()
+
+    def test_lake_quota_zero_restores_the_single_global_gate(
+        self, figure1_lake, gated_measure
+    ):
+        # The opt-out: with --lake-quota 0 one hot lake CAN starve its
+        # sibling again (that is what the pre-PR-8 gate did), and the
+        # rejection is the legacy global code.
+        from tests.test_workspace import make_cars_lake
+
+        workspace = Workspace()
+        workspace.attach("zoo", figure1_lake)
+        workspace.attach("cars", make_cars_lake())
+        server = start_server(
+            workspace, port=0, max_concurrent=1, lake_quota=0
+        )
+        try:
+            results = []
+            occupant = _occupy(
+                server, "/lakes/zoo/detect", gated_measure, results
+            )
+            body = json.dumps({"measure": "lcc"}).encode()
+            status, _, payload = raw_request(
+                server, "POST", "/lakes/cars/detect", body=body,
+                headers={"Content-Length": str(len(body))},
+            )
+            assert status == 503
+            assert_error_shape(payload, 503, "over-capacity")
+            _, _, stats = raw_request(server, "GET", "/stats")
+            assert stats["http"]["gate"]["fair"] is False
+            assert stats["http"]["gate"]["lake_quota"] == 0
+            gated_measure["release"].set()
+            occupant.join(30)
+            assert results[0][0] == 200
+        finally:
+            gated_measure["release"].set()
+            server.drain()
+
+
+class TestMountQuota:
+    def _csv_dir(self, tmp_path):
+        directory = tmp_path / "aux"
+        directory.mkdir()
+        (directory / "t.csv").write_text("v\nX\nY\n")
+        return directory
+
+    def test_mount_accepts_quota_option(self, served, tmp_path):
+        server, _ = served
+        directory = self._csv_dir(tmp_path)
+        body = json.dumps({
+            "name": "aux", "path": str(directory), "quota": 3,
+        }).encode()
+        status, _, payload = raw_request(
+            server, "POST", "/lakes", body=body,
+            headers={"Content-Length": str(len(body))},
+        )
+        assert status == 201
+        assert payload["quota"] == 3
+        _, _, stats = raw_request(server, "GET", "/stats")
+        assert stats["http"]["gate"]["lakes"]["aux"]["quota"] == 3
+
+    @pytest.mark.parametrize("quota", [0, -1, 1.5, "two", True])
+    def test_invalid_mount_quota_is_400(self, served, tmp_path, quota):
+        server, _ = served
+        directory = self._csv_dir(tmp_path)
+        body = json.dumps({
+            "name": "aux", "path": str(directory), "quota": quota,
+        }).encode()
+        status, _, payload = raw_request(
+            server, "POST", "/lakes", body=body,
+            headers={"Content-Length": str(len(body))},
+        )
+        assert status == 400
+        assert_error_shape(payload, 400, "invalid-mount")

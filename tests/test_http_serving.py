@@ -341,3 +341,114 @@ class TestServeCLI:
                 proc.communicate()
         assert proc.returncode == 0, err
         assert "draining" in out
+
+
+class TestKeepAliveClient:
+    """The PR-8 client transport: one socket, stale-retry, 503 retry."""
+
+    def test_keep_alive_reuses_one_connection(self, figure1_lake):
+        index = HomographIndex(figure1_lake)
+        server = start_server(index, port=0)
+        try:
+            with HomographClient(
+                server.url, timeout=30.0, keep_alive=True
+            ) as client:
+                for _ in range(5):
+                    client.detect(measure="lcc")
+                    client.healthz()
+                # Ten requests, zero keep-alive races: the single
+                # persistent connection carried them all.
+                assert client._transport.reconnects == 0
+        finally:
+            server.drain()
+
+    def test_lake_handles_share_the_parent_transport(self, figure1_lake):
+        index = HomographIndex(figure1_lake)
+        server = start_server(index, port=0)
+        try:
+            with HomographClient(
+                server.url, timeout=30.0, keep_alive=True
+            ) as client:
+                handle = client.lake("default")
+                assert handle._transport is client._transport
+                handle.detect(measure="lcc")
+                client.detect(measure="lcc")
+                assert client._transport.reconnects == 0
+        finally:
+            server.drain()
+
+    def test_stale_connection_is_retried_transparently(self, figure1_lake):
+        # The server hangs up idle keep-alive connections after its
+        # request timeout; the next call must redial and succeed, not
+        # surface the keep-alive race to the caller.
+        index = HomographIndex(figure1_lake)
+        server = start_server(index, port=0, request_timeout=0.5)
+        try:
+            with HomographClient(
+                server.url, timeout=30.0, keep_alive=True
+            ) as client:
+                first = client.detect(measure="lcc")
+                time.sleep(1.2)          # idle past the server fuse
+                second = client.detect(measure="lcc")
+                assert [e.value for e in second.ranking] == \
+                    [e.value for e in first.ranking]
+                assert client._transport.reconnects <= 1
+        finally:
+            server.drain()
+
+    def test_retry_overloaded_waits_out_a_busy_gate(self, figure1_lake):
+        release = threading.Event()
+
+        def slow(graph, request):
+            release.wait(10)
+            return MeasureOutput(scores={"X": 1.0}, descending=True)
+
+        register_measure("slow-for-retry-test", slow)
+        index = HomographIndex(figure1_lake)
+        server = start_server(index, port=0, max_concurrent=1)
+        try:
+            occupant = threading.Thread(
+                target=lambda: HomographClient(
+                    server.url, timeout=30.0
+                ).detect(measure="slow-for-retry-test"),
+            )
+            occupant.start()
+            deadline = time.monotonic() + 10
+            with HomographClient(server.url, timeout=30.0) as probe:
+                while time.monotonic() < deadline:
+                    if probe.stats()["http"]["in_flight"] == 1:
+                        break
+                    time.sleep(0.02)
+            threading.Timer(0.5, release.set).start()
+            # Without retries the 503 surfaces; with them the client
+            # sleeps through the busy window and succeeds.
+            with pytest.raises(ServiceError) as info:
+                HomographClient(server.url, timeout=30.0).detect(
+                    measure="lcc"
+                )
+            assert info.value.overloaded
+            assert info.value.scope == "global"
+            patient = HomographClient(
+                server.url, timeout=30.0,
+                retry_overloaded=50, retry_backoff=0.1,
+            )
+            response = patient.detect(measure="lcc")
+            assert response.measure == "lcc"
+            occupant.join(30)
+        finally:
+            release.set()
+            server.drain()
+            unregister_measure("slow-for-retry-test")
+
+    def test_lake_scoped_rejection_parses_lake_and_scope(self):
+        error = ServiceError(
+            503, "lake-over-capacity", "lake 'tus' is at its quota",
+            retry_after=3, lake="tus",
+        )
+        assert error.overloaded and error.scope == "lake"
+        assert error.lake == "tus" and error.retry_after == 3
+        global_error = ServiceError(503, "over-capacity", "busy")
+        assert global_error.overloaded
+        assert global_error.scope == "global"
+        plain = ServiceError(404, "unknown-lake", "nope")
+        assert not plain.overloaded and plain.scope is None

@@ -286,3 +286,50 @@ class TestStatsSnapshotAtomicity:
             thread.join(10)
         assert not violations
         index.close()
+
+
+class TestLakeQuotas:
+    """The per-lake admission-quota registry riding the membership."""
+
+    def test_attach_stores_and_detach_clears_quota(self):
+        with Workspace() as workspace:
+            workspace.attach("zoo", make_figure1_lake(), quota=3)
+            workspace.attach("cars", make_cars_lake())
+            assert workspace.quota("zoo") == 3
+            assert workspace.quota("cars") is None     # no override
+            assert workspace.quota("ghost") is None    # unknown: None
+            workspace.detach("zoo")
+            workspace.attach("zoo", make_figure1_lake())
+            # A re-attached lake does not inherit the old override.
+            assert workspace.quota("zoo") is None
+
+    def test_set_quota_updates_and_clears(self):
+        with Workspace() as workspace:
+            workspace.attach("zoo", make_figure1_lake())
+            workspace.set_quota("zoo", 2)
+            assert workspace.quota("zoo") == 2
+            workspace.set_quota("zoo", None)
+            assert workspace.quota("zoo") is None
+
+    def test_set_quota_rejects_unknown_lake(self):
+        with Workspace() as workspace:
+            with pytest.raises(UnknownLakeError):
+                workspace.set_quota("ghost", 1)
+
+    @pytest.mark.parametrize("quota", [0, -1, 1.5, "two", True])
+    def test_invalid_quotas_are_rejected_up_front(self, quota):
+        with Workspace() as workspace:
+            with pytest.raises(ValueError):
+                workspace.attach("zoo", make_figure1_lake(), quota=quota)
+            # The failed attach left no membership behind.
+            assert "zoo" not in workspace.names()
+            workspace.attach("zoo", make_figure1_lake())
+            with pytest.raises(ValueError):
+                workspace.set_quota("zoo", quota)
+            assert workspace.quota("zoo") is None
+
+    def test_stats_report_explicit_overrides_only(self):
+        with Workspace() as workspace:
+            workspace.attach("zoo", make_figure1_lake(), quota=4)
+            workspace.attach("cars", make_cars_lake())
+            assert workspace.stats()["quotas"] == {"zoo": 4}

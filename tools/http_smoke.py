@@ -108,6 +108,16 @@ def drive(client, tus_size: int, sb_size: int) -> None:
     assert set(stats["lakes"]) == {"tus", "sb"}, stats
     assert stats["cache"]["misses"] >= 2, stats
     assert stats["http"]["rejected"] == 0, stats
+    # The two-level admission gate: fair by default, one quota slot
+    # per mounted lake, and this single-client drive never rejects.
+    gate = stats["http"]["gate"]
+    assert gate["fair"] is True, gate
+    assert set(gate["lakes"]) == {"tus", "sb"}, gate
+    for lake_gate in gate["lakes"].values():
+        assert lake_gate["in_flight"] == 0, gate
+        assert lake_gate["quota"] >= 1, gate
+        assert lake_gate["rejected"] == 0, gate
+    assert gate["rejected_global"] == 0, gate
     assert stats["jobs"]["tracked"] == 1, stats
     assert stats["workspace"]["pool"]["alive"] is True, stats
     assert stats["workspace"]["pool"]["jobs"] == 2, stats
