@@ -49,7 +49,8 @@ Sub-packages
 ``repro.domains``
     The D4 domain-discovery baseline (Ota et al., PVLDB 2020).
 ``repro.bench``
-    Benchmark generators: SB, TUS-like, TUS-I injection, scale lakes.
+    Benchmark generators: SB, TUS-like, TUS-I injection, adversarial
+    homoglyph forging, scale lakes.
 ``repro.eval``
     Precision/recall metrics and the per-figure experiment runners.
 """
@@ -61,6 +62,7 @@ from .core import (
     HomographRanking,
     RankedValue,
     RankingPage,
+    SkeletonIndex,
     betweenness_score_map,
     betweenness_scores,
     build_graph,
@@ -68,6 +70,7 @@ from .core import (
     lcc_score_map,
     lcc_scores,
     normalize_value,
+    skeleton,
 )
 from .datalake import (
     Column,
@@ -124,7 +127,7 @@ from .snapshot import (
     load_snapshot,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "BipartiteGraph",
@@ -155,6 +158,7 @@ __all__ = [
     "SerialBackend",
     "ServiceError",
     "SingleFlight",
+    "SkeletonIndex",
     "SnapshotCorruptionError",
     "SnapshotError",
     "SnapshotVersionError",
@@ -180,6 +184,7 @@ __all__ = [
     "read_table",
     "register_measure",
     "resolve_backend",
+    "skeleton",
     "start_server",
     "unregister_measure",
     "use_backend",

@@ -28,7 +28,13 @@ a descending score map with no parameters.
 The two paper measures are registered as built-ins on import, under
 their historical names ``"betweenness"`` and ``"lcc"``, alongside
 ``"rk"`` — the Riondato–Kornaropoulos sampled betweenness (§3.3) with
-its knobs carried in ``request.options``.
+its knobs carried in ``request.options`` — and
+``"skeleton_betweenness"``, the adversarial variant that scores
+betweenness over confusable-skeleton classes
+(:mod:`repro.core.confusables`) so forged homoglyph collisions become
+graph-visible.  On a lake whose values are all their own skeletons the
+quotient is the identity and the measure delegates to plain
+``"betweenness"``, keeping clean-lake rankings bit-for-bit identical.
 """
 
 from __future__ import annotations
@@ -189,6 +195,95 @@ def _betweenness_measure(
             "endpoints": request.endpoints,
         },
         state=state or None,
+    )
+
+
+@register_measure("skeleton_betweenness")
+def _skeleton_betweenness_measure(
+    graph: BipartiteGraph, request: "DetectRequest"
+) -> MeasureOutput:
+    """Betweenness over confusable-skeleton classes: homographs score HIGH.
+
+    Values folding to the same skeleton (``repro.core.confusables``)
+    are merged into one quotient node before centrality runs, so a
+    forged ``ΡARIS`` inherits the bridging position of the class it
+    visually imitates.  Every member of a class receives the class
+    score; ranking ties then break lexicographically as usual.
+
+    When skeletonization is the identity on the graph's value set the
+    measure delegates to the plain ``"betweenness"`` built-in, which
+    makes clean-lake rankings bit-for-bit identical.  The quotient
+    graph is ephemeral, so the non-identity path always computes
+    serially instead of exporting a throwaway graph to a persistent
+    worker pool; ``state`` stays ``None`` either way because the
+    Brandes delta-patch accumulators describe the quotient, not the
+    lake's own graph — a mutation simply evicts and recomputes.
+    """
+    from ..core.confusables import skeleton
+
+    names = list(graph.value_names)
+    skels = [skeleton(name) for name in names]
+    if skels == names:
+        output = _betweenness_measure(graph, request)
+        parameters = dict(output.parameters)
+        parameters["skeleton_classes"] = len(names)
+        parameters["skeleton_collisions"] = 0
+        return MeasureOutput(
+            scores=output.scores,
+            descending=True,
+            parameters=parameters,
+            state=None,
+        )
+
+    import numpy as np
+
+    from ..perf.backends import SerialBackend, use_backend
+
+    class_ids: Dict[str, int] = {}
+    class_names: list = []
+    member_class = np.empty(len(names), dtype=np.int64)
+    for v, skel in enumerate(skels):
+        cid = class_ids.get(skel)
+        if cid is None:
+            cid = len(class_names)
+            class_ids[skel] = cid
+            class_names.append(skel)
+        member_class[v] = cid
+
+    num_values = graph.num_values
+    indptr = graph.indptr
+    counts = np.diff(indptr[: num_values + 1])
+    rows = np.repeat(member_class, counts)
+    cols = graph.indices[: indptr[num_values]] - num_values
+    quotient = BipartiteGraph(
+        class_names,
+        list(graph.attribute_names),
+        np.stack([rows, cols], axis=1),
+    )
+
+    with use_backend(SerialBackend()):
+        class_scores = betweenness_score_map(
+            quotient,
+            sample_size=request.sample_size,
+            seed=request.seed,
+            endpoints=request.endpoints,
+            execution=None,
+        )
+    scores = {
+        name: class_scores[skel] for name, skel in zip(names, skels)
+    }
+    class_sizes = np.bincount(member_class)
+    return MeasureOutput(
+        scores=scores,
+        descending=True,
+        parameters={
+            "sample_size": request.sample_size,
+            "seed": request.seed,
+            "endpoints": request.endpoints,
+            "skeleton_classes": len(class_names),
+            "skeleton_collisions": int((class_sizes >= 2).sum()),
+        },
+        state=None,
     )
 
 

@@ -5,7 +5,8 @@
 * :mod:`repro.bench.tus` — the TUS-like sliced benchmark with
   unionability ground truth (paper §4.2).
 * :mod:`repro.bench.injection` — TUS-I homograph removal and
-  controlled injection (paper §4.3).
+  controlled injection (paper §4.3), plus adversarial homoglyph
+  forging against :mod:`repro.core.confusables`.
 * :mod:`repro.bench.scale` — the NYC-scale lake and footnote-9
   subgraph extraction (paper §5.4).
 * :mod:`repro.bench.loadgen` — closed-loop HTTP load generator for
@@ -17,9 +18,13 @@
 
 from .ground_truth import LakeGroundTruth, label_lake, meanings_range
 from .injection import (
+    ForgeConfig,
+    ForgedLake,
+    Forgery,
     InjectedLake,
     InjectionConfig,
     InjectionError,
+    forge_homoglyphs,
     inject_homographs,
     injection_recovery,
     remove_homographs,
@@ -36,6 +41,9 @@ from .vocab import (
 
 __all__ = [
     "Domain",
+    "ForgeConfig",
+    "ForgedLake",
+    "Forgery",
     "InjectedLake",
     "InjectionConfig",
     "InjectionError",
@@ -50,6 +58,7 @@ __all__ = [
     "Vocabulary",
     "build_vocabularies",
     "extract_subgraphs",
+    "forge_homoglyphs",
     "generate_scale_lake",
     "generate_sb",
     "generate_tus",

@@ -21,15 +21,22 @@ Cardinality of a replaced value follows the paper's definition |N(v)|
 via a sound lower bound: a value qualifies for threshold ``c`` when
 some attribute containing it has more than ``c`` distinct values (its
 co-occurrence set is at least that attribute's size minus one).
+
+:func:`forge_homoglyphs` is the *adversarial* counterpart of step 2:
+rather than merging values into one exact-match token, it rewrites
+chosen unambiguous values into Unicode-confusable variants of an
+untouched anchor value from another domain (``repro.core.confusables``),
+planting collisions that only a skeleton-aware pipeline can see.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from ..core.confusables import STYLES, skeleton, substitutions
 from ..core.normalize import normalize_value
 from ..datalake.lake import DataLake
 from ..datalake.table import Table
@@ -242,6 +249,303 @@ def _apply_replacements(
             Table(name=table.name, columns=list(table.columns), rows=rows)
         )
     return new_lake
+
+
+@dataclass(frozen=True)
+class ForgeConfig:
+    """Parameters of one homoglyph-forging run.
+
+    ``num_forgeries`` skeleton-level collisions are planted; each one
+    keeps an untouched *anchor* value and rewrites ``meanings - 1``
+    other unambiguous values (each from a different domain than the
+    anchor's) into confusable variants of it.  ``min_occurrences``
+    keeps every replaced value — and therefore its variant — above the
+    detector's default occurrence pruning.  ``styles`` restricts the
+    substitution menu to a subset of
+    :data:`repro.core.confusables.STYLES`.
+    """
+
+    num_forgeries: int = 10
+    meanings: int = 2
+    min_cardinality: int = 0
+    min_value_length: int = 4
+    min_occurrences: int = 2
+    styles: Tuple[str, ...] = STYLES
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class Forgery:
+    """Provenance of one forged confusable variant.
+
+    ``variant`` is the normalized forged value as it now appears in
+    the lake; it visually imitates ``source`` (the untouched anchor)
+    and physically replaced every occurrence of ``replaced`` (an
+    unambiguous value from ``domain``) using the named substitution
+    ``style``.
+    """
+
+    variant: str
+    source: str
+    replaced: str
+    domain: str
+    style: str
+
+
+@dataclass
+class ForgedLake:
+    """A homoglyph-forged lake plus its exact ground truth."""
+
+    lake: DataLake
+    attribute_groups: Dict[str, str]
+    forgeries: List[Forgery]
+
+    @property
+    def forged_values(self) -> List[str]:
+        """The planted variants (normalized), in planting order."""
+        return [forgery.variant for forgery in self.forgeries]
+
+    @property
+    def forged_set(self) -> Set[str]:
+        """The planted variants as a set."""
+        return set(self.forged_values)
+
+    @property
+    def anchors(self) -> Set[str]:
+        """The untouched values the variants imitate."""
+        return {forgery.source for forgery in self.forgeries}
+
+    @property
+    def targets(self) -> Set[str]:
+        """Every member of a forged collision: anchors plus variants."""
+        return self.anchors | self.forged_set
+
+    def to_manifest(self) -> Dict[str, object]:
+        """JSON-safe ground-truth record (for ``domainnet forge``)."""
+        return {
+            "forgeries": [
+                {
+                    "variant": forgery.variant,
+                    "source": forgery.source,
+                    "replaced": forgery.replaced,
+                    "domain": forgery.domain,
+                    "style": forgery.style,
+                }
+                for forgery in self.forgeries
+            ],
+        }
+
+
+def forge_homoglyphs(
+    lake: DataLake,
+    attribute_groups: Dict[str, str],
+    config: ForgeConfig = ForgeConfig(),
+    exclude: Optional[Set[str]] = None,
+) -> ForgedLake:
+    """Plant confusable-skeleton collisions into a lake.
+
+    The adversarial counterpart of :func:`inject_homographs`: instead
+    of merging values into one exact-match token, each forgery keeps an
+    anchor value untouched and rewrites every occurrence of
+    ``meanings - 1`` other unambiguous values (each from a distinct,
+    non-anchor domain) into fresh confusable variants of the anchor —
+    distinct under exact normalization, identical under
+    :func:`repro.core.confusables.skeleton`.  The exact-match pipeline
+    sees only new low-centrality values; the skeleton quotient sees a
+    cross-domain homograph.
+
+    Anchors and replaced values are drawn from values that are their
+    own skeleton and whose skeleton class is a singleton, so the
+    emitted ground truth labels exactly the planted collisions.
+    ``exclude`` removes values (normalized) from consideration — e.g.
+    SB's planted natural homographs.  The input lake is not modified.
+    """
+    if config.meanings < 2:
+        raise InjectionError("a forged collision needs >= 2 meanings")
+    if config.num_forgeries < 1:
+        raise InjectionError("num_forgeries must be positive")
+    unknown_styles = sorted(set(config.styles) - set(STYLES))
+    if not config.styles or unknown_styles:
+        raise InjectionError(
+            f"styles must be a non-empty subset of {STYLES}; "
+            f"got {config.styles!r}"
+        )
+
+    rng = np.random.default_rng(config.seed)
+    taken, skeleton_counts = _lake_value_census(lake)
+    candidates = _forge_candidates(
+        lake, attribute_groups, config, skeleton_counts, exclude or set()
+    )
+    domains = sorted(d for d, values in candidates.items() if values)
+    if len(domains) < config.meanings:
+        raise InjectionError(
+            f"only {len(domains)} domains have eligible values; "
+            f"{config.meanings} meanings requested"
+        )
+
+    used: Set[str] = set()
+    forgeries: List[Forgery] = []
+    replacement_map: Dict[str, str] = {}
+    for _ in range(config.num_forgeries):
+        chosen = _choose_one_group(rng, candidates, domains, config, used)
+        for value, _domain in chosen:
+            used.add(value)
+        # Any member of the group can anchor; try each until one has
+        # enough unused variants for all its siblings (relevant for
+        # narrow style menus like styles=("leet",)).
+        planted: List[Forgery] = []
+        for j in range(len(chosen)):
+            anchor, _anchor_domain = chosen[j]
+            planted = []
+            minted: Set[str] = set()
+            for value, domain in chosen[:j] + chosen[j + 1 :]:
+                forged = _make_variant(
+                    anchor, rng, config.styles, taken | minted
+                )
+                if forged is None:
+                    planted = []
+                    break
+                variant, style = forged
+                minted.add(variant)
+                planted.append(
+                    Forgery(
+                        variant=variant,
+                        source=anchor,
+                        replaced=value,
+                        domain=domain,
+                        style=style,
+                    )
+                )
+            if planted:
+                break
+        if not planted:
+            raise InjectionError(
+                f"no confusable variants available for any of "
+                f"{[value for value, _ in chosen]!r} under styles "
+                f"{config.styles!r}"
+            )
+        for forgery in planted:
+            taken.add(forgery.variant)
+            replacement_map[forgery.replaced] = forgery.variant
+            forgeries.append(forgery)
+
+    return ForgedLake(
+        lake=_apply_replacements(lake, replacement_map),
+        attribute_groups=dict(attribute_groups),
+        forgeries=forgeries,
+    )
+
+
+def _lake_value_census(
+    lake: DataLake,
+) -> Tuple[Set[str], Dict[str, int]]:
+    """Distinct normalized values and the size of each skeleton class."""
+    values: Set[str] = set()
+    for column in lake.iter_attributes():
+        for raw in column.distinct_values():
+            value = normalize_value(raw)
+            if value:
+                values.add(value)
+    skeleton_counts: Dict[str, int] = {}
+    for value in values:
+        skel = skeleton(value)
+        skeleton_counts[skel] = skeleton_counts.get(skel, 0) + 1
+    return values, skeleton_counts
+
+
+def _forge_candidates(
+    lake: DataLake,
+    attribute_groups: Dict[str, str],
+    config: ForgeConfig,
+    skeleton_counts: Dict[str, int],
+    exclude: Set[str],
+) -> Dict[str, List[List[str]]]:
+    """Column-first candidate pools for anchors and replaced values.
+
+    On top of the injection rules (string, long enough, non-numeric,
+    qualifying attribute cardinality), forging needs values that are
+    their own skeleton with a singleton skeleton class — otherwise the
+    planted collision would tangle with a pre-existing one and the
+    ground truth would stop being exact — and at least
+    ``min_occurrences`` cell occurrences, so the variant inheriting
+    them survives the detector's occurrence pruning.
+    """
+    occurrences: Dict[str, int] = {}
+    for column in lake.iter_attributes():
+        for raw in column.values:
+            value = normalize_value(raw)
+            if value:
+                occurrences[value] = occurrences.get(value, 0) + 1
+
+    eligible: Dict[str, List[List[str]]] = {}
+    for column in lake.iter_attributes():
+        domain = attribute_groups[column.qualified_name]
+        distinct = column.distinct_values()
+        if len(distinct) - 1 < config.min_cardinality:
+            continue
+        pool = []
+        for raw in distinct:
+            value = normalize_value(raw)
+            if len(value) < config.min_value_length:
+                continue
+            if _is_numeric(value):
+                continue
+            if value in exclude:
+                continue
+            if occurrences.get(value, 0) < config.min_occurrences:
+                continue
+            if skeleton(value) != value or skeleton_counts[value] != 1:
+                continue
+            pool.append(value)
+        if pool:
+            eligible.setdefault(domain, []).append(sorted(set(pool)))
+    return eligible
+
+
+def _make_variant(
+    anchor: str,
+    rng: np.random.Generator,
+    styles: Sequence[str],
+    taken: Set[str],
+) -> Optional[Tuple[str, str]]:
+    """One fresh confusable variant of ``anchor``, or ``None``.
+
+    Tries the styles in a seeded random order; within a style, a
+    random substitutable position and its lookalikes.  The result is
+    guaranteed to be normalization-stable, distinct from every value
+    in ``taken``, and to fold back to ``skeleton(anchor)``.
+    """
+    for s in rng.permutation(len(styles)):
+        style = styles[int(s)]
+        menu = substitutions(style)
+        if style == "leet":
+            # Mirror the skeleton's positional rule: only digits
+            # flanked by ASCII letters fold back.
+            positions = [
+                i
+                for i in range(1, len(anchor) - 1)
+                if anchor[i] in menu
+                and "A" <= anchor[i - 1] <= "Z"
+                and "A" <= anchor[i + 1] <= "Z"
+            ]
+        else:
+            positions = [
+                i for i, ch in enumerate(anchor) if ch in menu
+            ]
+        if not positions:
+            continue
+        for p in rng.permutation(len(positions)):
+            i = positions[int(p)]
+            for lookalike in menu[anchor[i]]:
+                variant = anchor[:i] + lookalike + anchor[i + 1 :]
+                if variant in taken:
+                    continue
+                if normalize_value(variant) != variant:
+                    continue
+                if skeleton(variant) != skeleton(anchor):
+                    continue
+                return variant, style
+    return None
 
 
 def injection_recovery(

@@ -10,9 +10,11 @@ Installed as the ``domainnet`` console script::
     domainnet scan path/to/csvs --jobs 4
     domainnet scan path/to/csvs --jobs 4 --keep-pool
     domainnet scan path/to/csvs --jobs 4 --serve-pool betweenness,lcc
+    domainnet scan path/to/csvs --measure skeleton_betweenness
     domainnet stats path/to/csvs
     domainnet generate sb out/dir
     domainnet generate tus out/dir --seed 7
+    domainnet forge tus out/dir --forgeries 10 --styles greek,leet
     domainnet snapshot build path/to/csvs -o snap/ --warm lcc
     domainnet snapshot info snap/
     domainnet serve --snapshot snap/ --save-on-exit
@@ -170,6 +172,27 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("directory")
     generate.add_argument("--seed", type=int, default=0)
 
+    forge = commands.add_parser(
+        "forge",
+        help="write a homoglyph-forged benchmark lake as CSV files "
+             "plus its ground-truth manifest",
+    )
+    forge.add_argument("benchmark", choices=("sb", "tus"),
+                       help="base lake: SB, or the homograph-free "
+                            "TUS-I lake")
+    forge.add_argument("directory")
+    forge.add_argument("--forgeries", type=int, default=10,
+                       help="number of planted skeleton collisions "
+                            "(default 10)")
+    forge.add_argument("--meanings", type=int, default=2,
+                       help="domains per collision: one anchor plus "
+                            "meanings-1 forged variants (default 2)")
+    forge.add_argument("--styles", default=None, metavar="STYLES",
+                       help="comma-separated subset of "
+                            "greek,cyrillic,fullwidth,leet "
+                            "(default: all)")
+    forge.add_argument("--seed", type=int, default=0)
+
     snapshot = commands.add_parser(
         "snapshot",
         help="build or inspect on-disk snapshots (fast server restarts)",
@@ -217,6 +240,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.snapshot_command == "build":
             return _cmd_snapshot_build(args)
         return _cmd_snapshot_info(args)
+    if args.command == "forge":
+        return _cmd_forge(args)
     return _cmd_generate(args)
 
 
@@ -595,6 +620,68 @@ def _cmd_stats(args) -> int:
     lake = load_lake(args.directory)
     stats = compute_statistics(lake, args.directory)
     print(format_statistics_table([stats]))
+    return 0
+
+
+def _cmd_forge(args) -> int:
+    """Write a homoglyph-forged benchmark lake plus its ground truth."""
+    import json as _json
+    import os
+
+    from .bench.injection import (
+        ForgeConfig,
+        InjectionError,
+        forge_homoglyphs,
+        remove_homographs,
+    )
+    from .core.confusables import STYLES
+
+    styles = STYLES
+    if args.styles is not None:
+        styles = tuple(
+            s.strip() for s in args.styles.split(",") if s.strip()
+        )
+        unknown = sorted(set(styles) - set(STYLES))
+        if not styles or unknown:
+            print(f"--styles expects a comma-separated subset of "
+                  f"{', '.join(STYLES)}", file=sys.stderr)
+            return 2
+    if args.benchmark == "sb":
+        from .bench.synthetic import SBConfig, generate_sb
+
+        dataset = generate_sb(SBConfig(seed=args.seed))
+        lake = dataset.lake
+        groups = dataset.ground_truth.attribute_groups
+        # SB's planted natural homographs stay out of the forge so the
+        # manifest labels exactly the confusable collisions.
+        exclude = set(dataset.homographs)
+    else:
+        from .bench.tus import TUSConfig, generate_tus
+
+        tus = generate_tus(TUSConfig.small(seed=args.seed))
+        lake, groups = remove_homographs(tus)
+        exclude = set()
+    config = ForgeConfig(
+        num_forgeries=args.forgeries,
+        meanings=args.meanings,
+        styles=styles,
+        seed=args.seed,
+    )
+    try:
+        forged = forge_homoglyphs(lake, groups, config, exclude=exclude)
+    except InjectionError as error:
+        print(f"cannot forge: {error}", file=sys.stderr)
+        return 1
+    paths = dump_lake(forged.lake, args.directory)
+    manifest_path = os.path.join(args.directory, "forge_truth.json")
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        _json.dump(forged.to_manifest(), handle, indent=2,
+                   sort_keys=True, ensure_ascii=False)
+        handle.write("\n")
+    print(f"wrote {len(paths)} tables to {args.directory}")
+    print(f"{len(forged.forgeries)} forged variants across "
+          f"{len(forged.anchors)} anchors "
+          f"(ground truth: {manifest_path})")
     return 0
 
 

@@ -3,6 +3,7 @@
 from .approx import riondato_kornaropoulos_bc, sample_size_bound
 from .betweenness import betweenness_score_map, betweenness_scores
 from .builder import build_graph, build_graph_from_columns
+from .confusables import SkeletonIndex, skeleton
 from .communities import (
     MeaningEstimate,
     estimate_all_meanings,
@@ -38,6 +39,7 @@ __all__ = [
     "MeaningEstimate",
     "RankedValue",
     "RankingPage",
+    "SkeletonIndex",
     "attribute_community_map",
     "betweenness_score_map",
     "betweenness_scores",
@@ -57,5 +59,6 @@ __all__ = [
     "rank_by_lcc",
     "riondato_kornaropoulos_bc",
     "sample_size_bound",
+    "skeleton",
     "value_communities",
 ]

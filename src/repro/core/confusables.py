@@ -1,0 +1,287 @@
+"""Confusable-skeleton normalization — the adversarial variant of §3.2.
+
+The paper's homographs are exact-string collisions after whitespace and
+case normalization.  The security literature (ShamFinder's IDN
+confusable skeletons, GlyphNet's homoglyph-domain datasets) studies the
+adversarial variant: values crafted to *look* identical while comparing
+unequal — ``Ρaris`` with a Greek Rho, ``J0HN`` in leetspeak,
+``Ｓａｎ Ｄｉｅｇｏ`` in fullwidth forms.  Exact-match normalization
+treats each forgery as a fresh low-degree value, so centrality-based
+detection never sees the collision.
+
+This module adds a dependency-free *skeleton* layer in the spirit of
+Unicode TS #39 (confusable skeletons), restricted to a curated map:
+
+* uppercase Greek letters whose glyphs coincide with Latin capitals;
+* uppercase Cyrillic letters whose glyphs coincide with Latin capitals;
+* the fullwidth ASCII block ``U+FF01..U+FF5E`` (lowercase forms are
+  unreachable after :func:`~repro.core.normalize.normalize_value`
+  upper-cases them, so only case-stable entries are kept);
+* common leetspeak digit substitutions (``0→O``, ``3→E``, ...), folded
+  only when the digit sits *between* two ASCII letters so genuinely
+  numeric values (``"12.34"``, ``"2021"``) keep their spelling.
+
+:func:`skeleton` composes with ``normalize_value`` and is idempotent:
+``skeleton(skeleton(x)) == skeleton(x)`` for every string, and a pure
+ASCII value without letter-flanked digits is its own skeleton — which
+is what keeps the skeleton-aware measure a bit-for-bit no-op on clean
+lakes.  :class:`SkeletonIndex` groups a lake's distinct normalized
+values by shared skeleton so forged collisions become graph-visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from ..datalake.lake import DataLake
+from .normalize import normalize_value
+
+#: Uppercase Greek capitals that render as Latin capitals.
+GREEK_CONFUSABLES: Dict[str, str] = {
+    "Α": "A",  # ALPHA
+    "Β": "B",  # BETA
+    "Ε": "E",  # EPSILON
+    "Ζ": "Z",  # ZETA
+    "Η": "H",  # ETA
+    "Ι": "I",  # IOTA
+    "Κ": "K",  # KAPPA
+    "Μ": "M",  # MU
+    "Ν": "N",  # NU
+    "Ο": "O",  # OMICRON
+    "Ρ": "P",  # RHO
+    "Τ": "T",  # TAU
+    "Υ": "Y",  # UPSILON
+    "Χ": "X",  # CHI
+}
+
+#: Uppercase Cyrillic capitals that render as Latin capitals.
+CYRILLIC_CONFUSABLES: Dict[str, str] = {
+    "А": "A",  # U+0410 CYRILLIC CAPITAL LETTER A
+    "В": "B",  # U+0412 VE
+    "Е": "E",  # U+0415 IE
+    "Ѕ": "S",  # U+0405 DZE
+    "І": "I",  # U+0406 BYELORUSSIAN-UKRAINIAN I
+    "Ј": "J",  # U+0408 JE
+    "К": "K",  # U+041A KA
+    "М": "M",  # U+041C EM
+    "Н": "H",  # U+041D EN
+    "О": "O",  # U+041E O
+    "Р": "P",  # U+0420 ER
+    "С": "C",  # U+0421 ES
+    "Т": "T",  # U+0422 TE
+    "У": "Y",  # U+0423 U
+    "Х": "X",  # U+0425 HA
+    "Ԝ": "W",  # U+051C WE
+}
+
+
+def _fullwidth_confusables() -> Dict[str, str]:
+    """The fullwidth ASCII block, minus case-unstable lowercase forms."""
+    mapping: Dict[str, str] = {}
+    for offset in range(0x21, 0x7F):
+        target = chr(offset)
+        if "a" <= target <= "z":
+            # normalize_value upper-cases ＡＢＣ... out of existence
+            # before folding ever runs; keeping lowercase keys would
+            # break the map round-trip property for no reachable input.
+            continue
+        mapping[chr(0xFEE0 + offset)] = target
+    return mapping
+
+
+#: Fullwidth ASCII forms (``！..～``) that survive upper-casing.
+FULLWIDTH_CONFUSABLES: Dict[str, str] = _fullwidth_confusables()
+
+#: Leetspeak digit substitutions, applied only between ASCII letters.
+LEET_CONFUSABLES: Dict[str, str] = {
+    "0": "O",
+    "1": "I",
+    "2": "Z",
+    "3": "E",
+    "4": "A",
+    "5": "S",
+    "6": "G",
+    "7": "T",
+    "8": "B",
+    "9": "G",
+}
+
+#: Every unconditional single-character fold (leet is positional and
+#: therefore excluded; see :data:`LEET_CONFUSABLES`).
+CONFUSABLES: Dict[str, str] = {
+    **GREEK_CONFUSABLES,
+    **CYRILLIC_CONFUSABLES,
+    **FULLWIDTH_CONFUSABLES,
+}
+
+_TRANSLATION = str.maketrans(CONFUSABLES)
+
+#: Substitution styles the forge generator can draw from.
+STYLES: Tuple[str, ...] = ("greek", "cyrillic", "fullwidth", "leet")
+
+_STYLE_MAPS: Dict[str, Mapping[str, str]] = {
+    "greek": GREEK_CONFUSABLES,
+    "cyrillic": CYRILLIC_CONFUSABLES,
+    "fullwidth": FULLWIDTH_CONFUSABLES,
+    "leet": LEET_CONFUSABLES,
+}
+
+
+def _is_ascii_letter(ch: str) -> bool:
+    """True for ``A``–``Z`` (input is already upper-cased)."""
+    return "A" <= ch <= "Z"
+
+
+def _fold_leet(value: str) -> str:
+    """Fold digits flanked by ASCII letters on both sides.
+
+    Decisions use the *original* neighbors, which makes a single pass
+    idempotent: a digit that keeps a digit neighbor keeps it forever
+    (that neighbor cannot fold either), and non-alphanumeric neighbors
+    never change.
+    """
+    last = len(value) - 1
+    out: List[str] = []
+    for i, ch in enumerate(value):
+        sub = LEET_CONFUSABLES.get(ch)
+        if (
+            sub is not None
+            and 0 < i < last
+            and _is_ascii_letter(value[i - 1])
+            and _is_ascii_letter(value[i + 1])
+        ):
+            out.append(sub)
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def skeleton(raw: str) -> str:
+    """Confusable skeleton of one cell value.
+
+    Composes with :func:`~repro.core.normalize.normalize_value` (the
+    input is normalized first, so ``skeleton(normalize_value(x)) ==
+    skeleton(x)``), folds the curated confusable map, re-normalizes,
+    and finally folds letter-flanked leetspeak digits.  Idempotent by
+    construction; pure-ASCII values without letter-flanked digits map
+    to themselves.
+    """
+    value = normalize_value(raw)
+    if not value:
+        return ""
+    if value.isascii():
+        if not any("0" <= ch <= "9" for ch in value):
+            return value
+        return _fold_leet(value)
+    folded = normalize_value(value.translate(_TRANSLATION))
+    return _fold_leet(folded)
+
+
+def substitutions(style: str) -> Dict[str, Tuple[str, ...]]:
+    """Inverse confusable map for one style: ASCII target → lookalikes.
+
+    This is the forge generator's menu — for ``"greek"`` it answers
+    "which Greek capitals does :func:`skeleton` fold to ``P``?".
+    Raises ``ValueError`` for styles outside :data:`STYLES`.
+    """
+    try:
+        forward = _STYLE_MAPS[style]
+    except KeyError:
+        raise ValueError(
+            f"unknown substitution style {style!r}; "
+            f"available: {STYLES}"
+        ) from None
+    inverse: Dict[str, List[str]] = {}
+    for source, target in forward.items():
+        inverse.setdefault(target, []).append(source)
+    return {
+        target: tuple(sorted(sources))
+        for target, sources in inverse.items()
+    }
+
+
+class SkeletonIndex:
+    """Distinct normalized values of a lake, grouped by shared skeleton.
+
+    Two values in the same class are *confusable-equivalent*: they look
+    identical under the curated map even though exact-match
+    normalization keeps them apart.  Classes with two or more members
+    are exactly the collisions a forged lake hides from the exact
+    pipeline.
+    """
+
+    def __init__(self, values: Iterable[str]) -> None:
+        """Index an iterable of raw or normalized values.
+
+        Values are normalized, blanks dropped, duplicates collapsed;
+        insertion order of first appearance is preserved inside each
+        class so the grouping is deterministic.
+        """
+        self._skeleton_of: Dict[str, str] = {}
+        self._classes: Dict[str, List[str]] = {}
+        for raw in values:
+            value = normalize_value(raw)
+            if not value or value in self._skeleton_of:
+                continue
+            skel = skeleton(value)
+            self._skeleton_of[value] = skel
+            self._classes.setdefault(skel, []).append(value)
+
+    @classmethod
+    def from_lake(cls, lake: DataLake) -> "SkeletonIndex":
+        """Index every distinct normalized value of a data lake."""
+        def iter_cells() -> Iterable[str]:
+            for column in lake.iter_attributes():
+                for raw in column.distinct_values():
+                    yield raw
+
+        return cls(iter_cells())
+
+    @classmethod
+    def from_graph(cls, graph) -> "SkeletonIndex":
+        """Index the value nodes of an already-built bipartite graph."""
+        return cls(graph.value_names)
+
+    def __len__(self) -> int:
+        """Number of indexed distinct values."""
+        return len(self._skeleton_of)
+
+    def __contains__(self, value: str) -> bool:
+        """True when the normalized form of ``value`` is indexed."""
+        return normalize_value(value) in self._skeleton_of
+
+    def skeleton_of(self, value: str) -> str:
+        """Skeleton of one indexed value (KeyError when absent)."""
+        normalized = normalize_value(value)
+        try:
+            return self._skeleton_of[normalized]
+        except KeyError:
+            raise KeyError(
+                f"value {normalized!r} is not in the index"
+            ) from None
+
+    def members(self, skel: str) -> Tuple[str, ...]:
+        """Values sharing one skeleton, in first-seen order."""
+        return tuple(self._classes.get(skel, ()))
+
+    def classes(self) -> Dict[str, Tuple[str, ...]]:
+        """Every skeleton class, keyed by skeleton."""
+        return {
+            skel: tuple(members)
+            for skel, members in self._classes.items()
+        }
+
+    def collisions(self) -> Dict[str, Tuple[str, ...]]:
+        """Only the classes with two or more members."""
+        return {
+            skel: tuple(members)
+            for skel, members in self._classes.items()
+            if len(members) >= 2
+        }
+
+    @property
+    def num_collisions(self) -> int:
+        """Number of multi-member skeleton classes."""
+        return sum(
+            1 for members in self._classes.values() if len(members) >= 2
+        )

@@ -1,0 +1,119 @@
+"""Serving conformance for the adversarial skeleton measure.
+
+``skeleton_betweenness`` rides the measure registry, so the HTTP
+tier, the workspace, and snapshot persistence must pick it up with
+zero serving-stack changes: ``POST /lakes/<name>/detect`` works, the
+unknown-measure 404 wording now advertises it, and a forged-lake
+response survives the PR-6 snapshot save/load byte-identical
+cache-hit path.
+"""
+
+import json
+
+import pytest
+
+from repro import HomographIndex, Workspace, start_server
+from repro.datalake.lake import DataLake
+from repro.datalake.table import Table
+from tests.test_http_protocol import assert_error_shape, raw_request
+
+
+def make_forged_lake() -> DataLake:
+    """A small lake with one planted confusable forgery.
+
+    ``PARIS`` bridges two city-domain attributes; ``ΡARIS`` (Greek
+    Rho) occupies two food-domain attributes.  Exact matching sees two
+    unrelated values; the skeleton quotient sees one homograph
+    spanning both domains.
+    """
+    lake = DataLake()
+    lake.add_table(Table.from_columns("cities", {
+        "city": ["Paris", "London", "Paris", "Berlin", "London",
+                 "Berlin"],
+    }))
+    lake.add_table(Table.from_columns("capitals", {
+        "capital": ["Paris", "Madrid", "Paris", "Rome", "Madrid",
+                    "Rome"],
+    }))
+    lake.add_table(Table.from_columns("menus", {
+        "dish": ["ΡARIS", "Sushi", "ΡARIS", "Taco", "Sushi", "Taco"],
+    }))
+    lake.add_table(Table.from_columns("orders", {
+        "item": ["ΡARIS", "Taco", "Sushi", "ΡARIS", "Taco", "Sushi"],
+    }))
+    return lake
+
+
+@pytest.fixture
+def served_forged():
+    workspace = Workspace()
+    workspace.attach("adv", make_forged_lake())
+    server = start_server(workspace, port=0)
+    yield server
+    server.drain()
+
+
+class TestSkeletonMeasureOverHTTP:
+    def test_detect_succeeds_through_the_registry(self, served_forged):
+        body = json.dumps({"measure": "skeleton_betweenness"}).encode()
+        status, headers, payload = raw_request(
+            served_forged, "POST", "/lakes/adv/detect", body=body,
+            headers={"Content-Length": str(len(body))},
+        )
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert payload["measure"] == "skeleton_betweenness"
+        top = [entry["value"] for entry in payload["ranking"][:2]]
+        assert set(top) == {"PARIS", "ΡARIS"}
+        assert payload["parameters"]["skeleton_collisions"] == 1
+
+    def test_ranking_route_serves_the_measure(self, served_forged):
+        body = json.dumps({"measure": "skeleton_betweenness"}).encode()
+        raw_request(
+            served_forged, "POST", "/lakes/adv/detect", body=body,
+            headers={"Content-Length": str(len(body))},
+        )
+        status, _, payload = raw_request(
+            served_forged, "GET",
+            "/lakes/adv/ranking/skeleton_betweenness?limit=2",
+        )
+        assert status == 200
+        values = [entry["value"] for entry in payload["entries"]]
+        assert set(values) == {"PARIS", "ΡARIS"}
+
+    def test_unknown_measure_wording_still_holds(self, served_forged):
+        body = json.dumps({"measure": "page-rank"}).encode()
+        status, _, payload = raw_request(
+            served_forged, "POST", "/lakes/adv/detect", body=body,
+            headers={"Content-Length": str(len(body))},
+        )
+        assert status == 404
+        assert_error_shape(payload, 404, "unknown-measure")
+        message = payload["error"]["message"]
+        assert "unknown measure 'page-rank'" in message
+        # The availability listing now advertises the new built-in.
+        assert "skeleton_betweenness" in message
+        assert "betweenness" in message
+
+
+class TestForgedSnapshotParity:
+    def test_forged_cache_hit_is_byte_identical(self, tmp_path):
+        target = tmp_path / "forged-snap"
+        with HomographIndex(make_forged_lake()) as fresh:
+            fresh.detect(measure="skeleton_betweenness")
+            fresh.save(target)
+            fresh_hit = fresh.detect(measure="skeleton_betweenness")
+        assert fresh_hit.cached
+        with HomographIndex.load(target) as loaded:
+            loaded_hit = loaded.detect(measure="skeleton_betweenness")
+        assert loaded_hit.cached
+        assert loaded_hit.to_json() == fresh_hit.to_json()
+
+    def test_loaded_ranking_still_pairs_the_forgery(self, tmp_path):
+        target = tmp_path / "forged-snap"
+        with HomographIndex(make_forged_lake()) as fresh:
+            fresh.detect(measure="skeleton_betweenness")
+            fresh.save(target)
+        with HomographIndex.load(target) as loaded:
+            response = loaded.detect(measure="skeleton_betweenness")
+            assert set(response.top_values(2)) == {"PARIS", "ΡARIS"}

@@ -255,6 +255,66 @@ class TestServeMounts:
         assert "--job-ttl" in capsys.readouterr().err
 
 
+class TestForge:
+    def test_forge_tus_writes_lake_and_truth(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "forged"
+        assert main([
+            "forge", "tus", str(out), "--forgeries", "3", "--seed", "0",
+        ]) == 0
+        stdout = capsys.readouterr().out
+        assert "3 forged variants" in stdout
+        manifest = json.loads((out / "forge_truth.json").read_text())
+        assert len(manifest["forgeries"]) == 3
+        assert list(out.glob("*.csv"))
+
+    def test_forged_lake_scannable_with_skeleton_measure(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "forged"
+        assert main([
+            "forge", "tus", str(out), "--forgeries", "2", "--seed", "0",
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "scan", str(out),
+            "--measure", "skeleton_betweenness", "--top", "4",
+        ]) == 0
+        import json
+
+        manifest = json.loads((out / "forge_truth.json").read_text())
+        stdout = capsys.readouterr().out
+        # Every planted variant surfaces at the top of the ranking.
+        for entry in manifest["forgeries"]:
+            assert repr(entry["variant"]) in stdout
+
+    def test_style_restriction_flows_through(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "forged"
+        assert main([
+            "forge", "tus", str(out),
+            "--forgeries", "2", "--styles", "greek", "--seed", "1",
+        ]) == 0
+        manifest = json.loads((out / "forge_truth.json").read_text())
+        assert {e["style"] for e in manifest["forgeries"]} == {"greek"}
+
+    def test_unknown_style_is_a_clean_error(self, tmp_path, capsys):
+        assert main([
+            "forge", "tus", str(tmp_path / "x"), "--styles", "zalgo",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "--styles expects" in err
+
+    def test_impossible_request_is_a_clean_error(self, tmp_path, capsys):
+        assert main([
+            "forge", "tus", str(tmp_path / "x"),
+            "--forgeries", "100000",
+        ]) == 1
+        assert "cannot forge" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command(self):
         with pytest.raises(SystemExit):

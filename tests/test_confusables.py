@@ -1,0 +1,165 @@
+"""Property-based tests for the confusable-skeleton layer.
+
+The pinned contract: ``skeleton`` is idempotent on arbitrary input,
+the identity on pure-ASCII values without letter-flanked digits
+(which is what keeps ``skeleton_betweenness`` a no-op on clean
+lakes), order-insensitive with respect to ``normalize_value``, and
+folds every entry of the curated confusable map onto its declared
+target.
+"""
+
+import string
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.confusables import (
+    CONFUSABLES,
+    CYRILLIC_CONFUSABLES,
+    FULLWIDTH_CONFUSABLES,
+    GREEK_CONFUSABLES,
+    LEET_CONFUSABLES,
+    STYLES,
+    SkeletonIndex,
+    skeleton,
+    substitutions,
+)
+from repro.core.normalize import normalize_value
+
+# Mixed alphabet: ASCII, confusables, digits, whitespace — enough to
+# reach every skeleton code path.
+mixed_alphabet = (
+    string.ascii_letters
+    + string.digits
+    + " \t.-_@"
+    + "".join(CONFUSABLES)
+)
+mixed_strategy = st.text(alphabet=mixed_alphabet, max_size=24)
+ascii_no_digit_strategy = st.text(
+    alphabet=string.ascii_letters + " .-_@", max_size=24
+)
+
+
+class TestSkeletonProperties:
+    @given(mixed_strategy)
+    def test_idempotent(self, raw):
+        once = skeleton(raw)
+        assert skeleton(once) == once
+
+    @given(st.text(max_size=30))
+    def test_idempotent_on_arbitrary_text(self, raw):
+        once = skeleton(raw)
+        assert skeleton(once) == once
+
+    @given(ascii_no_digit_strategy)
+    def test_ascii_fixpoint(self, raw):
+        # Pure-ASCII, digit-free values are their own skeleton (after
+        # plain normalization) — the clean-lake no-op guarantee.
+        assert skeleton(raw) == normalize_value(raw)
+
+    @given(mixed_strategy)
+    def test_composes_with_normalize_either_order(self, raw):
+        assert skeleton(normalize_value(raw)) == skeleton(raw)
+        assert normalize_value(skeleton(raw)) == skeleton(raw)
+
+    @given(mixed_strategy)
+    def test_output_is_ascii(self, raw):
+        assert skeleton(raw).isascii()
+
+    def test_blank_input_maps_to_empty(self):
+        assert skeleton("") == ""
+        assert skeleton("   \t ") == ""
+
+
+class TestConfusableMap:
+    @pytest.mark.parametrize(
+        "source,target", sorted(CONFUSABLES.items())
+    )
+    def test_every_entry_round_trips_to_its_target(self, source, target):
+        assert skeleton(source) == target
+
+    def test_map_keys_are_normalization_stable(self):
+        # A key normalize_value rewrites (e.g. fullwidth lowercase)
+        # could never be seen by the fold; such entries are banned.
+        for source in CONFUSABLES:
+            assert normalize_value(source) == source
+
+    def test_targets_are_ascii_fixpoints(self):
+        for target in CONFUSABLES.values():
+            assert target.isascii()
+            assert skeleton(target) == target
+
+    def test_styles_are_disjoint_unions_of_the_map(self):
+        merged = {}
+        for style_map in (
+            GREEK_CONFUSABLES,
+            CYRILLIC_CONFUSABLES,
+            FULLWIDTH_CONFUSABLES,
+        ):
+            for key in style_map:
+                assert key not in merged
+            merged.update(style_map)
+        assert merged == CONFUSABLES
+
+
+class TestLeetFolding:
+    @pytest.mark.parametrize(
+        "digit,letter", sorted(LEET_CONFUSABLES.items())
+    )
+    def test_flanked_digit_folds(self, digit, letter):
+        assert skeleton(f"X{digit}Y") == f"X{letter}Y"
+
+    @pytest.mark.parametrize("raw", ["2021", "12.34", "A1", "1A", "6'2"])
+    def test_unflanked_digits_survive(self, raw):
+        assert skeleton(raw) == normalize_value(raw)
+
+    def test_digit_runs_never_fold(self):
+        # Neighboring digits block each other, which is what makes a
+        # single fold pass idempotent.
+        assert skeleton("J44M") == "J44M"
+
+
+class TestSubstitutions:
+    @pytest.mark.parametrize("style", STYLES)
+    def test_inverse_maps_fold_back(self, style):
+        for target, lookalikes in substitutions(style).items():
+            for lookalike in lookalikes:
+                if style == "leet":
+                    assert skeleton(f"X{lookalike}Y") == f"X{target}Y"
+                else:
+                    assert skeleton(lookalike) == target
+
+    def test_unknown_style_raises(self):
+        with pytest.raises(ValueError, match="unknown substitution"):
+            substitutions("zalgo")
+
+
+class TestSkeletonIndex:
+    def test_groups_confusable_values(self):
+        index = SkeletonIndex(
+            ["Paris", "ΡARIS", "London", "J4GUAR", "JAGUAR", ""]
+        )
+        assert len(index) == 5
+        assert index.num_collisions == 2
+        assert index.collisions() == {
+            "PARIS": ("PARIS", "ΡARIS"),
+            "JAGUAR": ("J4GUAR", "JAGUAR"),
+        }
+        assert index.skeleton_of("ΡARIS") == "PARIS"
+        assert index.members("LONDON") == ("LONDON",)
+        assert "paris" in index
+        assert "BERLIN" not in index
+
+    def test_missing_value_raises(self):
+        with pytest.raises(KeyError, match="not in the index"):
+            SkeletonIndex(["A"]).skeleton_of("B")
+
+    def test_from_lake_and_from_graph_agree(self, figure1_lake):
+        from repro.core.builder import build_graph
+
+        by_lake = SkeletonIndex.from_lake(figure1_lake)
+        by_graph = SkeletonIndex.from_graph(build_graph(figure1_lake))
+        assert by_lake.classes() == by_graph.classes()
+        # Figure 1 is a clean ASCII lake: every class is a singleton.
+        assert by_lake.num_collisions == 0

@@ -4,13 +4,17 @@ import pytest
 
 from repro.bench.ground_truth import label_lake
 from repro.bench.injection import (
+    ForgeConfig,
     InjectionConfig,
     InjectionError,
+    forge_homoglyphs,
     inject_homographs,
     injection_recovery,
     remove_homographs,
 )
 from repro.bench.tus import TUSConfig, generate_tus
+from repro.core.confusables import SkeletonIndex, skeleton
+from repro.core.normalize import normalize_value
 from repro.datalake.profiling import value_attribute_index
 
 
@@ -191,3 +195,132 @@ class TestInjectionRecovery:
         ranking = ["A"] + inj.injected_values
         assert injection_recovery(inj, ranking, k=1) == 0.0
         assert injection_recovery(inj, ranking, k=5) == 1.0
+
+
+@pytest.fixture(scope="module")
+def forged(clean):
+    lake, groups = clean
+    return forge_homoglyphs(
+        lake, groups, ForgeConfig(num_forgeries=6, seed=0)
+    )
+
+
+class TestForgeHomoglyphs:
+    def test_fixed_seed_is_reproducible(self, clean, forged):
+        lake, groups = clean
+        again = forge_homoglyphs(
+            lake, groups, ForgeConfig(num_forgeries=6, seed=0)
+        )
+        assert again.forgeries == forged.forgeries
+
+    def test_different_seed_differs(self, clean, forged):
+        lake, groups = clean
+        other = forge_homoglyphs(
+            lake, groups, ForgeConfig(num_forgeries=6, seed=1)
+        )
+        assert other.forgeries != forged.forgeries
+
+    def test_variants_are_distinct_but_share_skeletons(self, forged):
+        for forgery in forged.forgeries:
+            assert forgery.variant != forgery.source
+            assert normalize_value(forgery.variant) == forgery.variant
+            assert skeleton(forgery.variant) == skeleton(forgery.source)
+            assert skeleton(forgery.source) == forgery.source
+
+    def test_variants_replace_their_values_in_the_lake(self, forged):
+        values = set()
+        for column in forged.lake.iter_attributes():
+            for raw in column.distinct_values():
+                values.add(normalize_value(raw))
+        for forgery in forged.forgeries:
+            assert forgery.variant in values
+            assert forgery.source in values
+            assert forgery.replaced not in values
+
+    def test_ground_truth_labels_exactly_the_forged_set(self, forged):
+        index = SkeletonIndex.from_lake(forged.lake)
+        expected = {}
+        for forgery in forged.forgeries:
+            expected.setdefault(
+                forgery.source, {forgery.source}
+            ).add(forgery.variant)
+        collisions = {
+            skel: set(members)
+            for skel, members in index.collisions().items()
+        }
+        # Exactly the planted collisions — nothing leaks into (or out
+        # of) untouched values.
+        assert collisions == expected
+
+    def test_untouched_tables_keep_their_cells(self, clean, forged):
+        lake, _groups = clean
+        replaced = {f.replaced for f in forged.forgeries}
+        for table in lake:
+            new_table = forged.lake.table(table.name)
+            for row, new_row in zip(table.rows, new_table.rows):
+                for cell, new_cell in zip(row, new_row):
+                    if normalize_value(cell) not in replaced:
+                        assert new_cell == cell
+
+    def test_targets_and_forged_values(self, forged):
+        assert forged.forged_set == {
+            f.variant for f in forged.forgeries
+        }
+        assert forged.targets == forged.anchors | forged.forged_set
+        manifest = forged.to_manifest()
+        assert [
+            entry["variant"] for entry in manifest["forgeries"]
+        ] == forged.forged_values
+
+    def test_style_restriction_is_honored(self, clean):
+        lake, groups = clean
+        greek_only = forge_homoglyphs(
+            lake, groups,
+            ForgeConfig(num_forgeries=3, styles=("greek",), seed=2),
+        )
+        assert {f.style for f in greek_only.forgeries} == {"greek"}
+
+    def test_meanings_above_two_mint_multiple_variants(self, clean):
+        lake, groups = clean
+        forged3 = forge_homoglyphs(
+            lake, groups,
+            ForgeConfig(num_forgeries=2, meanings=3, seed=3),
+        )
+        assert len(forged3.forgeries) == 4
+        per_anchor = {}
+        for forgery in forged3.forgeries:
+            per_anchor.setdefault(forgery.source, []).append(
+                forgery.variant
+            )
+        for variants in per_anchor.values():
+            assert len(variants) == len(set(variants)) == 2
+
+    def test_exclude_keeps_values_out(self, clean):
+        lake, groups = clean
+        baseline = forge_homoglyphs(
+            lake, groups, ForgeConfig(num_forgeries=2, seed=4)
+        )
+        off_limits = baseline.anchors | {
+            f.replaced for f in baseline.forgeries
+        }
+        redone = forge_homoglyphs(
+            lake, groups, ForgeConfig(num_forgeries=2, seed=4),
+            exclude=off_limits,
+        )
+        chosen = redone.anchors | {f.replaced for f in redone.forgeries}
+        assert chosen & off_limits == set()
+
+    def test_bad_configs_rejected(self, clean):
+        lake, groups = clean
+        with pytest.raises(InjectionError):
+            forge_homoglyphs(lake, groups, ForgeConfig(meanings=1))
+        with pytest.raises(InjectionError):
+            forge_homoglyphs(lake, groups, ForgeConfig(num_forgeries=0))
+        with pytest.raises(InjectionError):
+            forge_homoglyphs(
+                lake, groups, ForgeConfig(styles=("zalgo",))
+            )
+        with pytest.raises(InjectionError):
+            forge_homoglyphs(
+                lake, groups, ForgeConfig(min_cardinality=10**9)
+            )

@@ -1,0 +1,78 @@
+"""Clean-lake parity: ``skeleton_betweenness`` == ``betweenness``.
+
+On a lake where every value is its own confusable skeleton, the
+skeleton quotient is the identity, the measure delegates to the plain
+betweenness built-in, and rankings must match bit-for-bit — exact
+runs and sampled runs alike.  This pins that registering the
+adversarial measure cannot regress any paper-replication number.
+"""
+
+import pytest
+
+from repro.api.index import HomographIndex
+from repro.bench.tus import TUSConfig, generate_tus
+from repro.core.confusables import skeleton
+
+
+@pytest.fixture(scope="module")
+def tus_small_index():
+    with HomographIndex(
+        generate_tus(TUSConfig.small(seed=3)).lake
+    ) as index:
+        yield index
+
+
+def assert_bit_identical(baseline, skeletal):
+    __tracebackhide__ = True
+    assert list(skeletal.ranking) == list(baseline.ranking)
+    assert skeletal.scores == baseline.scores
+    assert skeletal.descending == baseline.descending
+
+
+class TestCleanLakeParity:
+    def test_figure1_exact(self, figure1_lake):
+        index = HomographIndex(figure1_lake)
+        assert_bit_identical(
+            index.detect(measure="betweenness"),
+            index.detect(measure="skeleton_betweenness"),
+        )
+
+    def test_figure1_endpoints_variant(self, figure1_lake):
+        index = HomographIndex(figure1_lake)
+        assert_bit_identical(
+            index.detect(measure="betweenness", endpoints="values"),
+            index.detect(
+                measure="skeleton_betweenness", endpoints="values"
+            ),
+        )
+
+    def test_tus_small_exact(self, tus_small_index):
+        assert_bit_identical(
+            tus_small_index.detect(measure="betweenness"),
+            tus_small_index.detect(measure="skeleton_betweenness"),
+        )
+
+    def test_tus_small_sampled(self, tus_small_index):
+        assert_bit_identical(
+            tus_small_index.detect(
+                measure="betweenness", sample_size=200, seed=5
+            ),
+            tus_small_index.detect(
+                measure="skeleton_betweenness", sample_size=200, seed=5
+            ),
+        )
+
+    def test_identity_is_recorded_in_parameters(self, figure1_lake):
+        index = HomographIndex(figure1_lake)
+        response = index.detect(measure="skeleton_betweenness")
+        assert response.parameters["skeleton_collisions"] == 0
+        assert (
+            response.parameters["skeleton_classes"]
+            == index.graph.num_values
+        )
+        # The delegation really was the identity: every graph value is
+        # its own skeleton.
+        assert all(
+            skeleton(name) == name
+            for name in index.graph.value_names
+        )
