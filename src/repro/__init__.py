@@ -40,6 +40,10 @@ Sub-packages
 ``repro.serving``
     Serving primitives: single-flight request coalescing used by
     :class:`HomographIndex` to serve concurrent traffic.
+``repro.cluster``
+    Replicated serving: oplog-based mutation replay, a replica
+    supervisor, and a read-balancing router over one snapshot
+    (``domainnet cluster``).
 ``repro.snapshot``
     Snapshot persistence: versioned on-disk artifacts
     (``index.save`` / ``HomographIndex.load``) for millisecond
@@ -115,6 +119,7 @@ from .serving import (
     JobManager,
     JobOverflowError,
     ServiceError,
+    ServiceUnavailable,
     SingleFlight,
     UnknownJobError,
     start_server,
@@ -126,12 +131,22 @@ from .snapshot import (
     is_snapshot,
     load_snapshot,
 )
+from .cluster import (
+    ClusterRouter,
+    MutationLog,
+    OplogError,
+    OplogFollower,
+    ReplicaSupervisor,
+    ReplicaVersionMismatch,
+    start_cluster,
+)
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "BipartiteGraph",
     "CacheInfo",
+    "ClusterRouter",
     "Column",
     "DataLake",
     "DetectRequest",
@@ -152,11 +167,17 @@ __all__ = [
     "Measure",
     "MeasureError",
     "MeasureOutput",
+    "MutationLog",
+    "OplogError",
+    "OplogFollower",
     "ProcessBackend",
     "RankedValue",
     "RankingPage",
+    "ReplicaSupervisor",
+    "ReplicaVersionMismatch",
     "SerialBackend",
     "ServiceError",
+    "ServiceUnavailable",
     "SingleFlight",
     "SkeletonIndex",
     "SnapshotCorruptionError",
@@ -185,6 +206,7 @@ __all__ = [
     "register_measure",
     "resolve_backend",
     "skeleton",
+    "start_cluster",
     "start_server",
     "unregister_measure",
     "use_backend",

@@ -18,6 +18,8 @@ Installed as the ``domainnet`` console script::
     domainnet snapshot build path/to/csvs -o snap/ --warm lcc
     domainnet snapshot info snap/
     domainnet serve --snapshot snap/ --save-on-exit
+    domainnet serve --snapshot snap/ --record-oplog
+    domainnet cluster snap/ --replicas 3 --port 8080
 
 ``scan`` builds a :class:`repro.api.HomographIndex` over the lake and
 runs the full Figure-4 pipeline (graph construction, sampled
@@ -159,6 +161,54 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-connection socket timeout: stalled "
                             "clients get a 408 and their connection "
                             "closed (default 60)")
+    serve.add_argument("--record-oplog", action="store_true",
+                       help="record every applied table mutation in an "
+                            "oplog.jsonl inside each snapshot mount and "
+                            "serve it at GET /lakes/<name>/oplog "
+                            "(requires --snapshot; an existing oplog is "
+                            "replayed into the index at startup, so a "
+                            "restarted primary recovers mutations the "
+                            "snapshot predates)")
+
+    cluster = commands.add_parser(
+        "cluster",
+        help="serve one snapshot from N replica processes behind a "
+             "load-balancing router (reads fan out, writes pin to "
+             "the oplog-recording primary)",
+    )
+    cluster.add_argument("snapshot", metavar="SNAPSHOT_DIR",
+                         help="snapshot directory every fleet member "
+                              "serves (written by 'domainnet snapshot "
+                              "build')")
+    cluster.add_argument("--replicas", type=int, default=2,
+                         help="fleet size including the primary "
+                              "(default 2)")
+    cluster.add_argument("--host", default="127.0.0.1",
+                         help="bind address for the router and the "
+                              "replicas (default 127.0.0.1)")
+    cluster.add_argument("--port", type=int, default=8080,
+                         help="router TCP port; 0 picks an ephemeral "
+                              "port and prints it (default 8080)")
+    cluster.add_argument("--base-port", type=int, default=0,
+                         help="first replica port; replica i binds "
+                              "base-port+i (default 0: each replica "
+                              "picks an ephemeral port)")
+    cluster.add_argument("--auth-token", default=None,
+                         help="bearer token required by every replica "
+                              "and forwarded by the router (default: "
+                              "the DOMAINNET_TOKEN environment "
+                              "variable)")
+    cluster.add_argument("--max-lag", type=int, default=1000,
+                         help="oplog entries a replica may fall behind "
+                              "before it re-bootstraps from the "
+                              "snapshot instead of replaying "
+                              "(default 1000)")
+    cluster.add_argument("--serve-arg", action="append", default=None,
+                         metavar="FLAG",
+                         help="extra 'domainnet serve' flag passed to "
+                              "every replica (repeatable, e.g. "
+                              "--serve-arg=--max-concurrent "
+                              "--serve-arg=8)")
 
     stats = commands.add_parser(
         "stats", help="print catalog statistics for a CSV lake"
@@ -234,6 +284,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_scan(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "cluster":
+        return _cmd_cluster(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "snapshot":
@@ -513,6 +565,39 @@ def _cmd_serve(args) -> int:
         workspace.close()
         print(str(error), file=sys.stderr)
         return 2
+    if args.record_oplog:
+        if not snapshot_mounts:
+            workspace.close()
+            print("--record-oplog requires at least one --snapshot "
+                  "mount (the oplog lives inside the snapshot "
+                  "directory)", file=sys.stderr)
+            return 2
+        from .cluster.replicate import (
+            MutationLog,
+            OplogError,
+            replay_entry,
+        )
+        from .snapshot import oplog_path
+
+        oplogs = {}
+        try:
+            for name, path in snapshot_mounts:
+                log = MutationLog(oplog_path(path))
+                replayed = 0
+                for entry in log.entries():
+                    if replay_entry(workspace.get(name), entry):
+                        replayed += 1
+                if replayed:
+                    print(f"replayed {replayed} oplog mutation(s) "
+                          f"into lake {name!r}", flush=True)
+                oplogs[name] = log
+        except OplogError as error:
+            for log in oplogs.values():
+                log.close()
+            workspace.close()
+            print(f"cannot recover oplog: {error}", file=sys.stderr)
+            return 1
+        options["oplogs"] = oplogs
     job_dir = args.job_dir
     if job_dir is None and snapshot_mounts:
         # Finished jobs ride the first snapshot's jobs/ spill area, so
@@ -527,6 +612,8 @@ def _cmd_serve(args) -> int:
         )
     except OSError as error:
         workspace.close()
+        for log in options.get("oplogs", {}).values():
+            log.close()
         print(f"cannot bind {args.host}:{args.port}: {error}",
               file=sys.stderr)
         return 1
@@ -560,6 +647,57 @@ def _cmd_serve(args) -> int:
                           file=sys.stderr)
             workspace.close()
             server.jobs.drain(timeout=30.0)
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    """Run a replicated fleet plus router until interrupted."""
+    import os
+    import time
+
+    from .cluster import start_cluster
+    from .snapshot import is_snapshot
+
+    if args.replicas < 1:
+        print("--replicas must be >= 1", file=sys.stderr)
+        return 2
+    if not is_snapshot(args.snapshot):
+        print(f"{args.snapshot} is not a snapshot directory "
+              f"(build one with 'domainnet snapshot build')",
+              file=sys.stderr)
+        return 2
+    token = args.auth_token
+    if token is None:
+        token = os.environ.get("DOMAINNET_TOKEN") or None
+    try:
+        supervisor, router = start_cluster(
+            args.snapshot,
+            replicas=args.replicas,
+            host=args.host,
+            port=args.port,
+            token=token,
+            base_port=args.base_port,
+            max_lag=args.max_lag,
+            serve_args=args.serve_arg or [],
+        )
+    except OSError as error:
+        print(f"cannot start cluster: {error}", file=sys.stderr)
+        return 1
+    print(f"cluster of {args.replicas} member(s) over "
+          f"{args.snapshot} on {router.url} "
+          f"(reads balance across replicas, writes pin to the "
+          f"primary, GET /cluster/stats"
+          f"{', bearer auth on' if token is not None else ''})",
+          flush=True)
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("interrupt: draining the router, stopping the fleet",
+              flush=True)
+    finally:
+        router.drain()
+        supervisor.stop()
     return 0
 
 

@@ -1,0 +1,101 @@
+"""Replicated serving: one snapshot, N server processes, one URL.
+
+A single ``domainnet serve`` process scales until one box saturates;
+this package scales *reads* horizontally and survives process death
+without dropping them:
+
+* :mod:`repro.cluster.replicate` — the consistency substrate: the
+  primary records every applied mutation in a durable
+  ``oplog.jsonl`` inside the snapshot (:class:`MutationLog`), and
+  :class:`OplogFollower` replays the tail into replicas through the
+  ordinary mutation routes, converging them bit-identically;
+* :mod:`repro.cluster.supervisor` — :class:`ReplicaSupervisor` owns
+  the processes: spawn from one snapshot, version-check, health-probe,
+  restart with capped backoff, resync, rolling restart;
+* :mod:`repro.cluster.router` — :class:`ClusterRouter` is the front
+  door: reads balance least-in-flight across healthy replicas, writes
+  pin to the primary, ``/jobs/<id>`` sticks to the accepting replica,
+  and a dead fleet answers a structured 503 ``no-healthy-replica``.
+
+The CLI ties them together::
+
+    domainnet snapshot build lake/ snapshots/zoo
+    domainnet cluster snapshots/zoo --replicas 3 --port 8080
+
+and any existing :class:`~repro.serving.client.HomographClient`
+pointed at the router works unchanged.  See ``docs/cluster.md``.
+"""
+
+from typing import Optional, Tuple
+
+from .replicate import (
+    OPLOG_FORMAT,
+    MutationLog,
+    OplogError,
+    OplogFollower,
+    replay_entry,
+)
+from .router import (
+    ClusterRouter,
+    Replica,
+    ReplicaSet,
+    RouterRequestHandler,
+    start_router,
+)
+from .supervisor import ReplicaSupervisor, ReplicaVersionMismatch
+
+__all__ = [
+    "ClusterRouter",
+    "MutationLog",
+    "OPLOG_FORMAT",
+    "OplogError",
+    "OplogFollower",
+    "Replica",
+    "ReplicaSet",
+    "ReplicaSupervisor",
+    "ReplicaVersionMismatch",
+    "RouterRequestHandler",
+    "replay_entry",
+    "start_cluster",
+    "start_router",
+]
+
+
+def start_cluster(
+    snapshot_dir,
+    replicas: int = 2,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    token: Optional[str] = None,
+    **supervisor_options,
+) -> Tuple[ReplicaSupervisor, ClusterRouter]:
+    """Spawn a fleet over ``snapshot_dir`` and a router in front of it.
+
+    Returns ``(supervisor, router)`` with the fleet healthy and the
+    router accepting on ``router.url``.  Extra keyword arguments go to
+    :class:`ReplicaSupervisor`.  Shutdown order is router first, then
+    supervisor::
+
+        supervisor, router = start_cluster("snapshots/zoo", replicas=3)
+        try:
+            ...  # point HomographClient at router.url
+        finally:
+            router.drain()
+            supervisor.stop()
+    """
+    supervisor = ReplicaSupervisor(
+        snapshot_dir, replicas=replicas, host=host, token=token,
+        **supervisor_options,
+    )
+    supervisor.start()
+    try:
+        router = start_router(
+            supervisor.replicas,
+            host=host,
+            port=port,
+            fleet_stats=supervisor.stats,
+        )
+    except BaseException:
+        supervisor.stop()
+        raise
+    return supervisor, router

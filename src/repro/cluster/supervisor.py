@@ -1,0 +1,587 @@
+"""Process supervision for a replicated serving fleet.
+
+A :class:`ReplicaSupervisor` turns one snapshot directory into N
+``domainnet serve`` *processes* sharing it read-mostly:
+
+* the **primary** is spawned with ``--record-oplog`` — every mutation
+  it applies lands in the snapshot's ``oplog.jsonl`` and is offered
+  back over ``GET /lakes/<name>/oplog``;
+* the **replicas** are vanilla ``serve`` processes over the same
+  snapshot; the supervisor's sync loop runs one
+  :class:`~repro.cluster.replicate.OplogFollower` per (replica, lake)
+  and replays the primary's tail through each replica's ordinary
+  mutation routes — the server-side delta splice makes replayed state
+  bit-identical to the primary's.
+
+Around that it provides the boring-but-critical operational loop:
+banner parsing for ephemeral ports, ``/version`` fingerprint checks
+before a process joins the fleet (mixed builds raise
+:class:`ReplicaVersionMismatch` instead of silently diverging),
+``/healthz`` probing, restart-on-death with capped exponential
+backoff, re-bootstrap of replicas that fall too far behind (or cross
+an oplog epoch boundary after a republish), and
+:meth:`rolling_restart` — drain, respawn, resync, re-admit, one
+process at a time, replicas before the primary, so a fleet upgrade
+drops no reads.
+
+The supervisor owns the :class:`~repro.cluster.router.ReplicaSet`; a
+:class:`~repro.cluster.router.ClusterRouter` constructed over the same
+set (see :func:`repro.cluster.start_cluster` and the
+``domainnet cluster`` CLI) picks up health transitions immediately.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..serving.client import (
+    HomographClient,
+    ServiceError,
+    ServiceUnavailable,
+)
+from .replicate import OplogFollower
+from .router import Replica, ReplicaSet
+
+#: Pattern the ``domainnet serve`` startup banner matches; group 1 is
+#: the bound port (the child is spawned with ``--port 0``).
+BANNER_PATTERN = re.compile(r"http://[^\s/]+:(\d+)")
+
+
+class ReplicaVersionMismatch(RuntimeError):
+    """Two fleet members answered ``GET /version`` incompatibly.
+
+    Replicas replay the primary's mutations and must produce
+    bit-identical rankings; a fleet mixing library or snapshot-format
+    versions cannot promise that, so startup refuses it outright.
+    """
+
+    def __init__(self, expected: Dict, actual: Dict, name: str) -> None:
+        super().__init__(
+            f"replica {name!r} runs {actual!r}; the primary runs "
+            f"{expected!r} — a fleet must be version-homogeneous"
+        )
+        self.expected = expected
+        self.actual = actual
+        self.replica = name
+
+
+class _ServeProcess:
+    """One spawned ``domainnet serve`` child and its stdout reader."""
+
+    def __init__(self, command: List[str], env: Dict[str, str]) -> None:
+        self.process = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        self.url: Optional[str] = None
+        self.banner = threading.Event()
+        self.tail: "deque[str]" = deque(maxlen=50)
+        self.reader = threading.Thread(
+            target=self._read_stdout,
+            name=f"domainnet-replica-log-{self.process.pid}",
+            daemon=True,
+        )
+        self.reader.start()
+
+    def _read_stdout(self) -> None:
+        stream = self.process.stdout
+        if stream is None:  # pragma: no cover - PIPE above
+            return
+        try:
+            for line in stream:
+                self.tail.append(line.rstrip("\n"))
+                if not self.banner.is_set():
+                    match = BANNER_PATTERN.search(line)
+                    if match:
+                        self.url = (
+                            f"http://127.0.0.1:{match.group(1)}"
+                        )
+                        self.banner.set()
+        except (OSError, ValueError):  # pragma: no cover - dying pipe
+            pass
+        finally:
+            self.banner.set()
+            try:
+                stream.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def terminate(self, timeout: float = 10.0) -> None:
+        """Stop the child (SIGTERM, then SIGKILL) and join the reader."""
+        if self.alive():
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                self.process.kill()
+                self.process.wait(timeout=timeout)
+        self.reader.join(timeout=timeout)
+
+
+class ReplicaSupervisor:
+    """Spawn, probe, heal, and resync a fleet over one snapshot.
+
+    Parameters
+    ----------
+    snapshot_dir:
+        The published snapshot every fleet member serves.  The
+        primary's oplog lives inside it.
+    replicas:
+        Total fleet size including the primary (>= 1).
+    host:
+        Interface the children bind (127.0.0.1 by default).
+    base_port:
+        0 (default) lets every child pick an ephemeral port, parsed
+        from its startup banner; a non-zero value assigns
+        ``base_port + i`` to member *i* and keeps it across restarts.
+    token:
+        Optional bearer token: passed to every child's
+        ``--auth-token`` and used by the supervisor's own probes.
+    serve_args:
+        Extra ``domainnet serve`` flags appended to every spawn
+        (e.g. ``["--max-concurrent", "8"]``).
+    health_interval / sync_interval:
+        Cadence of the health-probe and oplog-sync loops, seconds.
+    backoff_base / backoff_cap:
+        Restart backoff after repeated child deaths: the k-th
+        consecutive failure waits ``min(cap, base * 2**k)`` seconds.
+    max_lag:
+        A replica whose oplog lag exceeds this re-bootstraps (restart
+        from the snapshot) instead of replaying the tail.
+    startup_timeout:
+        Seconds to wait for a child's banner + first healthy probe.
+    """
+
+    def __init__(
+        self,
+        snapshot_dir: Union[str, os.PathLike],
+        replicas: int = 2,
+        host: str = "127.0.0.1",
+        base_port: int = 0,
+        token: Optional[str] = None,
+        serve_args: Sequence[str] = (),
+        health_interval: float = 0.5,
+        sync_interval: float = 0.2,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 30.0,
+        max_lag: int = 1000,
+        startup_timeout: float = 30.0,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(
+                f"a fleet needs at least one member, got {replicas}"
+            )
+        self.snapshot_dir = Path(snapshot_dir)
+        if not self.snapshot_dir.is_dir():
+            raise ValueError(
+                f"snapshot directory {self.snapshot_dir} does not exist"
+            )
+        self.host = host
+        self.base_port = base_port
+        self.token = token
+        self.serve_args = list(serve_args)
+        self.health_interval = health_interval
+        self.sync_interval = sync_interval
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.max_lag = max_lag
+        self.startup_timeout = startup_timeout
+        members = [
+            Replica(
+                name="primary" if i == 0 else f"replica-{i}",
+                role="primary" if i == 0 else "replica",
+            )
+            for i in range(replicas)
+        ]
+        self.replicas = ReplicaSet(members)
+        self._processes: Dict[str, _ServeProcess] = {}
+        self._clients: Dict[str, HomographClient] = {}
+        self._followers: Dict[str, Dict[str, OplogFollower]] = {}
+        self._failures: Dict[str, int] = {}
+        self._next_restart: Dict[str, float] = {}
+        self._lock = threading.RLock()
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._lakes: List[str] = []
+        self._fingerprint: Optional[Dict[str, object]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the fleet, verify versions, start the control loops."""
+        if self._started:
+            raise RuntimeError("the supervisor is already started")
+        try:
+            for replica in self.replicas:
+                self._spawn(replica)
+            self._check_versions()
+            self._discover_lakes()
+            for replica in self.replicas:
+                if replica.role != "primary":
+                    self._build_followers(replica)
+        except BaseException:
+            self.stop()
+            raise
+        self._started = True
+        for name, target in (
+            ("domainnet-fleet-health", self._health_loop),
+            ("domainnet-fleet-sync", self._sync_loop),
+        ):
+            thread = threading.Thread(
+                target=target, name=name, daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self) -> None:
+        """Stop the loops and terminate every child.  Idempotent."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        self._threads.clear()
+        with self._lock:
+            processes = list(self._processes.values())
+            self._processes.clear()
+            self._clients.clear()
+            self._followers.clear()
+        for process in processes:
+            process.terminate()
+        self._started = False
+
+    def __enter__(self) -> "ReplicaSupervisor":
+        """``with`` entry: start the fleet."""
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """``with`` exit: stop the fleet."""
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+    def _port_for(self, replica: Replica) -> int:
+        if self.base_port == 0:
+            return 0
+        index = list(self.replicas).index(replica)
+        return self.base_port + index
+
+    def _command(self, replica: Replica) -> List[str]:
+        command = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--snapshot", str(self.snapshot_dir),
+            "--host", self.host,
+            "--port", str(self._port_for(replica)),
+        ]
+        if replica.role == "primary":
+            command.append("--record-oplog")
+        if self.token is not None:
+            command += ["--auth-token", self.token]
+        command += self.serve_args
+        return command
+
+    def _env(self) -> Dict[str, str]:
+        env = dict(os.environ)
+        package_root = str(Path(__file__).resolve().parents[2])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            package_root if not existing
+            else package_root + os.pathsep + existing
+        )
+        return env
+
+    def _spawn(self, replica: Replica) -> None:
+        """Start one child and admit it once it serves ``/healthz``."""
+        process = _ServeProcess(self._command(replica), self._env())
+        if not process.banner.wait(timeout=self.startup_timeout):
+            process.terminate()
+            raise ServiceUnavailable(
+                f"replica {replica.name}", self.startup_timeout
+            )
+        if process.url is None:
+            detail = "\n".join(process.tail)
+            process.terminate()
+            raise RuntimeError(
+                f"replica {replica.name} exited before binding a "
+                f"port; output was:\n{detail}"
+            )
+        client = HomographClient(
+            process.url, timeout=30.0, token=self.token
+        )
+        client.wait_ready(timeout=self.startup_timeout)
+        with self._lock:
+            self._processes[replica.name] = process
+            self._clients[replica.name] = client
+        replica.url = process.url
+        replica.mark_healthy()
+        self._failures[replica.name] = 0
+
+    def client_for(self, replica: Replica) -> Optional[HomographClient]:
+        """The supervisor's probe client for one fleet member."""
+        with self._lock:
+            return self._clients.get(replica.name)
+
+    def _check_versions(self) -> None:
+        """Refuse a fleet whose members answer ``/version`` unequally."""
+        expected: Optional[Dict[str, object]] = None
+        for replica in self.replicas:
+            client = self.client_for(replica)
+            if client is None:  # pragma: no cover - spawn precedes
+                continue
+            payload = client.version()
+            fingerprint = {
+                "library": payload.get("library"),
+                "snapshot_format": payload.get("snapshot_format"),
+            }
+            if expected is None:
+                expected = fingerprint
+            elif fingerprint != expected:
+                raise ReplicaVersionMismatch(
+                    expected, fingerprint, replica.name
+                )
+        self._fingerprint = expected
+
+    def _discover_lakes(self) -> None:
+        primary = self.client_for(self.replicas.primary)
+        assert primary is not None
+        listing = primary.lakes()
+        names = [
+            str(entry["name"]) if isinstance(entry, dict) else str(entry)
+            for entry in listing.get("lakes", [])
+        ]
+        self._lakes = names
+
+    def _build_followers(self, replica: Replica) -> None:
+        """One follower per lake the primary records an oplog for."""
+        primary = self.client_for(self.replicas.primary)
+        client = self.client_for(replica)
+        if primary is None or client is None:
+            return
+        followers: Dict[str, OplogFollower] = {}
+        for lake in self._lakes:
+            try:
+                primary.lake(lake).oplog(since=0)
+            except ServiceError as error:
+                if error.code == "no-oplog":
+                    continue
+                raise
+            followers[lake] = OplogFollower(
+                primary.lake(lake), client.lake(lake)
+            )
+        with self._lock:
+            self._followers[replica.name] = followers
+
+    # ------------------------------------------------------------------
+    # Health loop
+    # ------------------------------------------------------------------
+    def _health_loop(self) -> None:
+        while not self._stop.wait(self.health_interval):
+            for replica in self.replicas:
+                if self._stop.is_set():
+                    return
+                if replica.draining:
+                    continue
+                try:
+                    self._probe(replica)
+                except Exception:  # noqa: BLE001 - loop must survive
+                    pass
+
+    def _probe(self, replica: Replica) -> None:
+        with self._lock:
+            process = self._processes.get(replica.name)
+        if process is None or not process.alive():
+            replica.mark_unhealthy()
+            self._maybe_restart(replica)
+            return
+        client = self.client_for(replica)
+        if client is None:  # pragma: no cover - paired with process
+            return
+        try:
+            client.healthz()
+        except ServiceError:
+            # Reachable but refusing (e.g. draining): keep it out of
+            # the pool without burning a restart.
+            replica.mark_unhealthy()
+        except (ConnectionError, OSError):
+            replica.mark_unhealthy()
+        else:
+            replica.mark_healthy()
+            self._failures[replica.name] = 0
+
+    def _maybe_restart(self, replica: Replica) -> None:
+        """Respawn a dead child, honoring the exponential backoff."""
+        now = time.monotonic()
+        due = self._next_restart.get(replica.name, 0.0)
+        if now < due:
+            return
+        failures = self._failures.get(replica.name, 0)
+        delay = min(
+            self.backoff_cap, self.backoff_base * (2 ** failures)
+        )
+        self._failures[replica.name] = failures + 1
+        self._next_restart[replica.name] = now + delay
+        self._restart(replica)
+
+    def _restart(self, replica: Replica) -> bool:
+        """Tear one member down and bring a fresh child up in place."""
+        with self._lock:
+            process = self._processes.pop(replica.name, None)
+            self._clients.pop(replica.name, None)
+            self._followers.pop(replica.name, None)
+        if process is not None:
+            process.terminate()
+        try:
+            self._spawn(replica)
+        except Exception:  # noqa: BLE001 - backoff covers retries
+            replica.mark_unhealthy()
+            return False
+        replica.restarts += 1
+        replica.applied_seq = 0
+        replica.oplog_lag = 0
+        if replica.role != "primary":
+            try:
+                self._build_followers(replica)
+            except Exception:  # noqa: BLE001 - next sync pass retries
+                pass
+        self._next_restart.pop(replica.name, None)
+        return True
+
+    # ------------------------------------------------------------------
+    # Oplog sync loop
+    # ------------------------------------------------------------------
+    def _sync_loop(self) -> None:
+        while not self._stop.wait(self.sync_interval):
+            for replica in self.replicas:
+                if self._stop.is_set():
+                    return
+                if replica.role == "primary" or replica.draining:
+                    continue
+                try:
+                    self._sync_replica(replica)
+                except Exception:  # noqa: BLE001 - loop must survive
+                    pass
+
+    def _sync_replica(self, replica: Replica) -> None:
+        with self._lock:
+            followers = dict(self._followers.get(replica.name, {}))
+        if not followers:
+            return
+        worst_lag = 0
+        applied_floor: Optional[int] = None
+        for follower in followers.values():
+            try:
+                report = follower.sync_once()
+            except ServiceError:
+                return  # replica or primary mid-restart; next pass
+            except (ConnectionError, OSError):
+                return
+            if report["needs_bootstrap"] or (
+                report["lag"] > self.max_lag
+            ):
+                # Epoch change (republish) or hopelessly behind:
+                # replaying is wrong or too slow — reload the replica
+                # from the published snapshot instead.
+                self._restart(replica)
+                return
+            worst_lag = max(worst_lag, int(report["lag"]))
+            seq = int(report["applied_seq"])
+            applied_floor = (
+                seq if applied_floor is None
+                else min(applied_floor, seq)
+            )
+        replica.oplog_lag = worst_lag
+        replica.applied_seq = applied_floor or 0
+
+    def sync_now(self, replica: Replica) -> int:
+        """Drive one member's followers until lag reaches 0.
+
+        Returns the number of entries replayed; used by tests and the
+        rolling restart to re-admit a member only once it has caught
+        up.
+        """
+        with self._lock:
+            followers = dict(self._followers.get(replica.name, {}))
+        replayed = 0
+        for follower in followers.values():
+            while True:
+                report = follower.sync_once()
+                replayed += int(report["applied"])
+                if report["needs_bootstrap"]:
+                    raise RuntimeError(
+                        f"replica {replica.name} crossed an oplog "
+                        f"epoch; restart it instead of syncing"
+                    )
+                if report["lag"] == 0:
+                    break
+        self._sync_replica(replica)
+        return replayed
+
+    # ------------------------------------------------------------------
+    # Rolling restart
+    # ------------------------------------------------------------------
+    def rolling_restart(self, drain_timeout: float = 30.0) -> None:
+        """Restart every member one at a time without dropping reads.
+
+        Each member is drained (the router stops picking it, in-flight
+        requests finish), terminated, respawned from the snapshot,
+        probed healthy, resynced to oplog lag 0, and only then
+        re-admitted.  Replicas go first; the primary last, so the
+        write path moves exactly once.
+        """
+        ordered = [r for r in self.replicas if r.role != "primary"]
+        ordered.append(self.replicas.primary)
+        for replica in ordered:
+            replica.draining = True
+            try:
+                deadline = time.monotonic() + drain_timeout
+                while (
+                    replica.in_flight > 0
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.02)
+                if not self._restart(replica):
+                    raise RuntimeError(
+                        f"rolling restart could not respawn "
+                        f"{replica.name}"
+                    )
+                if replica.role != "primary":
+                    self.sync_now(replica)
+            finally:
+                replica.draining = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """The ``supervisor`` block of ``GET /cluster/stats``."""
+        with self._lock:
+            pids = {
+                name: process.process.pid
+                for name, process in self._processes.items()
+            }
+        return {
+            "snapshot": str(self.snapshot_dir),
+            "lakes": list(self._lakes),
+            "fingerprint": self._fingerprint,
+            "pids": pids,
+            "restarts": {
+                replica.name: replica.restarts
+                for replica in self.replicas
+            },
+        }

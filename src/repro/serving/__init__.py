@@ -34,6 +34,7 @@ __all__ = [
     "JobManager",
     "JobOverflowError",
     "ServiceError",
+    "ServiceUnavailable",
     "SingleFlight",
     "UnknownJobError",
     "start_server",
@@ -47,6 +48,7 @@ _LAZY = {
     "HomographClient": "client",
     "JobFailed": "client",
     "ServiceError": "client",
+    "ServiceUnavailable": "client",
     "HomographHTTPServer": "http",
     "start_server": "http",
     "JobManager": "jobs",

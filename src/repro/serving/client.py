@@ -111,6 +111,30 @@ class ServiceError(RuntimeError):
         return None
 
 
+class ServiceUnavailable(TimeoutError):
+    """The service never became reachable within the probe window.
+
+    Raised by :meth:`HomographClient.wait_ready` when the deadline
+    expires with the socket still refusing connections.  Subclasses
+    :class:`TimeoutError` so pre-existing ``except TimeoutError``
+    callers keep working.
+
+    Attributes
+    ----------
+    base_url:
+        The service root that never answered.
+    timeout:
+        The probe window that elapsed, in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float) -> None:
+        super().__init__(
+            f"service at {base_url} not ready after {timeout:.1f}s"
+        )
+        self.base_url = base_url
+        self.timeout = timeout
+
+
 class _KeepAliveTransport:
     """One persistent HTTP/1.1 connection, reconnecting when stale.
 
@@ -435,14 +459,23 @@ class HomographClient:
         """
         return self._request("GET", self._scoped("/healthz"))
 
-    def wait_ready(self, timeout: float = 10.0) -> Dict[str, object]:
+    def wait_ready(
+        self, timeout: float = 10.0, backoff: float = 0.05
+    ) -> Dict[str, object]:
         """Poll ``/healthz`` until the service answers, then return it.
 
-        Raises :class:`TimeoutError` when the service does not come up
-        within ``timeout`` seconds.  A structured error response (e.g.
-        503 while draining) propagates immediately — the server is
+        Raises :class:`ServiceUnavailable` (a :class:`TimeoutError`
+        subclass) when the service does not come up within ``timeout``
+        seconds, sleeping ``backoff`` seconds between probes.  A
+        structured error response (e.g. 503 while draining) propagates
+        immediately as :class:`ServiceError` — the server is
         reachable, just not healthy.
         """
+        if timeout <= 0 or backoff <= 0:
+            raise ValueError(
+                f"timeout ({timeout!r}) and backoff ({backoff!r}) "
+                "must both be positive"
+            )
         deadline = time.monotonic() + timeout
         while True:
             try:
@@ -451,11 +484,30 @@ class HomographClient:
                 raise
             except (urllib.error.URLError, ConnectionError, OSError):
                 if time.monotonic() >= deadline:
-                    raise TimeoutError(
-                        f"service at {self.base_url} not ready after "
-                        f"{timeout:.1f}s"
+                    raise ServiceUnavailable(
+                        self.base_url, timeout
                     ) from None
-                time.sleep(0.05)
+                time.sleep(backoff)
+
+    def version(self) -> Dict[str, object]:
+        """``GET /version`` — the server's compatibility fingerprint.
+
+        Library version, snapshot ``FORMAT_VERSION``, python and
+        numpy versions; the cluster supervisor compares these across
+        replicas before admitting them to one fleet.
+        """
+        return self._request("GET", "/version")
+
+    def oplog(self, since: int = 0) -> Dict[str, object]:
+        """``GET /oplog?since=N`` — the served lake's mutation tail.
+
+        Returns ``{"epoch", "last_seq", "entries", "lake"}``; raises
+        :class:`ServiceError` with code ``no-oplog`` (404) when the
+        server does not record one for this lake.
+        """
+        return self._request(
+            "GET", self._scoped("/oplog"), query={"since": since}
+        )
 
     def stats(self) -> Dict[str, object]:
         """``GET /stats`` — index counters plus the ``http`` block.

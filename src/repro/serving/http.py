@@ -47,6 +47,14 @@ Endpoints (all JSON; errors come back as
     default lake's counters at the top level (legacy shape), plus
     ``lakes`` (per-lake cache/pool/admission), ``workspace`` (shared
     pool) and ``jobs`` blocks.
+``GET /version``
+    Library / snapshot-format / python / numpy versions — the
+    compatibility fingerprint the cluster supervisor compares before
+    admitting a replica.  Open (no auth), like ``/healthz``.
+``GET /lakes/<name>/oplog?since=N``
+    The lake's recorded mutation tail (replication feed), when the
+    server was constructed with an ``oplogs`` mapping (the CLI's
+    ``serve --record-oplog``); 404 ``no-oplog`` otherwise.
 
 Legacy single-lake routes — ``POST /detect``, ``GET
 /ranking/<measure>``, ``POST /tables``, ``DELETE /tables/<name>`` —
@@ -351,51 +359,16 @@ class _AdmissionGate:
             }
 
 
-class HomographHTTPServer(ThreadingHTTPServer):
-    """The serving front-end; see the module docstring for the API.
+class DrainingThreadingHTTPServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` with keep-alive-aware draining.
 
-    Parameters
-    ----------
-    workspace:
-        The :class:`~repro.api.Workspace` of lakes every handler
-        thread queries — or a bare :class:`HomographIndex`, adopted
-        into a fresh one-lake workspace under the name ``"default"``.
-        The server *owns* the workspace lifecycle by default:
-        :meth:`drain` closes it (pass ``close_index=False`` to keep
-        it).
-    address:
-        ``(host, port)`` to bind; port ``0`` picks an ephemeral port
-        (read it back from :attr:`url` / ``server_address``).
-    max_body_bytes / max_concurrent / retry_after:
-        The protocol limits documented in the module docstring.
-    lake_quota:
-        Per-lake cap on concurrently admitted fresh computations.
-        ``None`` (default) derives each lake's fair share of the
-        global gate — ``max(1, max_concurrent // n_lakes)``,
-        re-derived as lakes mount and unmount; an explicit integer
-        pins every lake (per-lake overrides from
-        :meth:`Workspace.set_quota` or the ``POST /lakes`` mount
-        option still win); ``0`` disables per-lake fairness entirely,
-        restoring the single global gate.
-    request_timeout:
-        Per-connection socket timeout in seconds.  A client that
-        stalls mid-request-body gets a 408 ``request-timeout`` and
-        its connection closed instead of wedging a handler thread
-        (and, between requests, the idle keep-alive wait uses the
-        same bound).
-    auth_token:
-        When set, every route except ``GET /healthz`` requires
-        ``Authorization: Bearer <token>``; failures are structured
-        401 responses.
-    job_ttl / max_jobs:
-        Seconds a finished async job stays pollable at
-        ``GET /jobs/<id>`` before eviction, and the cap on tracked
-        jobs (submits past it are 503s with ``Retry-After``).
-    job_dir:
-        Optional directory finished async-job payloads are spilled
-        to and restored from across restarts (see
-        :class:`~repro.serving.jobs.JobManager`); ``domainnet serve
-        --snapshot`` points it at the snapshot's ``jobs/`` directory.
+    The transport plumbing PR 4/5 hardened for the workspace server,
+    extracted so other front-ends (the cluster router) inherit it
+    verbatim: non-daemon handler threads joined on close, idle
+    keep-alive sockets tracked and shut down on drain, a race-free
+    ``serve_forever``/``drain`` handshake, and a background accept
+    loop.  Subclasses call :meth:`_drain_transport` from their own
+    ``drain`` and hang their payload teardown after it.
     """
 
     # Handler threads are joined on server_close(): a drain must wait
@@ -408,53 +381,24 @@ class HomographHTTPServer(ThreadingHTTPServer):
     # as connection resets on first write.  The kernel caps this at
     # net.core.somaxconn, so a large value is safe everywhere.
     request_queue_size = 128
+    #: Name of the background accept-loop thread.
+    background_thread_name = "homograph-http"
 
     def __init__(
         self,
-        workspace: Union[Workspace, HomographIndex],
-        address: Tuple[str, int] = ("127.0.0.1", 0),
-        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
-        max_concurrent: int = DEFAULT_MAX_CONCURRENT,
-        retry_after: int = DEFAULT_RETRY_AFTER,
-        quiet: bool = True,
-        auth_token: Optional[str] = None,
-        job_ttl: float = DEFAULT_JOB_TTL,
-        max_jobs: int = DEFAULT_MAX_JOBS,
-        job_dir: Optional[str] = None,
-        lake_quota: Optional[int] = None,
+        address: Tuple[str, int],
+        handler_class,
         request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        quiet: bool = True,
     ) -> None:
-        if lake_quota is not None and (
-            isinstance(lake_quota, bool)
-            or not isinstance(lake_quota, int)
-            or lake_quota < 0
-        ):
-            raise ValueError(
-                f"invalid lake_quota {lake_quota!r}: expected None, "
-                "0 (fairness off), or an integer >= 1"
-            )
         if not request_timeout or request_timeout <= 0:
             raise ValueError(
                 f"invalid request_timeout {request_timeout!r}: "
                 "expected a positive number of seconds"
             )
-        super().__init__(address, HomographRequestHandler)
-        if isinstance(workspace, HomographIndex):
-            index, workspace = workspace, Workspace()
-            workspace.attach_index(DEFAULT_LAKE_NAME, index)
-        self.workspace = workspace
-        self.jobs = JobManager(
-            ttl=job_ttl, max_jobs=max_jobs, persist_dir=job_dir
-        )
-        self.max_body_bytes = max_body_bytes
-        self.retry_after = retry_after
+        super().__init__(address, handler_class)
         self.request_timeout = request_timeout
         self.quiet = quiet
-        self.auth_token = auth_token
-        self.gate = _AdmissionGate(max_concurrent, lake_quota=lake_quota)
-        self._served = 0
-        self._errors = 0
-        self._counters_lock = threading.Lock()
         self._loop_started = threading.Event()
         self._draining = False
         self._drain_lock = threading.Lock()
@@ -462,52 +406,11 @@ class HomographHTTPServer(ThreadingHTTPServer):
         self._idle_sockets: set = set()
         self._thread: Optional[threading.Thread] = None
 
-    # ------------------------------------------------------------------
-    # Introspection
-    # ------------------------------------------------------------------
     @property
     def url(self) -> str:
         """Base URL of the bound socket (useful with port 0)."""
         host, port = self.server_address[:2]
         return f"http://{host}:{port}"
-
-    @property
-    def index(self) -> Optional[HomographIndex]:
-        """The default lake's index (legacy single-lake accessor)."""
-        return self.workspace.default_index()
-
-    def count(self, ok: bool) -> None:
-        """Record one completed response for ``/stats``."""
-        with self._counters_lock:
-            if ok:
-                self._served += 1
-            else:
-                self._errors += 1
-
-    def http_stats(self) -> Dict[str, object]:
-        """HTTP-layer counters (the ``http`` block of ``GET /stats``).
-
-        The legacy flat counters stay (``rejected`` totals both
-        rejection scopes); ``gate`` breaks admission down per lake —
-        occupancy, effective quota, and rejections — plus the
-        follower-lane counters.
-        """
-        with self._counters_lock:
-            served, errors = self._served, self._errors
-        workspace = self.workspace
-        quotas = {
-            name: workspace.quota(name) for name in workspace.names()
-        }
-        return {
-            "served": served,
-            "errors": errors,
-            "rejected": self.gate.rejected,
-            "in_flight": self.gate.in_flight,
-            "max_concurrent": self.gate.limit,
-            "max_body_bytes": self.max_body_bytes,
-            "auth": self.auth_token is not None,
-            "gate": self.gate.stats(quotas),
-        }
 
     # ------------------------------------------------------------------
     # Keep-alive bookkeeping
@@ -561,17 +464,201 @@ class HomographHTTPServer(ThreadingHTTPServer):
             self._loop_started.set()
         super().serve_forever(poll_interval)
 
-    def start_background(self) -> "HomographHTTPServer":
+    def start_background(self) -> "DrainingThreadingHTTPServer":
         """Run :meth:`serve_forever` on a daemon thread; returns self."""
         thread = threading.Thread(
             target=self.serve_forever,
-            name="homograph-http",
+            name=self.background_thread_name,
             daemon=True,
         )
         self._thread = thread
         thread.start()
         return self
 
+    def _drain_transport(self) -> None:
+        """Stop accepting, wake idle sockets, join every handler thread.
+
+        Safe to call from any thread and idempotent; subclasses'
+        ``drain`` methods run their payload teardown after this
+        returns (every in-flight response has been delivered by then).
+        """
+        with self._drain_lock:
+            already = self._draining
+            self._draining = True
+        if not already:
+            self._shutdown_idle_sockets()
+            if self._loop_started.is_set():
+                self.shutdown()
+            self.server_close()
+        if self._thread is not None and self._thread is not \
+                threading.current_thread():
+            self._thread.join()
+
+    def drain(self) -> None:
+        """Graceful shutdown: stop accepting, finish in-flight, close."""
+        self._drain_transport()
+
+    def __enter__(self) -> "DrainingThreadingHTTPServer":
+        """Enter a ``with`` block; the server itself is the target."""
+        return self
+
+    def __exit__(self, *exc) -> None:
+        """Drain on ``with``-block exit."""
+        self.drain()
+
+
+class HomographHTTPServer(DrainingThreadingHTTPServer):
+    """The serving front-end; see the module docstring for the API.
+
+    Parameters
+    ----------
+    workspace:
+        The :class:`~repro.api.Workspace` of lakes every handler
+        thread queries — or a bare :class:`HomographIndex`, adopted
+        into a fresh one-lake workspace under the name ``"default"``.
+        The server *owns* the workspace lifecycle by default:
+        :meth:`drain` closes it (pass ``close_index=False`` to keep
+        it).
+    address:
+        ``(host, port)`` to bind; port ``0`` picks an ephemeral port
+        (read it back from :attr:`url` / ``server_address``).
+    max_body_bytes / max_concurrent / retry_after:
+        The protocol limits documented in the module docstring.
+    lake_quota:
+        Per-lake cap on concurrently admitted fresh computations.
+        ``None`` (default) derives each lake's fair share of the
+        global gate — ``max(1, max_concurrent // n_lakes)``,
+        re-derived as lakes mount and unmount; an explicit integer
+        pins every lake (per-lake overrides from
+        :meth:`Workspace.set_quota` or the ``POST /lakes`` mount
+        option still win); ``0`` disables per-lake fairness entirely,
+        restoring the single global gate.
+    request_timeout:
+        Per-connection socket timeout in seconds.  A client that
+        stalls mid-request-body gets a 408 ``request-timeout`` and
+        its connection closed instead of wedging a handler thread
+        (and, between requests, the idle keep-alive wait uses the
+        same bound).
+    auth_token:
+        When set, every route except ``GET /healthz`` requires
+        ``Authorization: Bearer <token>``; failures are structured
+        401 responses.
+    job_ttl / max_jobs:
+        Seconds a finished async job stays pollable at
+        ``GET /jobs/<id>`` before eviction, and the cap on tracked
+        jobs (submits past it are 503s with ``Retry-After``).
+    job_dir:
+        Optional directory finished async-job payloads are spilled
+        to and restored from across restarts (see
+        :class:`~repro.serving.jobs.JobManager`); ``domainnet serve
+        --snapshot`` points it at the snapshot's ``jobs/`` directory.
+    oplogs:
+        Optional mapping of lake name to a mutation log (duck-typed;
+        the cluster package's :class:`~repro.cluster.MutationLog`).
+        When a lake has one, every applied ``POST /tables`` /
+        ``DELETE /tables/<t>`` is recorded to it *atomically with the
+        mutation* (the log's lock brackets both), the mutation
+        response gains an ``"oplog_seq"`` field, and ``GET /oplog``
+        serves the recorded entries to replicas; lakes without one
+        answer 404 ``no-oplog`` there.  The logs are closed on
+        :meth:`drain`.
+    """
+
+    def __init__(
+        self,
+        workspace: Union[Workspace, HomographIndex],
+        address: Tuple[str, int] = ("127.0.0.1", 0),
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        max_concurrent: int = DEFAULT_MAX_CONCURRENT,
+        retry_after: int = DEFAULT_RETRY_AFTER,
+        quiet: bool = True,
+        auth_token: Optional[str] = None,
+        job_ttl: float = DEFAULT_JOB_TTL,
+        max_jobs: int = DEFAULT_MAX_JOBS,
+        job_dir: Optional[str] = None,
+        lake_quota: Optional[int] = None,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        oplogs: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if lake_quota is not None and (
+            isinstance(lake_quota, bool)
+            or not isinstance(lake_quota, int)
+            or lake_quota < 0
+        ):
+            raise ValueError(
+                f"invalid lake_quota {lake_quota!r}: expected None, "
+                "0 (fairness off), or an integer >= 1"
+            )
+        super().__init__(
+            address,
+            HomographRequestHandler,
+            request_timeout=request_timeout,
+            quiet=quiet,
+        )
+        if isinstance(workspace, HomographIndex):
+            index, workspace = workspace, Workspace()
+            workspace.attach_index(DEFAULT_LAKE_NAME, index)
+        self.workspace = workspace
+        self.jobs = JobManager(
+            ttl=job_ttl, max_jobs=max_jobs, persist_dir=job_dir
+        )
+        self.max_body_bytes = max_body_bytes
+        self.retry_after = retry_after
+        self.auth_token = auth_token
+        self.oplogs: Dict[str, object] = dict(oplogs or {})
+        self.gate = _AdmissionGate(max_concurrent, lake_quota=lake_quota)
+        self._served = 0
+        self._errors = 0
+        self._counters_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> Optional[HomographIndex]:
+        """The default lake's index (legacy single-lake accessor)."""
+        return self.workspace.default_index()
+
+    def count(self, ok: bool) -> None:
+        """Record one completed response for ``/stats``."""
+        with self._counters_lock:
+            if ok:
+                self._served += 1
+            else:
+                self._errors += 1
+
+    def http_stats(self) -> Dict[str, object]:
+        """HTTP-layer counters (the ``http`` block of ``GET /stats``).
+
+        The legacy flat counters stay (``rejected`` totals both
+        rejection scopes); ``gate`` breaks admission down per lake —
+        occupancy, effective quota, and rejections — plus the
+        follower-lane counters.
+        """
+        with self._counters_lock:
+            served, errors = self._served, self._errors
+        workspace = self.workspace
+        quotas = {
+            name: workspace.quota(name) for name in workspace.names()
+        }
+        return {
+            "served": served,
+            "errors": errors,
+            "rejected": self.gate.rejected,
+            "in_flight": self.gate.in_flight,
+            "max_concurrent": self.gate.limit,
+            "max_body_bytes": self.max_body_bytes,
+            "auth": self.auth_token is not None,
+            "gate": self.gate.stats(quotas),
+        }
+
+    def oplog_for(self, lake_name: str):
+        """The mutation log recording ``lake_name`` (or ``None``)."""
+        return self.oplogs.get(lake_name)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
     def drain(self, close_index: bool = True) -> None:
         """Graceful shutdown: stop accepting, finish in-flight, close.
 
@@ -586,18 +673,14 @@ class HomographHTTPServer(ThreadingHTTPServer):
         ``close_index=False`` to keep the workspace (and its indexes)
         alive for reuse.
         """
-        with self._drain_lock:
-            already = self._draining
-            self._draining = True
-        if not already:
-            self._shutdown_idle_sockets()
-            if self._loop_started.is_set():
-                self.shutdown()
-            self.server_close()
-        if self._thread is not None and self._thread is not \
-                threading.current_thread():
-            self._thread.join()
-        # Not gated on `already`: a first drain(close_index=False)
+        self._drain_transport()
+        # No handler can be recording once the transport is drained;
+        # close the oplogs before (possibly) republishing snapshots.
+        for log in self.oplogs.values():
+            close = getattr(log, "close", None)
+            if close is not None:
+                close()
+        # Not gated on first-drain: a first drain(close_index=False)
         # must not turn a later drain(close_index=True) into a leak.
         # workspace.close() and jobs.drain() are both idempotent.
         if close_index:
@@ -605,14 +688,6 @@ class HomographHTTPServer(ThreadingHTTPServer):
             # Queued jobs were cancelled by the workspace close; wait
             # for stragglers so their snapshots are terminal.
             self.jobs.drain(timeout=30.0)
-
-    def __enter__(self) -> "HomographHTTPServer":
-        """Enter a ``with`` block; the server itself is the target."""
-        return self
-
-    def __exit__(self, *exc) -> None:
-        """Drain (and close the workspace) on ``with``-block exit."""
-        self.drain()
 
 
 def start_server(
@@ -634,16 +709,16 @@ def start_server(
     return server.start_background()
 
 
-class HomographRequestHandler(BaseHTTPRequestHandler):
-    """Routes one HTTP request onto the shared workspace.
+class KeepAliveRequestHandler(BaseHTTPRequestHandler):
+    """Keep-alive handler plumbing shared by the serving front-ends.
 
-    Instantiated per connection by :class:`HomographHTTPServer` (one
-    thread each, serving the connection's whole keep-alive lifetime);
-    every route is a small parse step around an index call, with
-    failures normalized into :class:`_HTTPProblem`.
+    Pairs with :class:`DrainingThreadingHTTPServer`: one thread per
+    connection serving its whole keep-alive lifetime, idle waits
+    registered with the server so a drain can cut them, and the
+    pipelining/buffered-bytes corner cases handled once.  Subclasses
+    implement the ``do_*`` verbs.
     """
 
-    server_version = "DomainNetServe/2.0"
     # HTTP/1.1 with keep-alive: every response carries an exact
     # Content-Length (errors included), so one connection can carry
     # many requests.  Idle connections are tracked with the server
@@ -748,6 +823,18 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
             return False
         except (OSError, ValueError):  # closed under us
             return False
+
+
+class HomographRequestHandler(KeepAliveRequestHandler):
+    """Routes one HTTP request onto the shared workspace.
+
+    Instantiated per connection by :class:`HomographHTTPServer` (one
+    thread each, serving the connection's whole keep-alive lifetime);
+    every route is a small parse step around an index call, with
+    failures normalized into :class:`_HTTPProblem`.
+    """
+
+    server_version = "DomainNetServe/2.0"
 
     def _accepts_gzip(self) -> bool:
         """Whether the request advertised ``Accept-Encoding: gzip``.
@@ -879,11 +966,12 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
     def _authorize(self, segments: List[str]) -> None:
         """Enforce bearer-token auth when the server has a token.
 
-        ``GET /healthz`` stays open so liveness probes keep working
+        ``GET /healthz`` and ``GET /version`` stay open so liveness
+        probes and the supervisor's compatibility check keep working
         without credentials.
         """
         token = self.server.auth_token
-        if token is None or segments == ["healthz"]:
+        if token is None or segments in (["healthz"], ["version"]):
             return
         supplied = self.headers.get("Authorization", "")
         expected = f"Bearer {token}"
@@ -1072,6 +1160,10 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
             if method != "GET":
                 raise self._unknown_route(method, segments)
             return self._handle_stats()
+        if head == "version" and len(segments) == 1:
+            if method != "GET":
+                raise self._unknown_route(method, segments)
+            return self._handle_version()
         if head == "lakes":
             if len(segments) == 1:
                 if method == "GET":
@@ -1138,9 +1230,11 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
         if method == "GET" and head == "ranking" and len(rest) == 2:
             return self._handle_ranking(lake_name, index, rest[1], query)
         if method == "POST" and rest == ["tables"]:
-            return self._handle_add_table(index)
+            return self._handle_add_table(lake_name, index)
         if method == "DELETE" and head == "tables" and len(rest) == 2:
-            return self._handle_remove_table(index, rest[1])
+            return self._handle_remove_table(lake_name, index, rest[1])
+        if method == "GET" and rest == ["oplog"]:
+            return self._handle_oplog(lake_name, query)
         if method == "GET" and rest == ["healthz"]:
             return self._handle_lake_healthz(lake_name, index)
         if method == "GET" and rest == ["stats"]:
@@ -1189,6 +1283,29 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
         stats["jobs"] = self.server.jobs.stats()
         stats["http"] = self.server.http_stats()
         self._send_json(200, stats)
+
+    def _handle_version(self) -> None:
+        """``GET /version``: everything a replica must agree on.
+
+        The cluster supervisor compares these payloads across its
+        fleet and refuses to mix incompatible replicas — a library or
+        snapshot-format skew between replicas would silently break
+        the bit-identical-convergence contract.
+        """
+        import platform
+
+        import numpy
+
+        from .. import __version__
+        from ..snapshot.store import FORMAT_VERSION
+
+        self._send_json(200, {
+            "library": __version__,
+            "snapshot_format": FORMAT_VERSION,
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "server": self.server_version,
+        })
 
     def _handle_lakes(self) -> None:
         workspace = self.server.workspace
@@ -1411,7 +1528,46 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
         payload["cached"] = response.cached
         self._send_json(200, payload, compress=True)
 
-    def _handle_add_table(self, index: HomographIndex) -> None:
+    def _handle_oplog(self, lake_name: str, query) -> None:
+        """``GET /oplog?since=N``: the lake's recorded mutation tail.
+
+        Replicas poll this on the primary and replay the entries
+        through their own mutation routes; ``since`` is the last
+        sequence number already applied (0 = everything).
+        """
+        log = self.server.oplog_for(lake_name)
+        if log is None:
+            raise _HTTPProblem(
+                404, "no-oplog",
+                f"lake {lake_name!r} does not record a mutation "
+                f"oplog; start the primary with --record-oplog",
+                lake=lake_name,
+            )
+        since = self._int_param(query, "since", default=0, minimum=0)
+        payload = log.read_since(since)
+        payload["lake"] = lake_name
+        self._send_json(200, payload, compress=True)
+
+    def _apply_mutation(self, lake_name: str, apply, record):
+        """Apply one table mutation, recording it when oplogged.
+
+        ``apply`` mutates the index; ``record`` appends the exact
+        mutation payload to the lake's oplog.  The log's lock
+        brackets both so concurrent mutations land in the log in
+        application order.  Returns the new oplog sequence number, or
+        ``None`` when the lake does not record one.
+        """
+        log = self.server.oplog_for(lake_name)
+        if log is None:
+            apply()
+            return None
+        with log.exclusive():
+            apply()
+            return record(log)
+
+    def _handle_add_table(
+        self, lake_name: str, index: HomographIndex
+    ) -> None:
         self._check_open(index)
         payload = self._read_json_body()
         name = payload.get("name")
@@ -1428,39 +1584,57 @@ class HomographRequestHandler(BaseHTTPRequestHandler):
             raise _HTTPProblem(
                 400, "invalid-table", str(error)
             ) from None
-        try:
-            index.add_table(table)
-        except LakeError as error:
-            raise _HTTPProblem(
-                409, "duplicate-table", str(error)
-            ) from None
-        self._send_json(
-            201,
-            {
-                "table": name,
-                "tables": len(index.lake),
-                "mutation": index.last_mutation,
-            },
+
+        def apply() -> None:
+            try:
+                index.add_table(table)
+            except LakeError as error:
+                raise _HTTPProblem(
+                    409, "duplicate-table", str(error)
+                ) from None
+
+        seq = self._apply_mutation(
+            lake_name,
+            apply,
+            lambda log: log.append(
+                {"op": "add", "table": name, "columns": columns}
+            ),
         )
+        body: Dict[str, object] = {
+            "table": name,
+            "tables": len(index.lake),
+            "mutation": index.last_mutation,
+        }
+        if seq is not None:
+            body["oplog_seq"] = seq
+        self._send_json(201, body)
 
     def _handle_remove_table(
-        self, index: HomographIndex, name: str
+        self, lake_name: str, index: HomographIndex, name: str
     ) -> None:
         self._check_open(index)
-        try:
-            index.remove_table(name)
-        except LakeError as error:
-            raise _HTTPProblem(
-                404, "unknown-table", str(error)
-            ) from None
-        self._send_json(
-            200,
-            {
-                "table": name,
-                "tables": len(index.lake),
-                "mutation": index.last_mutation,
-            },
+
+        def apply() -> None:
+            try:
+                index.remove_table(name)
+            except LakeError as error:
+                raise _HTTPProblem(
+                    404, "unknown-table", str(error)
+                ) from None
+
+        seq = self._apply_mutation(
+            lake_name,
+            apply,
+            lambda log: log.append({"op": "remove", "table": name}),
         )
+        body: Dict[str, object] = {
+            "table": name,
+            "tables": len(index.lake),
+            "mutation": index.last_mutation,
+        }
+        if seq is not None:
+            body["oplog_seq"] = seq
+        self._send_json(200, body)
 
     # -- param parsing -------------------------------------------------
     @staticmethod

@@ -32,9 +32,11 @@ from .artifacts import (
     build_snapshot,
     jobs_dir,
     load_snapshot,
+    oplog_path,
 )
 from .store import (
     FORMAT_VERSION,
+    OPLOG_NAME,
     SnapshotCorruptionError,
     SnapshotError,
     SnapshotVersionError,
@@ -46,6 +48,7 @@ from .store import (
 __all__ = [
     "FORMAT_VERSION",
     "LoadedSnapshot",
+    "OPLOG_NAME",
     "SnapshotCorruptionError",
     "SnapshotError",
     "SnapshotVersionError",
@@ -54,5 +57,6 @@ __all__ = [
     "jobs_dir",
     "load_manifest",
     "load_snapshot",
+    "oplog_path",
     "write_snapshot",
 ]

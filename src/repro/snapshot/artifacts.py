@@ -43,6 +43,7 @@ from ..datalake.profiling import profile_attributes
 from ..datalake.table import Table
 from .store import (
     JOBS_DIRNAME,
+    OPLOG_NAME,
     SnapshotCorruptionError,
     load_manifest,
     write_snapshot,
@@ -101,6 +102,13 @@ def build_snapshot(
     spill files are carried over (best-effort), so re-publishing a
     served snapshot never discards the async jobs a restarted server
     would otherwise restore.
+
+    The replication ``oplog.jsonl`` a primary may have appended next
+    to the previous snapshot is deliberately *not* carried over:
+    every logged mutation is already baked into the republished
+    artifacts, so the republish starts a fresh oplog epoch and
+    replicas re-bootstrap from the new snapshot instead of replaying
+    a stale log (see ``docs/cluster.md``).
     """
     import shutil
     import time
@@ -328,3 +336,20 @@ def jobs_dir(path: Union[str, os.PathLike]) -> Optional[Path]:
     except OSError:
         return None
     return area
+
+
+def oplog_path(path: Union[str, os.PathLike]) -> Optional[Path]:
+    """Where a primary's replication oplog lives inside a snapshot.
+
+    Returns ``<snapshot>/oplog.jsonl`` (the file itself may not exist
+    yet — :class:`~repro.cluster.MutationLog` creates it), or ``None``
+    for paths that are not snapshot directories.  Like ``jobs/``, the
+    oplog is runtime state: it is excluded from manifest hashing and
+    is *not* carried over when the snapshot is republished.
+    """
+    root = Path(path)
+    from .store import is_snapshot
+
+    if not is_snapshot(root):
+        return None
+    return root / OPLOG_NAME

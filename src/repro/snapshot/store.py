@@ -31,11 +31,18 @@ The manifest schema (format 1)::
       "files": {"graph/indptr.npy": {"bytes": N, "sha256": "..."}, ...}
     }
 
-``files`` covers every artifact the loader reads.  A ``jobs/``
-subdirectory inside a snapshot is runtime state (the
-:class:`~repro.serving.jobs.JobManager` spill area) and is therefore
-*never* manifested: it may mutate after the build without breaking
-verification.
+``files`` covers every artifact the loader reads.  Two pieces of
+*runtime* state live inside a snapshot directory and are therefore
+never manifested — they may mutate after the build without breaking
+verification:
+
+* ``jobs/`` — the :class:`~repro.serving.jobs.JobManager` spill area;
+* ``oplog.jsonl`` — the replication mutation log a primary appends to
+  (see :mod:`repro.cluster.replicate`).  Republishing a snapshot via
+  :func:`write_snapshot` swaps the whole directory, so the oplog is
+  intentionally *not* carried over: the republished artifacts already
+  contain every logged mutation, and replicas detect the fresh epoch
+  and re-bootstrap.
 """
 
 from __future__ import annotations
@@ -57,6 +64,10 @@ MANIFEST_NAME = "manifest.json"
 
 #: Runtime subdirectory excluded from manifest hashing (job spill area).
 JOBS_DIRNAME = "jobs"
+
+#: Runtime replication log excluded from manifest hashing: the primary
+#: appends every applied mutation here (see repro.cluster.replicate).
+OPLOG_NAME = "oplog.jsonl"
 
 
 class SnapshotError(RuntimeError):
@@ -122,10 +133,10 @@ def _fsync_path(path: Path) -> None:
 def hash_tree(root: Path) -> Dict[str, Dict[str, object]]:
     """The manifest ``files`` table for a staged snapshot directory.
 
-    Walks every regular file under ``root`` except the manifest itself
-    and anything under the runtime ``jobs/`` area; keys are
-    ``/``-separated relative paths so manifests are portable across
-    platforms.
+    Walks every regular file under ``root`` except the manifest
+    itself, anything under the runtime ``jobs/`` area, and the
+    runtime ``oplog.jsonl`` replication log; keys are ``/``-separated
+    relative paths so manifests are portable across platforms.
     """
     table: Dict[str, Dict[str, object]] = {}
     for path in sorted(root.rglob("*")):
@@ -133,6 +144,8 @@ def hash_tree(root: Path) -> Dict[str, Dict[str, object]]:
             continue
         relative = path.relative_to(root)
         if relative.name == MANIFEST_NAME and len(relative.parts) == 1:
+            continue
+        if relative.name == OPLOG_NAME and len(relative.parts) == 1:
             continue
         if relative.parts and relative.parts[0] == JOBS_DIRNAME:
             continue

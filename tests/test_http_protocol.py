@@ -683,3 +683,64 @@ class TestMountQuota:
         )
         assert status == 400
         assert_error_shape(payload, 400, "invalid-mount")
+
+
+class TestClusterConformance:
+    """The router speaks the same wire protocol as the servers it fronts.
+
+    Raw-socket checks of the PR-10 additions: ``GET /cluster/stats``
+    as a plain JSON route, and the structured 503
+    ``no-healthy-replica`` (with ``Retry-After``) a dark fleet
+    answers — same error shape as every other rejection, so client
+    retry loops need no new cases.
+    """
+
+    @pytest.fixture
+    def routed(self, figure1_lake):
+        from repro.cluster import Replica, ReplicaSet, start_router
+
+        backend = start_server(HomographIndex(figure1_lake), port=0)
+        replica = Replica("only", url=backend.url, role="primary")
+        router = start_router(ReplicaSet([replica]))
+        yield router, replica
+        router.drain()
+        backend.drain()
+
+    def test_cluster_stats_is_json_route(self, routed):
+        router, _ = routed
+        status, headers, payload = raw_request(
+            router, "GET", "/cluster/stats"
+        )
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert payload["primary"] == "only"
+        assert payload["replicas"][0]["healthy"] is True
+
+    def test_dark_fleet_503_shape(self, routed):
+        router, replica = routed
+        replica.mark_unhealthy()
+        status, headers, payload = raw_request(
+            router, "GET", "/ranking/lcc"
+        )
+        assert status == 503
+        assert headers["Content-Type"] == "application/json"
+        assert int(headers["Retry-After"]) >= 1
+        assert_error_shape(payload, 503, "no-healthy-replica")
+
+    def test_proxied_errors_keep_backend_shape(self, routed):
+        # A backend 404 travels through the router byte-compatible.
+        router, _ = routed
+        status, _, payload = raw_request(
+            router, "GET", "/ranking/unknown-measure"
+        )
+        assert status == 404
+        assert_error_shape(payload, 404, "unknown-measure")
+
+    def test_version_fingerprint_route(self, served):
+        server, _ = served
+        status, headers, payload = raw_request(server, "GET", "/version")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        assert set(payload) == {
+            "library", "snapshot_format", "python", "numpy", "server",
+        }

@@ -35,6 +35,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: Packages whose public surface is part of docs/api.md.
 CHECKED_PACKAGES = (
     REPO_ROOT / "src" / "repro" / "api",
+    REPO_ROOT / "src" / "repro" / "cluster",
     REPO_ROOT / "src" / "repro" / "core" / "confusables.py",
     REPO_ROOT / "src" / "repro" / "perf",
     REPO_ROOT / "src" / "repro" / "serving",

@@ -23,6 +23,14 @@ TUS-small snapshot, serve it (job spill in the snapshot's ``jobs/``
 area), drive a cache-hit detect plus an async job, *kill* the server,
 restart from the same snapshot, and prove the finished job and the
 warmed cache both survived — under exactly the same leak checks.
+
+``--cluster`` runs the replication scenario: a
+:class:`repro.cluster.ReplicaSupervisor` fleet of two ``domainnet
+serve`` subprocesses over one snapshot behind a
+:class:`repro.cluster.ClusterRouter`, mutations through the router
+replicated to byte-identical state, one replica SIGKILLed and healed
+back into the pool — again under the same leak checks (supervisor
+loops, router threads, and subprocess pipes must all be gone).
 """
 
 from __future__ import annotations
@@ -289,12 +297,105 @@ def scenario_snapshot() -> None:
         gc.collect()  # release mmap handles before the tempdir dies
 
 
+def scenario_cluster() -> None:
+    """The replication smoke: fleet up, replicate, kill, heal, drain."""
+    import signal
+
+    from repro import HomographClient, HomographIndex, Table
+    from repro.bench.synthetic import SBConfig, generate_sb
+    from repro.cluster import start_cluster
+
+    def wait_for(predicate, timeout=60.0, interval=0.05):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if predicate():
+                return True
+            time.sleep(interval)
+        return predicate()
+
+    dataset = generate_sb(SBConfig(seed=0))
+    with tempfile.TemporaryDirectory(prefix="domainnet-cluster-") as tmp:
+        snap = Path(tmp) / "sb"
+        with HomographIndex(dataset.lake) as builder:
+            builder.detect(measure="lcc")       # ship a warm ranking
+            builder.save(snap)
+
+        started = time.monotonic()
+        supervisor, router = start_cluster(snap, replicas=2)
+        try:
+            print(f"fleet of 2 up in {time.monotonic()-started:.1f}s "
+                  f"behind {router.url}")
+            client = HomographClient(router.url, timeout=120.0)
+            client.wait_ready(timeout=30.0)
+
+            # The router speaks the ordinary protocol: version, warm
+            # cache hit, ranking pages — unchanged client code.
+            version = client.version()
+            assert version["library"], version
+            warm = client.lake("sb").detect(measure="lcc")
+            assert warm.cached, "snapshot cache was not pre-warmed"
+            assert list(client.lake("sb").iter_ranking("lcc", limit=50))
+
+            # Mutations pin to the primary, record in the oplog, and
+            # replicate to bit-identical state.
+            sb = client.lake("sb")
+            body = sb.add_table(Table.from_columns(
+                "smoke_repl",
+                {"a": ["zz-a", "zz-b"], "b": ["zz-b", "zz-c"]},
+            ))
+            assert body["oplog_seq"] == 1, body
+            sb.remove_table("smoke_repl")
+            replica = supervisor.replicas.get("replica-1")
+            assert wait_for(
+                lambda: replica.applied_seq == 2
+                and replica.oplog_lag == 0
+            ), supervisor.replicas.stats()
+            primary_rank = list(HomographClient(
+                supervisor.replicas.primary.url, timeout=120.0,
+                lake="sb",
+            ).iter_ranking("lcc"))
+            replica_rank = list(HomographClient(
+                replica.url, timeout=120.0, lake="sb",
+            ).iter_ranking("lcc"))
+            assert primary_rank == replica_rank, "replica diverged"
+            print(f"replicated 2 mutations; rankings identical over "
+                  f"{len(primary_rank)} entries")
+
+            # SIGKILL the replica mid-traffic: reads keep answering,
+            # the supervisor respawns and resyncs it.
+            os.kill(supervisor.stats()["pids"]["replica-1"],
+                    signal.SIGKILL)
+            for _ in range(8):
+                assert client.lake("sb").detect(measure="lcc").scores
+            assert wait_for(
+                lambda: replica.restarts >= 1 and replica.healthy
+            ), supervisor.replicas.stats()
+            assert wait_for(
+                lambda: replica.applied_seq == 2
+                and replica.oplog_lag == 0
+            ), supervisor.replicas.stats()
+            print(f"replica healed after SIGKILL "
+                  f"(restarts={replica.restarts})")
+
+            stats = client._request("GET", "/cluster/stats")
+            assert stats["router"]["bad_gateway"] == 0, stats
+            assert all(row["healthy"] for row in stats["replicas"]), (
+                stats
+            )
+        finally:
+            router.drain()
+            supervisor.stop()
+        gc.collect()  # release mmap handles before the tempdir dies
+
+
 def main() -> int:
     """Run the smoke; non-zero exit on any failure or leak."""
-    scenario = (
-        scenario_snapshot if "--snapshot" in sys.argv[1:]
-        else scenario_multilake
-    )
+    if "--cluster" in sys.argv[1:]:
+        scenario = scenario_cluster
+    elif "--snapshot" in sys.argv[1:]:
+        scenario = scenario_snapshot
+    else:
+        scenario = scenario_multilake
     shm_before = (
         set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else None
     )
